@@ -1,0 +1,23 @@
+"""Benchmark E10 -- message-size comparison between Algorithm 1 and Algorithm 2."""
+
+from repro.experiments import e10_message_size
+
+
+def test_e10_message_size(run_experiment_benchmark):
+    result = run_experiment_benchmark(
+        "e10",
+        e10_message_size.run_experiment,
+        sizes=(64, 128, 256, 512),
+        seed=0,
+    )
+    for row in result.rows:
+        assert row["congest_small_message_fraction"] >= 0.99
+        assert row["local_max_message_ids"] > 10 * row["congest_max_message_ids"]
+    # Algorithm 1's biggest message grows with n; Algorithm 2's stays flat-ish.
+    local_growth = result.rows[-1]["local_max_message_ids"] / result.rows[0]["local_max_message_ids"]
+    congest_growth = (
+        result.rows[-1]["congest_max_message_ids"]
+        / max(1, result.rows[0]["congest_max_message_ids"])
+    )
+    assert local_growth > 2.0
+    assert congest_growth <= 3.0

@@ -1,0 +1,16 @@
+"""Benchmark E11 -- Remark 2: per-node estimate distribution."""
+
+from repro.experiments import e11_estimate_distribution
+
+
+def test_e11_estimate_distribution(run_experiment_benchmark):
+    result = run_experiment_benchmark(
+        "e11",
+        e11_estimate_distribution.run_experiment,
+        sizes=(128, 256, 512),
+        trials=2,
+        seed=0,
+    )
+    for row in result.rows:
+        assert row["max_value"] <= row["ceil_ln_n"] + 1
+        assert row["spread_factor"] is None or row["spread_factor"] <= 3.0

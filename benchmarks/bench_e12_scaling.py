@@ -1,0 +1,20 @@
+"""Benchmark E12 -- round-complexity scaling fits (Theorems 1 and 2 shapes)."""
+
+from repro.experiments import e12_scaling
+
+
+def test_e12_scaling(run_experiment_benchmark):
+    result = run_experiment_benchmark(
+        "e12",
+        e12_scaling.run_experiment,
+        local_sizes=(64, 128, 256, 512),
+        congest_sizes=(64, 128),
+        congest_byzantine_counts=(1, 2, 3),
+        seed=0,
+    )
+    local_rounds = [r["measured_rounds"] for r in result.rows if r["algorithm"] == "algorithm1"]
+    # Rounds grow (weakly) with n and stay tiny compared to n itself.
+    assert local_rounds == sorted(local_rounds)
+    assert local_rounds[-1] <= 20
+    congest_rounds = [r["measured_rounds"] for r in result.rows if r["algorithm"] == "algorithm2"]
+    assert all(rounds >= 1 for rounds in congest_rounds)

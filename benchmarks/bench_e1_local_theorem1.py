@@ -1,0 +1,19 @@
+"""Benchmark E1 -- Theorem 1: deterministic LOCAL counting under Byzantine nodes."""
+
+from repro.experiments import e1_local_theorem1
+
+
+def test_e1_local_theorem1(run_experiment_benchmark):
+    result = run_experiment_benchmark(
+        "e1",
+        e1_local_theorem1.run_experiment,
+        sizes=(64, 128, 256, 512),
+        gamma=0.7,
+        behaviour="fake-topology",
+        placement="random",
+        trials=1,
+        seed=0,
+    )
+    for row in result.rows:
+        assert row["decided_fraction"] == 1.0
+        assert row["fraction_in_band"] >= 0.9

@@ -1,0 +1,19 @@
+"""Benchmark E2 -- Theorem 2: randomized small-message counting under attack."""
+
+from repro.experiments import e2_congest_theorem2
+
+
+def test_e2_congest_theorem2(run_experiment_benchmark):
+    result = run_experiment_benchmark(
+        "e2",
+        e2_congest_theorem2.run_experiment,
+        sizes=(128, 256),
+        behaviour="beacon-flood",
+        placement="spread",
+        trials=1,
+        seed=0,
+    )
+    for row in result.rows:
+        assert row["goodtl_fraction_in_band"] >= 0.85
+        assert row["small_message_fraction"] >= 0.9
+        assert row["max_decision_round"] <= row["round_budget"]

@@ -1,0 +1,17 @@
+"""Benchmark E3 -- Corollary 1: benign-case agreement and termination."""
+
+from repro.experiments import e3_benign
+
+
+def test_e3_benign(run_experiment_benchmark):
+    result = run_experiment_benchmark(
+        "e3",
+        e3_benign.run_experiment,
+        sizes=(64, 128, 256, 512),
+        trials=2,
+        seed=0,
+    )
+    for row in result.rows:
+        assert row["decided_fraction"] == 1.0
+        assert row["quiescent_rate"] == 1.0
+        assert row["max_estimate"] <= row["ceil_ln_n"] + 1

@@ -1,0 +1,17 @@
+"""Benchmark E4 -- Theorem 3: indistinguishability without expansion."""
+
+from repro.experiments import e4_impossibility
+
+
+def test_e4_impossibility(run_experiment_benchmark):
+    result = run_experiment_benchmark(
+        "e4",
+        e4_impossibility.run_experiment,
+        base_n=64,
+        copy_counts=(4, 8),
+        num_trials=2,
+        seed=0,
+    )
+    glued_rows = [r for r in result.rows if r.get("demonstrates_impossibility") is not None]
+    assert any(r["demonstrates_impossibility"] for r in glued_rows)
+    assert all(r["copies_isomorphic"] for r in glued_rows)

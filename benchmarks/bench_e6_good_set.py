@@ -1,0 +1,19 @@
+"""Benchmark E6 -- Lemma 1: size and expansion of the Good set."""
+
+from repro.experiments import e6_good_set
+
+
+def test_e6_good_set(run_experiment_benchmark):
+    result = run_experiment_benchmark(
+        "e6",
+        e6_good_set.run_experiment,
+        sizes=(256, 512, 1024),
+        placements=("random", "clustered", "spread"),
+        trials=2,
+        seed=0,
+    )
+    for row in result.rows:
+        assert row["mean_good_fraction"] >= 0.6
+        assert row["mean_induced_expansion_upper_bound"] is None or (
+            row["mean_induced_expansion_upper_bound"] > 0.1
+        )

@@ -1,0 +1,24 @@
+"""Benchmark E7 -- Section 1.2: baselines break under a single Byzantine node."""
+
+from repro.experiments import e7_baselines
+
+
+def test_e7_baselines(run_experiment_benchmark):
+    result = run_experiment_benchmark(
+        "e7",
+        e7_baselines.run_experiment,
+        n=256,
+        byzantine_counts=(0, 1, 4),
+        seed=0,
+        include_algorithm2=True,
+    )
+    rows = {(r["protocol"], r["byzantine"]): r for r in result.rows}
+    # Every baseline is accurate with 0 Byzantine nodes (within a factor 2 of
+    # ln n) and loses that guarantee with a single Byzantine node.
+    for protocol in ("geometric-max", "spanning-tree", "flooding-diameter"):
+        assert rows[(protocol, 0)]["fraction_within_2x"] >= 0.9
+        assert rows[(protocol, 1)]["fraction_within_2x"] <= 0.1
+    assert rows[("support-estimation", 1)]["decided_fraction"] < 0.5
+    # The paper's algorithm keeps a bounded error with Byzantine nodes present.
+    assert rows[("algorithm2 (this paper)", 4)]["median_relative_error"] < 1.0
+    assert rows[("algorithm2 (this paper)", 4)]["fraction_within_2x"] >= 0.75

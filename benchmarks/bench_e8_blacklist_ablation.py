@@ -1,0 +1,21 @@
+"""Benchmark E8 -- ablation: blacklisting on vs off under beacon flooding."""
+
+from repro.experiments import e8_blacklist_ablation
+
+
+def test_e8_blacklist_ablation(run_experiment_benchmark):
+    result = run_experiment_benchmark(
+        "e8",
+        e8_blacklist_ablation.run_experiment,
+        sizes=(128, 256),
+        num_byzantine=3,
+        trials=1,
+        seed=0,
+        extra_phases=1,
+    )
+    by_key = {(r["blacklist"], r["n"]): r for r in result.rows}
+    for n in (128, 256):
+        with_bl = by_key[(True, n)]
+        without_bl = by_key[(False, n)]
+        assert with_bl["far_node_decided_fraction"] > without_bl["far_node_decided_fraction"]
+        assert with_bl["max_estimate"] <= with_bl["ceil_ln_n"] + 3

@@ -1,0 +1,16 @@
+"""Benchmark E9 -- adversary robustness grid (placement x behaviour)."""
+
+from repro.experiments import e9_adversary_grid
+
+
+def test_e9_adversary_grid(run_experiment_benchmark):
+    result = run_experiment_benchmark(
+        "e9",
+        e9_adversary_grid.run_experiment,
+        n=128,
+        placements=("random", "clustered", "spread"),
+        congest_byzantine=3,
+        seed=0,
+    )
+    for row in result.rows:
+        assert row["fraction_in_band"] >= 0.8, row

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Scenario: stress both algorithms against every shipped adversary.
+
+Sweeps the placement × behaviour grid of the adversary framework against the
+two counting algorithms on a single topology, printing how the guarantee
+(fraction of far-from-Byzantine nodes with a constant-factor estimate)
+holds up.  This is a smaller interactive version of experiment E9.
+
+Run with::
+
+    python examples/adversarial_stress.py
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro import CongestParameters, LocalParameters, hnd_random_regular_graph
+from repro.adversary import (
+    BeaconFloodAdversary,
+    ContinueFloodAdversary,
+    FakeTopologyAdversary,
+    InconsistentTopologyAdversary,
+    PathTamperAdversary,
+    SilentAdversary,
+    clustered_placement,
+    random_placement,
+    spread_placement,
+)
+from repro.analysis.tables import render_table
+from repro.core.congest_counting import run_congest_counting
+from repro.core.local_counting import run_local_counting
+from repro.graphs.expansion import good_set
+from repro.graphs.neighborhoods import ball_of_set
+
+
+def main() -> None:
+    n, degree, seed = 128, 8, 11
+    graph = hnd_random_regular_graph(n, degree, seed=seed)
+    log_n = math.log(n)
+    placements = {
+        "random": random_placement,
+        "clustered": clustered_placement,
+        "spread": spread_placement,
+    }
+    rows = []
+
+    # Algorithm 1 under its adversaries (4 Byzantine nodes, gamma = 0.7).
+    local_params = LocalParameters(gamma=0.7, max_degree=degree)
+    for placement_name, place in placements.items():
+        byz = place(graph, 4, seed=seed)
+        for behaviour_name, adversary in (
+            ("silent", SilentAdversary()),
+            ("fake-topology", FakeTopologyAdversary()),
+            ("inconsistent", InconsistentTopologyAdversary()),
+        ):
+            evaluation = good_set(graph, byz, 0.7)
+            run = run_local_counting(
+                graph,
+                byzantine=byz,
+                adversary=adversary,
+                params=local_params,
+                seed=seed,
+                evaluation_set=evaluation,
+            )
+            rows.append({
+                "algorithm": "local",
+                "placement": placement_name,
+                "behaviour": behaviour_name,
+                "good nodes in band": round(
+                    run.outcome.fraction_within_band(0.35, 1.6), 2
+                ),
+                "median estimate": run.outcome.median_estimate(),
+                "rounds": run.outcome.max_decision_round(),
+            })
+
+    # Algorithm 2 under its adversaries (3 Byzantine nodes).
+    params = CongestParameters(d=degree)
+    budget = params.rounds_through_phase(int(math.ceil(log_n)) + 1)
+    for placement_name, place in placements.items():
+        byz = place(graph, 3, seed=seed)
+        contaminated = ball_of_set(graph, byz, 1)
+        for behaviour_name, adversary in (
+            ("silent", SilentAdversary()),
+            ("beacon-flood", BeaconFloodAdversary(params)),
+            ("path-tamper", PathTamperAdversary(params)),
+            ("continue-flood", ContinueFloodAdversary(params)),
+        ):
+            run = run_congest_counting(
+                graph,
+                byzantine=byz,
+                adversary=adversary,
+                params=params,
+                seed=seed,
+                max_rounds=budget,
+            )
+            outcome = run.outcome
+            far = [u for u in outcome.records if u not in contaminated]
+            in_band = (
+                sum(
+                    1 for u in far
+                    if outcome.records[u].within(0.35 * log_n, 1.6 * log_n)
+                ) / len(far)
+                if far else 0.0
+            )
+            rows.append({
+                "algorithm": "congest",
+                "placement": placement_name,
+                "behaviour": behaviour_name,
+                "good nodes in band": round(in_band, 2),
+                "median estimate": outcome.median_estimate(),
+                "rounds": outcome.max_decision_round(),
+            })
+
+    print(render_table(rows, title=f"Adversarial stress grid on {graph.name} (ln n = {log_n:.2f})"))
+
+
+if __name__ == "__main__":
+    main()

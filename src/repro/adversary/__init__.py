@@ -1,0 +1,53 @@
+"""Byzantine adversary framework.
+
+The paper's model (Section 2) allows Byzantine nodes that are *arbitrarily
+(adversarially) placed* and have *full information* (they see all states and
+all honest random choices before acting).  This package separates the two
+degrees of freedom:
+
+* :mod:`repro.adversary.placement` -- where the corrupted nodes sit
+  (uniformly random, clustered in a ball, on a cut, at high-centrality
+  positions);
+* :mod:`repro.adversary.strategies` -- what they do (stay silent, inject fake
+  topology, flood fake beacons, tamper with path fields, suppress or spam
+  continue messages, fake the values of the baseline protocols).
+"""
+
+from repro.adversary.base import Adversary, AdversaryView, ByzantineOutbox, SilentAdversary
+from repro.adversary.placement import (
+    random_placement,
+    clustered_placement,
+    cut_placement,
+    high_degree_placement,
+    spread_placement,
+)
+from repro.adversary.strategies import (
+    FakeTopologyAdversary,
+    InconsistentTopologyAdversary,
+    BeaconFloodAdversary,
+    PathTamperAdversary,
+    ContinueFloodAdversary,
+    ContinueSuppressAdversary,
+    ValueFakingAdversary,
+    CombinedAdversary,
+)
+
+__all__ = [
+    "Adversary",
+    "AdversaryView",
+    "ByzantineOutbox",
+    "SilentAdversary",
+    "random_placement",
+    "clustered_placement",
+    "cut_placement",
+    "high_degree_placement",
+    "spread_placement",
+    "FakeTopologyAdversary",
+    "InconsistentTopologyAdversary",
+    "BeaconFloodAdversary",
+    "PathTamperAdversary",
+    "ContinueFloodAdversary",
+    "ContinueSuppressAdversary",
+    "ValueFakingAdversary",
+    "CombinedAdversary",
+]

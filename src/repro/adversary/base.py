@@ -1,0 +1,16 @@
+"""Public re-export of the Byzantine adversary interface.
+
+The interface itself lives in :mod:`repro.simulator.byzantine` (the engine
+depends on it, the concrete strategies depend on the protocols, and keeping
+the interface with the engine avoids a circular import).  Importing it from
+``repro.adversary.base`` is the intended spelling for user code.
+"""
+
+from repro.simulator.byzantine import (
+    Adversary,
+    AdversaryView,
+    ByzantineOutbox,
+    SilentAdversary,
+)
+
+__all__ = ["Adversary", "AdversaryView", "ByzantineOutbox", "SilentAdversary"]

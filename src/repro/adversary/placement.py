@@ -1,0 +1,134 @@
+"""Byzantine placement strategies.
+
+The theorems hold for *adversarially placed* Byzantine nodes, so experiments
+exercise several qualitatively different placements.  Each function returns a
+set of node indices of the requested size.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Set
+
+from repro.graphs.graph import Graph
+from repro.graphs.neighborhoods import ball
+
+__all__ = [
+    "random_placement",
+    "clustered_placement",
+    "cut_placement",
+    "high_degree_placement",
+    "spread_placement",
+]
+
+
+def _check_budget(graph: Graph, count: int) -> int:
+    if count < 0:
+        raise ValueError("number of Byzantine nodes must be non-negative")
+    return min(count, graph.n)
+
+
+def random_placement(graph: Graph, count: int, *, seed: Optional[int] = None) -> Set[int]:
+    """``count`` nodes chosen uniformly at random (the prior work [14]'s model)."""
+    count = _check_budget(graph, count)
+    rng = random.Random(seed)
+    return set(rng.sample(range(graph.n), count))
+
+
+def clustered_placement(graph: Graph, count: int, *, seed: Optional[int] = None) -> Set[int]:
+    """``count`` nodes forming a BFS ball around a random center.
+
+    This is the Remark 1 worst case: the corrupted nodes surround a region of
+    good nodes and control everything those good nodes learn about the rest of
+    the network.
+    """
+    count = _check_budget(graph, count)
+    if count == 0:
+        return set()
+    rng = random.Random(seed)
+    center = rng.randrange(graph.n)
+    chosen: Set[int] = set()
+    radius = 0
+    while len(chosen) < count and radius <= graph.n:
+        shell = ball(graph, center, radius)
+        for node in sorted(shell):
+            if len(chosen) >= count:
+                break
+            chosen.add(node)
+        radius += 1
+    return chosen
+
+
+def cut_placement(graph: Graph, count: int, *, seed: Optional[int] = None) -> Set[int]:
+    """``count`` nodes straddling a (heuristic) sparse cut of the graph.
+
+    Grows a BFS ball around a random center until it covers roughly half the
+    nodes, then corrupts the boundary vertices of that ball (inside first).
+    In a bottleneck graph (barbell, chained copies) this captures the actual
+    cut; in an expander it corrupts a shell, which is a natural "separate the
+    network" attempt.
+    """
+    count = _check_budget(graph, count)
+    if count == 0:
+        return set()
+    rng = random.Random(seed)
+    center = rng.randrange(graph.n)
+    dist = graph.bfs_distances(center)
+    reachable = [u for u in range(graph.n) if dist[u] >= 0]
+    reachable.sort(key=lambda u: dist[u])
+    half = len(reachable) // 2
+    inner = set(reachable[:half])
+    boundary = [u for u in inner for v in graph.neighbors(u) if v not in inner]
+    # Deduplicate while preserving order, then fill from just inside the cut.
+    ordered: list = []
+    seen: Set[int] = set()
+    for u in boundary:
+        if u not in seen:
+            seen.add(u)
+            ordered.append(u)
+    for u in reversed(reachable[:half]):
+        if u not in seen:
+            seen.add(u)
+            ordered.append(u)
+    return set(ordered[:count])
+
+
+def high_degree_placement(graph: Graph, count: int, *, seed: Optional[int] = None) -> Set[int]:
+    """``count`` nodes of highest degree (ties broken randomly).
+
+    Irrelevant for regular graphs but meaningful for the irregular topologies
+    (stars, barbells) used in the negative-control experiments.
+    """
+    count = _check_budget(graph, count)
+    rng = random.Random(seed)
+    nodes = list(range(graph.n))
+    rng.shuffle(nodes)
+    nodes.sort(key=lambda u: -graph.degree(u))
+    return set(nodes[:count])
+
+
+def spread_placement(graph: Graph, count: int, *, seed: Optional[int] = None) -> Set[int]:
+    """``count`` nodes chosen greedily to be pairwise far apart.
+
+    Maximizes the contaminated area ``B(Byz, r)`` for a given budget, the
+    placement that stresses Lemma 1's ``Good``-set construction hardest.
+    """
+    count = _check_budget(graph, count)
+    if count == 0:
+        return set()
+    rng = random.Random(seed)
+    chosen = {rng.randrange(graph.n)}
+    # Iteratively add the node maximizing its distance to the chosen set.
+    dist_to_chosen = graph.bfs_distances(next(iter(chosen)))
+    while len(chosen) < count:
+        best_node = max(
+            (u for u in range(graph.n) if u not in chosen),
+            key=lambda u: dist_to_chosen[u] if dist_to_chosen[u] >= 0 else -1,
+        )
+        chosen.add(best_node)
+        new_dist = graph.bfs_distances(best_node)
+        dist_to_chosen = [
+            min(a, b) if a >= 0 and b >= 0 else max(a, b)
+            for a, b in zip(dist_to_chosen, new_dist)
+        ]
+    return chosen

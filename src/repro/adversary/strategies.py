@@ -1,0 +1,411 @@
+"""Byzantine behaviour strategies.
+
+Each strategy is an :class:`~repro.adversary.base.Adversary` whose ``act``
+method decides what every corrupted node sends in the current round, with full
+knowledge of the topology, all honest states, and the honest messages of the
+round.  Strategies target specific protocols:
+
+=======================  =====================================================
+Strategy                 Targets / effect
+=======================  =====================================================
+SilentAdversary          any protocol -- pure omission (in ``base``)
+FakeTopologyAdversary    Algorithm 1 -- advertise a fabricated subnetwork
+                         hanging behind each Byzantine node (Remark 1 attack)
+InconsistentTopology-    Algorithm 1 -- claim false incident-edge sets for
+Adversary                honest nodes, triggering the inconsistency predicate
+BeaconFloodAdversary     Algorithm 2 -- emit fresh fake beacons every
+                         iteration to keep good nodes from deciding
+PathTamperAdversary      Algorithm 2 -- additionally replay received beacons
+                         with scrambled path prefixes to dodge blacklists
+ContinueFloodAdversary   Algorithm 2 -- spam continue messages to keep the
+                         network from ever going quiescent
+ContinueSuppressAdversary Algorithm 2 -- refuse to forward anything (Byzantine
+                         nodes cannot suppress honest traffic, so this is the
+                         omission attack restated for the CONGEST protocol)
+ValueFakingAdversary     baselines -- inject absurd values into the
+                         non-Byzantine-resilient estimators of §1.2
+CombinedAdversary        union of several strategies
+=======================  =====================================================
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.adversary.base import Adversary, AdversaryView, ByzantineOutbox
+from repro.core.beacon import make_beacon_message, make_continue_message
+from repro.core.congest_counting import PhaseSchedule
+from repro.core.parameters import CongestParameters
+from repro.simulator.messages import Message
+
+__all__ = [
+    "FakeTopologyAdversary",
+    "InconsistentTopologyAdversary",
+    "BeaconFloodAdversary",
+    "PathTamperAdversary",
+    "ContinueFloodAdversary",
+    "ContinueSuppressAdversary",
+    "ValueFakingAdversary",
+    "CombinedAdversary",
+]
+
+_ID_BITS = 62
+
+
+def _fresh_id(rng: random.Random) -> int:
+    return rng.getrandbits(_ID_BITS)
+
+
+# --------------------------------------------------------------------------- #
+# Algorithm 1 attacks
+# --------------------------------------------------------------------------- #
+class FakeTopologyAdversary(Adversary):
+    """Advertise a fabricated subnetwork behind every Byzantine node.
+
+    Each corrupted node ``b`` claims (consistently, so that the inconsistency
+    predicate never fires) that a tree of fake vertices hangs behind it: in
+    round 0 it reports its own incident-edge set as a mix of real neighbors
+    and fake root ids, and in every later round it reveals the edge sets of
+    one further layer of the fake tree.  The per-round growth is bounded by
+    ``max_new_per_round`` fake vertices per Byzantine node -- an unbounded
+    adversary could grow the fake frontier faster, which only the exhaustive
+    subset check of Algorithm 1 would detect (see the module docstring of
+    :mod:`repro.core.local_counting`).
+
+    Parameters
+    ----------
+    branching:
+        Number of fake children revealed per fake vertex (capped by Δ-1).
+    max_depth:
+        Stop growing the fake tree after this many layers (``None`` = never).
+    max_new_per_round:
+        Cap on fake vertices newly revealed per Byzantine node per round.
+    keep_real_neighbors:
+        How many true neighbors the Byzantine node keeps in its claimed edge
+        set (it must drop some to stay within the degree bound Δ while
+        attaching fake roots).
+    """
+
+    def __init__(
+        self,
+        *,
+        branching: int = 3,
+        max_depth: Optional[int] = None,
+        max_new_per_round: int = 16,
+        keep_real_neighbors: int = 4,
+    ) -> None:
+        self.branching = branching
+        self.max_depth = max_depth
+        self.max_new_per_round = max_new_per_round
+        self.keep_real_neighbors = keep_real_neighbors
+        self._fake_frontier: Dict[int, List[int]] = {}
+        self._depth: Dict[int, int] = {}
+        self._announced_roots: Dict[int, Tuple[Tuple[int, Tuple[int, ...]], ...]] = {}
+
+    def setup(self, graph, byzantine, rng) -> None:  # type: ignore[override]
+        super().setup(graph, byzantine, rng)
+        self._fake_frontier = {}
+        self._depth = {}
+        self._announced_roots = {}
+        delta = max(2, graph.max_degree())
+        for b in byzantine:
+            real_neighbors = [graph.node_id(v) for v in graph.neighbors(b)]
+            keep = real_neighbors[: min(self.keep_real_neighbors, len(real_neighbors))]
+            num_fake_roots = max(1, delta - len(keep))
+            fake_roots = [_fresh_id(rng) for _ in range(num_fake_roots)]
+            own_edge_set = tuple(sorted(keep + fake_roots))
+            self._announced_roots[b] = (
+                (graph.node_id(b), own_edge_set),
+            )
+            self._fake_frontier[b] = fake_roots
+            self._depth[b] = 0
+
+    def _grow_layer(self, b: int, rng: random.Random, delta: int) -> List[Tuple[int, Tuple[int, ...]]]:
+        """Reveal the next layer of b's fake tree: edge sets of the current frontier."""
+        if self.max_depth is not None and self._depth[b] >= self.max_depth:
+            return []
+        frontier = self._fake_frontier[b]
+        if not frontier:
+            return []
+        new_edge_sets: List[Tuple[int, Tuple[int, ...]]] = []
+        next_frontier: List[int] = []
+        budget = self.max_new_per_round
+        branching = min(self.branching, max(1, delta - 1))
+        for leaf in frontier:
+            children = [_fresh_id(rng) for _ in range(min(branching, budget))]
+            budget -= len(children)
+            new_edge_sets.append((leaf, tuple(sorted(children))))
+            next_frontier.extend(children)
+            if budget <= 0:
+                break
+        # Frontier leaves whose edge sets were not revealed this round stay in
+        # the frontier for the next round.
+        revealed = {node_id for node_id, _ in new_edge_sets}
+        carry_over = [leaf for leaf in frontier if leaf not in revealed]
+        self._fake_frontier[b] = carry_over + next_frontier
+        self._depth[b] += 1
+        return new_edge_sets
+
+    def act(self, view: AdversaryView) -> ByzantineOutbox:
+        delta = max(2, view.graph.max_degree())
+        outbox: ByzantineOutbox = {}
+        for b in view.byzantine:
+            if view.round == 0:
+                edge_sets = list(self._announced_roots[b])
+            else:
+                edge_sets = self._grow_layer(b, view.rng, delta)
+            if not edge_sets:
+                # Keep sending *something* so honest neighbors never see this
+                # node as mute.
+                edge_sets = []
+            payload = (tuple(edge_sets), ())
+            num_ids = sum(1 + len(edges) for _, edges in edge_sets)
+            message = Message(
+                kind="topology",
+                payload=payload,
+                size_bits=8 * max(1, len(edge_sets)),
+                num_ids=num_ids,
+            )
+            outbox[b] = self.broadcast_from(view, b, message)
+        return outbox
+
+
+class InconsistentTopologyAdversary(Adversary):
+    """Claim false incident-edge sets for real honest nodes.
+
+    Every round, each Byzantine node picks a few honest nodes and broadcasts
+    fabricated edge sets for them.  Any honest node that has already learned
+    (or later learns) the true edge set observes a conflict, triggering the
+    inconsistency predicate and an immediate decision (Line 6 of
+    Algorithm 1).
+    """
+
+    def __init__(self, *, claims_per_round: int = 2) -> None:
+        self.claims_per_round = claims_per_round
+
+    def act(self, view: AdversaryView) -> ByzantineOutbox:
+        graph = view.graph
+        honest = [u for u in range(graph.n) if u not in view.byzantine]
+        outbox: ByzantineOutbox = {}
+        for b in view.byzantine:
+            edge_sets = []
+            for _ in range(self.claims_per_round):
+                target = honest[view.rng.randrange(len(honest))]
+                fake_edges = tuple(
+                    sorted(_fresh_id(view.rng) for _ in range(max(2, graph.degree(target))))
+                )
+                edge_sets.append((graph.node_id(target), fake_edges))
+            payload = (tuple(edge_sets), ())
+            num_ids = sum(1 + len(edges) for _, edges in edge_sets)
+            message = Message(
+                kind="topology", payload=payload, size_bits=16, num_ids=num_ids
+            )
+            outbox[b] = self.broadcast_from(view, b, message)
+        return outbox
+
+
+# --------------------------------------------------------------------------- #
+# Algorithm 2 attacks
+# --------------------------------------------------------------------------- #
+class _ScheduledAdversary(Adversary):
+    """Base for Algorithm 2 attacks: tracks the phase/iteration schedule."""
+
+    def __init__(self, params: Optional[CongestParameters] = None) -> None:
+        self.params = params if params is not None else CongestParameters()
+        self.schedule = PhaseSchedule(self.params)
+
+    def position(self, round_number: int):
+        """Schedule position of the current round (None for round 0)."""
+        if round_number < 1:
+            return None
+        return self.schedule.locate(round_number)
+
+
+class BeaconFloodAdversary(_ScheduledAdversary):
+    """Emit fresh fake beacons every round of every beacon window.
+
+    The goal is to keep good nodes from ever observing a beacon-free
+    iteration, inflating their estimates indefinitely.  The blacklisting
+    mechanism defeats it for nodes far enough from every Byzantine node: the
+    first honest forwarder appends the Byzantine sender's true id to the path
+    field, so the sender is blacklisted after its first accepted beacon of the
+    phase (Lemma 11's argument).
+
+    Parameters
+    ----------
+    fake_path_length:
+        Length of the fabricated path prefix attached to each fake beacon
+        (makes the beacon look like it originated far away).
+    """
+
+    def __init__(
+        self,
+        params: Optional[CongestParameters] = None,
+        *,
+        fake_path_length: int = 2,
+    ) -> None:
+        super().__init__(params)
+        self.fake_path_length = fake_path_length
+
+    def act(self, view: AdversaryView) -> ByzantineOutbox:
+        position = self.position(view.round)
+        if position is None:
+            return {}
+        phase = position.phase
+        if position.step > self.params.beacon_window(phase):
+            return {}
+        outbox: ByzantineOutbox = {}
+        for b in view.byzantine:
+            fake_prefix = tuple(_fresh_id(view.rng) for _ in range(self.fake_path_length))
+            beacon = make_beacon_message(origin=_fresh_id(view.rng), path=fake_prefix)
+            outbox[b] = self.broadcast_from(view, b, beacon)
+        return outbox
+
+
+class PathTamperAdversary(_ScheduledAdversary):
+    """Flood fake beacons and additionally replay received beacons with
+    scrambled path prefixes (attempting to dodge blacklists and to frame
+    honest nodes by placing their ids in fabricated prefixes)."""
+
+    def __init__(
+        self,
+        params: Optional[CongestParameters] = None,
+        *,
+        fake_path_length: int = 2,
+        frame_honest: bool = True,
+    ) -> None:
+        super().__init__(params)
+        self.fake_path_length = fake_path_length
+        self.frame_honest = frame_honest
+
+    def act(self, view: AdversaryView) -> ByzantineOutbox:
+        position = self.position(view.round)
+        if position is None:
+            return {}
+        phase = position.phase
+        if position.step > self.params.beacon_window(phase):
+            # Outside the beacon window also spam continue messages so that
+            # decided nodes never exit the loop.
+            cont = make_continue_message()
+            return {b: self.broadcast_from(view, b, cont) for b in view.byzantine}
+        graph = view.graph
+        honest = [u for u in range(graph.n) if u not in view.byzantine]
+        outbox: ByzantineOutbox = {}
+        for b in view.byzantine:
+            prefix: List[int] = []
+            for _ in range(self.fake_path_length):
+                if self.frame_honest and honest and view.rng.random() < 0.5:
+                    prefix.append(graph.node_id(honest[view.rng.randrange(len(honest))]))
+                else:
+                    prefix.append(_fresh_id(view.rng))
+            # Replay any beacon received this round with a scrambled prefix,
+            # otherwise emit a brand new fake beacon.
+            received = [
+                m
+                for m in view.byzantine_inboxes.get(b, [])
+                if m.kind == "beacon"
+            ]
+            if received:
+                origin = _fresh_id(view.rng)
+            else:
+                origin = _fresh_id(view.rng)
+            beacon = make_beacon_message(origin=origin, path=tuple(prefix))
+            outbox[b] = self.broadcast_from(view, b, beacon)
+        return outbox
+
+
+class ContinueFloodAdversary(_ScheduledAdversary):
+    """Spam continue messages during every continue window.
+
+    This cannot change any decision (decisions depend only on beacon-free
+    iterations) but keeps nodes near the Byzantine region participating
+    forever, preventing the quiescence of Corollary 1 -- exactly the behaviour
+    the paper tolerates (termination is only claimed for the benign case).
+    """
+
+    def act(self, view: AdversaryView) -> ByzantineOutbox:
+        position = self.position(view.round)
+        if position is None:
+            return {}
+        phase = position.phase
+        if position.step <= self.params.beacon_window(phase):
+            return {}
+        cont = make_continue_message()
+        return {b: self.broadcast_from(view, b, cont) for b in view.byzantine}
+
+
+class ContinueSuppressAdversary(Adversary):
+    """Send nothing at all.
+
+    Byzantine nodes cannot suppress or alter honest messages in this model,
+    so the strongest "suppression" available to them is refusing to generate
+    or forward anything themselves.  Functionally identical to
+    :class:`~repro.adversary.base.SilentAdversary`; provided under this name
+    so the Algorithm 2 adversary grid (experiment E9) reads naturally.
+    """
+
+    def act(self, view: AdversaryView) -> ByzantineOutbox:
+        return {}
+
+
+# --------------------------------------------------------------------------- #
+# Baseline attacks
+# --------------------------------------------------------------------------- #
+class ValueFakingAdversary(Adversary):
+    """Inject absurd values into the non-Byzantine-resilient baselines (§1.2).
+
+    The baseline estimators propagate numeric values (geometric maxima,
+    exponential minima, subtree counts, hop counters) in messages of kind
+    ``"estimate"``.  A single Byzantine node faking a value corrupts them all,
+    which is the paper's motivation for needing a genuinely Byzantine-resilient
+    counting protocol.
+
+    Parameters
+    ----------
+    mode:
+        ``"inflate"`` sends a huge value, ``"deflate"`` sends a tiny one.
+    magnitude:
+        The injected value for ``inflate`` (interpreted by each baseline).
+    """
+
+    def __init__(self, *, mode: str = "inflate", magnitude: float = 1e6) -> None:
+        if mode not in ("inflate", "deflate"):
+            raise ValueError("mode must be 'inflate' or 'deflate'")
+        self.mode = mode
+        self.magnitude = magnitude
+
+    def act(self, view: AdversaryView) -> ByzantineOutbox:
+        value = self.magnitude if self.mode == "inflate" else 0.0
+        outbox: ByzantineOutbox = {}
+        for b in view.byzantine:
+            message = Message(kind="estimate", payload=value, size_bits=64, num_ids=0)
+            outbox[b] = self.broadcast_from(view, b, message)
+        return outbox
+
+
+# --------------------------------------------------------------------------- #
+# Composition
+# --------------------------------------------------------------------------- #
+class CombinedAdversary(Adversary):
+    """Run several strategies at once and merge their outboxes."""
+
+    def __init__(self, strategies: Sequence[Adversary]) -> None:
+        if not strategies:
+            raise ValueError("CombinedAdversary needs at least one strategy")
+        self.strategies = list(strategies)
+
+    def setup(self, graph, byzantine, rng) -> None:  # type: ignore[override]
+        super().setup(graph, byzantine, rng)
+        for strategy in self.strategies:
+            strategy.setup(graph, byzantine, rng)
+
+    def act(self, view: AdversaryView) -> ByzantineOutbox:
+        merged: ByzantineOutbox = {}
+        for strategy in self.strategies:
+            part = strategy.act(view) or {}
+            for b, per_target in part.items():
+                bucket = merged.setdefault(b, {})
+                for target, messages in per_target.items():
+                    bucket.setdefault(target, []).extend(messages)
+        return merged

@@ -1,0 +1,26 @@
+"""Outcome analysis: theorem-shaped acceptance checks, complexity fits, tables."""
+
+from repro.analysis.accuracy import (
+    theorem1_check,
+    theorem2_check,
+    corollary1_check,
+    AccuracyReport,
+)
+from repro.analysis.complexity import (
+    fit_log_model,
+    fit_blog2_model,
+    FitResult,
+)
+from repro.analysis.tables import render_table, render_series
+
+__all__ = [
+    "theorem1_check",
+    "theorem2_check",
+    "corollary1_check",
+    "AccuracyReport",
+    "fit_log_model",
+    "fit_blog2_model",
+    "FitResult",
+    "render_table",
+    "render_series",
+]

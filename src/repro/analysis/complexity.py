@@ -1,0 +1,88 @@
+"""Round-complexity model fits for experiment E12.
+
+Theorem 1 predicts rounds ``Θ(log n)`` for Algorithm 1 and Theorem 2 predicts
+rounds ``O(B(n)·log² n)`` for Algorithm 2; these helpers fit the measured
+round counts against those models with ordinary least squares and report the
+goodness of fit, so the *shape* of the complexity claims can be checked
+without matching absolute constants.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["FitResult", "fit_log_model", "fit_blog2_model"]
+
+
+@dataclass
+class FitResult:
+    """Least-squares fit ``y ≈ a·f(x) + b``."""
+
+    model: str
+    coefficient: float
+    intercept: float
+    r_squared: float
+    predictions: List[float]
+
+    def summary(self) -> Dict[str, object]:
+        """Row for the experiment tables."""
+        return {
+            "model": self.model,
+            "coefficient": round(self.coefficient, 4),
+            "intercept": round(self.intercept, 4),
+            "r_squared": round(self.r_squared, 4),
+        }
+
+
+def _least_squares(features: Sequence[float], values: Sequence[float]) -> Tuple[float, float, float, List[float]]:
+    """Fit ``values ≈ a·features + b``; returns (a, b, r², predictions)."""
+    import numpy as np
+
+    x = np.asarray(features, dtype=float)
+    y = np.asarray(values, dtype=float)
+    if len(x) != len(y) or len(x) == 0:
+        raise ValueError("features and values must be non-empty and of equal length")
+    if len(x) == 1:
+        prediction = [float(y[0])]
+        return 0.0, float(y[0]), 1.0, prediction
+    design = np.vstack([x, np.ones_like(x)]).T
+    (a, b), *_ = np.linalg.lstsq(design, y, rcond=None)
+    predictions = design @ np.array([a, b])
+    residual = float(np.sum((y - predictions) ** 2))
+    total = float(np.sum((y - y.mean()) ** 2))
+    r_squared = 1.0 if total == 0 else 1.0 - residual / total
+    return float(a), float(b), r_squared, [float(p) for p in predictions]
+
+
+def fit_log_model(sizes: Sequence[int], rounds: Sequence[float]) -> FitResult:
+    """Fit ``rounds ≈ a·ln n + b`` (the Theorem 1 shape)."""
+    features = [math.log(max(n, 2)) for n in sizes]
+    a, b, r2, predictions = _least_squares(features, rounds)
+    return FitResult(
+        model="rounds = a*ln(n) + b",
+        coefficient=a,
+        intercept=b,
+        r_squared=r2,
+        predictions=predictions,
+    )
+
+
+def fit_blog2_model(
+    sizes: Sequence[int], byzantine_counts: Sequence[int], rounds: Sequence[float]
+) -> FitResult:
+    """Fit ``rounds ≈ a·(B(n)+1)·ln²n + b`` (the Theorem 2 shape)."""
+    if len(sizes) != len(byzantine_counts):
+        raise ValueError("sizes and byzantine_counts must have equal length")
+    features = [
+        (b + 1) * math.log(max(n, 2)) ** 2 for n, b in zip(sizes, byzantine_counts)
+    ]
+    a, b, r2, predictions = _least_squares(features, rounds)
+    return FitResult(
+        model="rounds = a*(B+1)*ln(n)^2 + b",
+        coefficient=a,
+        intercept=b,
+        r_squared=r2,
+        predictions=predictions,
+    )

@@ -1,0 +1,116 @@
+"""Geometric-distribution maximum propagation (Section 1.2).
+
+Every node flips a fair coin until it sees heads; the number of flips ``X_u``
+is geometrically distributed and the global maximum ``X̄ = max_u X_u`` is
+``Θ(log n)`` with high probability (in fact ``≈ log2 n``), so propagating the
+maximum yields an estimate of ``log n`` -- *in the absence of Byzantine
+nodes*.  A single Byzantine node faking a huge value (or simply not forwarding
+the true maximum) breaks any approximation guarantee, which is the paper's
+motivating observation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.baselines.common import BaselineOutcome, parse_value, value_payload
+from repro.graphs.graph import Graph
+from repro.simulator.byzantine import Adversary
+from repro.simulator.engine import SynchronousEngine
+from repro.simulator.network import Network
+from repro.simulator.node import NodeContext, Outbox, Protocol
+
+__all__ = ["GeometricMaxProtocol", "run_geometric_baseline"]
+
+_TAG = "geometric-max"
+
+
+class GeometricMaxProtocol(Protocol):
+    """Draw a geometric sample, flood the maximum, decide after a round budget."""
+
+    def __init__(self, ctx: NodeContext, rounds_budget: int) -> None:
+        self.rounds_budget = rounds_budget
+        # Flip a fair coin until heads.
+        flips = 1
+        while ctx.rng.random() < 0.5:
+            flips += 1
+        self.best = float(flips)
+        self._decided = False
+        self._estimate: Optional[float] = None
+        self._decision_round: Optional[int] = None
+
+    @property
+    def decided(self) -> bool:
+        return self._decided
+
+    @property
+    def estimate(self) -> Optional[float]:
+        return self._estimate
+
+    @property
+    def decision_round(self) -> Optional[int]:
+        return self._decision_round
+
+    def _maybe_decide(self, round_number: int) -> None:
+        if round_number >= self.rounds_budget and not self._decided:
+            self._decided = True
+            # max of n geometric(1/2) samples concentrates around log2 n, so
+            # the natural-log estimate is best · ln 2.
+            self._estimate = self.best * math.log(2.0)
+            self._decision_round = round_number
+
+    def on_start(self, ctx: NodeContext) -> Outbox:
+        message = value_payload(_TAG, self.best)
+        return {v: [message.clone()] for v in ctx.neighbors}
+
+    def on_round(self, ctx: NodeContext, inbox: List) -> Outbox:
+        improved = False
+        for message in inbox:
+            value = parse_value(message, _TAG)
+            if value is not None and value > self.best:
+                self.best = value
+                improved = True
+        self._maybe_decide(ctx.round)
+        if self._decided:
+            return {}
+        if improved:
+            message = value_payload(_TAG, self.best)
+            return {v: [message.clone()] for v in ctx.neighbors}
+        return {}
+
+
+def run_geometric_baseline(
+    graph: Graph,
+    *,
+    byzantine: Iterable[int] = (),
+    adversary: Optional[Adversary] = None,
+    seed: int = 0,
+    rounds_budget: Optional[int] = None,
+) -> BaselineOutcome:
+    """Run the geometric-maximum baseline and collect per-node estimates.
+
+    ``rounds_budget`` defaults to ``2·ceil(log2 n) + 6``, enough for the
+    maximum to flood any expander; it is information the real counting
+    protocols cannot assume, which is part of why they are harder to build.
+    """
+    network = Network(graph=graph, byzantine=frozenset(byzantine))
+    if rounds_budget is None:
+        rounds_budget = 2 * int(math.ceil(math.log2(max(graph.n, 2)))) + 6
+
+    def factory(ctx: NodeContext) -> Protocol:
+        return GeometricMaxProtocol(ctx, rounds_budget)
+
+    engine = SynchronousEngine(
+        network, factory, adversary=adversary, seed=seed, max_rounds=rounds_budget + 2
+    )
+    result = engine.run()
+    estimates = {u: p.estimate for u, p in result.protocols.items()}
+    return BaselineOutcome(
+        name="geometric-max",
+        n=graph.n,
+        estimates=estimates,
+        rounds_executed=result.rounds_executed,
+        total_messages=result.metrics.total_messages,
+    )

@@ -1,0 +1,193 @@
+"""Command-line entry point: ``repro-byzantine-counting``.
+
+Two sub-commands:
+
+``run``
+    Execute one counting algorithm on a generated topology and print the
+    outcome summary, e.g.::
+
+        repro-byzantine-counting run --algorithm congest --n 256 --byzantine 3 \
+            --adversary beacon-flood --seed 1
+
+``experiment``
+    Run one of the E1-E12 experiment drivers with its default (small)
+    configuration and print the regenerated table, e.g.::
+
+        repro-byzantine-counting experiment e3
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from typing import List, Optional
+
+from repro.adversary.placement import (
+    clustered_placement,
+    cut_placement,
+    random_placement,
+    spread_placement,
+)
+from repro.adversary.strategies import (
+    BeaconFloodAdversary,
+    ContinueFloodAdversary,
+    FakeTopologyAdversary,
+    InconsistentTopologyAdversary,
+    PathTamperAdversary,
+)
+from repro.analysis.tables import render_table
+from repro.core.congest_counting import run_congest_counting
+from repro.core.local_counting import run_local_counting
+from repro.core.parameters import CongestParameters, LocalParameters
+from repro.graphs.expanders import hypercube_graph, margulis_torus_graph
+from repro.graphs.generators import barbell_graph, cycle_graph, small_world_graph
+from repro.graphs.hnd import configuration_model_graph, hnd_random_regular_graph
+from repro.simulator.byzantine import SilentAdversary
+
+__all__ = ["main", "build_parser"]
+
+_PLACEMENTS = {
+    "random": random_placement,
+    "clustered": clustered_placement,
+    "cut": cut_placement,
+    "spread": spread_placement,
+}
+
+_ADVERSARIES = {
+    "silent": lambda params: SilentAdversary(),
+    "fake-topology": lambda params: FakeTopologyAdversary(),
+    "inconsistent": lambda params: InconsistentTopologyAdversary(),
+    "beacon-flood": lambda params: BeaconFloodAdversary(params),
+    "path-tamper": lambda params: PathTamperAdversary(params),
+    "continue-flood": lambda params: ContinueFloodAdversary(params),
+}
+
+
+def _build_graph(args: argparse.Namespace):
+    if args.topology == "hnd":
+        return hnd_random_regular_graph(args.n, args.degree, seed=args.seed)
+    if args.topology == "configuration":
+        return configuration_model_graph(args.n, args.degree, seed=args.seed)
+    if args.topology == "margulis":
+        side = max(2, int(round(math.sqrt(args.n))))
+        return margulis_torus_graph(side)
+    if args.topology == "hypercube":
+        dim = max(1, int(round(math.log2(args.n))))
+        return hypercube_graph(dim)
+    if args.topology == "cycle":
+        return cycle_graph(args.n)
+    if args.topology == "barbell":
+        return barbell_graph(args.n // 2, 2)
+    if args.topology == "small-world":
+        return small_world_graph(args.n, k=4, rewire_probability=0.1, seed=args.seed)
+    raise ValueError(f"unknown topology {args.topology!r}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-byzantine-counting",
+        description="Byzantine-resilient counting in networks (ICDCS 2022) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="run one counting algorithm")
+    run_parser.add_argument("--algorithm", choices=("local", "congest"), default="congest")
+    run_parser.add_argument(
+        "--topology",
+        choices=(
+            "hnd",
+            "configuration",
+            "margulis",
+            "hypercube",
+            "cycle",
+            "barbell",
+            "small-world",
+        ),
+        default="hnd",
+    )
+    run_parser.add_argument("--n", type=int, default=256, help="number of nodes")
+    run_parser.add_argument("--degree", type=int, default=8, help="degree d of H(n, d)")
+    run_parser.add_argument("--byzantine", type=int, default=0, help="number of Byzantine nodes")
+    run_parser.add_argument("--placement", choices=sorted(_PLACEMENTS), default="random")
+    run_parser.add_argument("--adversary", choices=sorted(_ADVERSARIES), default="silent")
+    run_parser.add_argument("--gamma", type=float, default=0.5)
+    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument("--max-rounds", type=int, default=None)
+
+    exp_parser = sub.add_parser("experiment", help="run an experiment driver (E1-E12)")
+    exp_parser.add_argument("name", help="experiment id, e.g. e1 or e7")
+    return parser
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    graph = _build_graph(args)
+    byzantine = (
+        _PLACEMENTS[args.placement](graph, args.byzantine, seed=args.seed)
+        if args.byzantine > 0
+        else set()
+    )
+    if args.algorithm == "local":
+        params = LocalParameters(gamma=max(args.gamma, 0.05), max_degree=max(2, graph.max_degree()))
+        adversary = _ADVERSARIES[args.adversary](None)
+        run = run_local_counting(
+            graph,
+            byzantine=byzantine,
+            adversary=adversary,
+            params=params,
+            seed=args.seed,
+            max_rounds=args.max_rounds,
+        )
+    else:
+        params = CongestParameters(gamma=args.gamma, d=max(3, graph.max_degree()))
+        adversary = _ADVERSARIES[args.adversary](params)
+        run = run_congest_counting(
+            graph,
+            byzantine=byzantine,
+            adversary=adversary,
+            params=params,
+            seed=args.seed,
+            max_rounds=args.max_rounds,
+        )
+    summary = run.outcome.summary()
+    print(render_table([summary], title=f"{args.algorithm} counting on {graph.name}"))
+    histogram = run.outcome.estimate_histogram()
+    if histogram:
+        print()
+        print(
+            render_table(
+                [{"estimate": k, "nodes": v} for k, v in histogram.items()],
+                title="decided estimates",
+            )
+        )
+    return 0
+
+
+def _command_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import ALL_EXPERIMENTS
+
+    name = args.name.lower()
+    if name not in ALL_EXPERIMENTS:
+        print(f"unknown experiment {args.name!r}; options: {sorted(ALL_EXPERIMENTS)}")
+        return 2
+    module = ALL_EXPERIMENTS[name]
+    result = module.run_experiment()
+    print(result.render())
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "run":
+        return _command_run(args)
+    if args.command == "experiment":
+        return _command_experiment(args)
+    parser.print_help()
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

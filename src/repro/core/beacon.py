@@ -1,0 +1,97 @@
+"""Beacon and continue messages of Algorithm 2 (Section 5).
+
+A *beacon* message ``⟨beacon, u, P⟩`` carries the id of its origin ``u`` and a
+path field ``P`` listing the nodes the message has visited so far; whenever a
+node forwards the message it appends the id of the neighbor it received it
+from (which it knows truthfully thanks to the unforgeable edge identity of the
+model).  Byzantine nodes may fabricate arbitrary origin ids and path prefixes,
+but the suffix of the path written by honest forwarders is always correct --
+this is what the blacklisting mechanism exploits.
+
+A *continue* message signals that its (undecided) originator wants everyone in
+its ``(i+3)``-neighborhood to keep participating in phase ``i``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.simulator.messages import Message
+
+__all__ = [
+    "BeaconPayload",
+    "make_beacon_message",
+    "parse_beacon",
+    "make_continue_message",
+    "is_continue",
+]
+
+BEACON_KIND = "beacon"
+CONTINUE_KIND = "continue"
+
+
+@dataclass(frozen=True)
+class BeaconPayload:
+    """Structured content of a beacon message.
+
+    Attributes
+    ----------
+    origin:
+        Claimed id of the node that generated the beacon (Byzantine senders
+        may lie here).
+    path:
+        The path field ``P``: ids of the nodes the message has visited, oldest
+        first.  The final entries were appended by honest forwarders and are
+        therefore trustworthy; the prefix may have been fabricated.
+    """
+
+    origin: int
+    path: Tuple[int, ...]
+
+    def extended(self, via: int) -> "BeaconPayload":
+        """The payload after being forwarded via the node with id ``via``."""
+        return BeaconPayload(origin=self.origin, path=self.path + (via,))
+
+
+def make_beacon_message(origin: int, path: Tuple[int, ...] = ()) -> Message:
+    """Build a beacon message with correct small-message size accounting."""
+    payload = BeaconPayload(origin=origin, path=tuple(path))
+    return Message(
+        kind=BEACON_KIND,
+        payload=payload,
+        # A beacon carries a constant number of framing bits; its ids are
+        # accounted in num_ids (origin + every path entry).
+        size_bits=16,
+        num_ids=1 + len(payload.path),
+    )
+
+
+def parse_beacon(message: Message) -> Optional[BeaconPayload]:
+    """Return the beacon payload, or ``None`` if the message is malformed.
+
+    Byzantine nodes may send arbitrary payloads; honest nodes simply discard
+    anything that does not look like a beacon.
+    """
+    if message.kind != BEACON_KIND:
+        return None
+    payload = message.payload
+    if isinstance(payload, BeaconPayload):
+        if not isinstance(payload.path, tuple):
+            return None
+        if not all(isinstance(x, int) for x in payload.path):
+            return None
+        if not isinstance(payload.origin, int):
+            return None
+        return payload
+    return None
+
+
+def make_continue_message() -> Message:
+    """Build a continue message (constant size, no embedded ids)."""
+    return Message(kind=CONTINUE_KIND, payload=None, size_bits=8, num_ids=0)
+
+
+def is_continue(message: Message) -> bool:
+    """Whether ``message`` is a continue message."""
+    return message.kind == CONTINUE_KIND

@@ -1,0 +1,424 @@
+"""Algorithm 1: the deterministic, time-optimal LOCAL-model algorithm (Section 4).
+
+Every node ``u`` gossips its current approximation ``B̂(u, i)`` of its ``i``-hop
+neighborhood.  It decides on the current round number ``i`` as its estimate of
+``log n`` as soon as it either
+
+* notices *structural inconsistencies* in the received topology information
+  (a node with degree above the known bound Δ, conflicting incident-edge sets
+  for the same node, or a mute neighbor -- Lines 5-7 and the
+  ``inconsistent`` predicate), or
+* finds a vertex subset of its view whose vertex expansion drops below the
+  threshold α′ (Lines 9-13).
+
+Theorem 1: on a bounded-degree graph with constant vertex expansion and up to
+``n^(1-γ)`` adversarially placed Byzantine nodes, all ``n - o(n)`` nodes of the
+``Good`` set (Lemma 1) decide a value between ``⌊(γ/2)·log_Δ n⌋`` and
+``diam(G) + 1``, i.e. a constant-factor approximation of ``log n``, within
+``O(log n)`` rounds.
+
+Implementation notes (also summarized in DESIGN.md §2.3)
+---------------------------------------------------------
+* **Expansion check family.**  Line 9 of the pseudocode checks *every* subset
+  of the local view -- exponential local computation, which the LOCAL model
+  permits but a simulator cannot afford for views of thousands of vertices.
+  The correctness argument only ever relies on two kinds of sets:
+
+  1. the per-radius balls ``B̂(u, j)`` (Lemma 3's induction), and
+  2. the honest part ``R`` of the view, whose out-boundary consists solely of
+     the (few) Byzantine vertices because fake vertices can never be claimed
+     adjacent to an honest vertex without contradicting that honest vertex's
+     own edge report (Lemma 4/5).
+
+  We therefore check (1) every BFS-layer prefix of the view, (2) the
+  *interior set* of the view -- the settled vertices all of whose claimed
+  neighbors are settled, which contains the honest region once the network
+  has been fully explored and whose out-boundary is then exactly the set of
+  vertices the adversary is still "growing" -- and (3) whether the view grew
+  at all this round (the ``Out(B̂(u,i)) = ∅`` case that forces the Lemma 5
+  decision at ``diam(G)+1``).  An exhaustive all-subsets check
+  (``LocalParameters.exhaustive_subset_check``) is available for small views
+  and is used by the unit tests to confirm the practical family triggers the
+  same decisions there.  An unbounded adversary willing to fabricate a fake
+  region whose *frontier* grows as Ω(α′·n) fresh vertices per round can evade
+  the polynomial family (but not the exhaustive one); the experiment suite
+  measures the shipped adversaries, which are caught (see EXPERIMENTS.md).
+* **Delta gossip.**  Honest nodes broadcast only the part of their view that
+  is new since the previous round; re-broadcasting the full view every round
+  carries no additional information in a synchronous network and would make
+  large simulations needlessly slow.  Message sizes still grow with the
+  frontier (Θ(Δ^i) identifiers), preserving the paper's point that
+  Algorithm 1 is *not* a small-message algorithm (experiment E10).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.estimate import CountingOutcome, DecisionRecord
+from repro.core.parameters import LocalParameters
+from repro.simulator.byzantine import Adversary
+from repro.graphs.graph import Graph
+from repro.simulator.engine import RunResult, SynchronousEngine
+from repro.simulator.messages import Message
+from repro.simulator.network import Network
+from repro.simulator.node import NodeContext, Outbox, Protocol
+
+__all__ = ["LocalView", "LocalCountingProtocol", "LocalCountingRun", "run_local_counting"]
+
+#: Payload of a topology message: newly learned ``(node_id, incident_edge_ids)``
+#: pairs plus newly learned frontier vertex ids.
+TopologyDelta = Tuple[Tuple[Tuple[int, Tuple[int, ...]], ...], Tuple[int, ...]]
+
+
+class LocalView:
+    """A node's evolving approximation ``B̂(u, i)`` of the network.
+
+    Tracks the vertices seen so far and, for the *settled* subset of them,
+    their complete incident-edge sets (as first announced).
+    """
+
+    def __init__(self, own_id: int, neighbor_ids: Iterable[int]) -> None:
+        self.own_id = own_id
+        self.vertices: Set[int] = {own_id} | set(neighbor_ids)
+        self.edge_sets: Dict[int, FrozenSet[int]] = {own_id: frozenset(neighbor_ids)}
+
+    # -- mutation ------------------------------------------------------- #
+    def integrate(
+        self,
+        reported_edges: Sequence[Tuple[int, Tuple[int, ...]]],
+        reported_vertices: Sequence[int],
+        *,
+        max_degree: int,
+    ) -> Tuple[bool, List[Tuple[int, Tuple[int, ...]]], List[int]]:
+        """Merge received topology information.
+
+        Returns ``(inconsistent, new_edge_sets, new_vertices)``; the new items
+        form next round's delta broadcast.
+        """
+        inconsistent = False
+        new_edge_sets: List[Tuple[int, Tuple[int, ...]]] = []
+        new_vertices: List[int] = []
+        for node_id, edge_ids in reported_edges:
+            edge_set = frozenset(edge_ids)
+            if len(edge_set) > max_degree or node_id in edge_set:
+                inconsistent = True
+                continue
+            existing = self.edge_sets.get(node_id)
+            if existing is not None:
+                if existing != edge_set:
+                    # Conflicting incident-edge claims for a node we already
+                    # know about (Line 18 of Algorithm 1).
+                    inconsistent = True
+                continue
+            self.edge_sets[node_id] = edge_set
+            new_edge_sets.append((node_id, tuple(sorted(edge_set))))
+            if node_id not in self.vertices:
+                self.vertices.add(node_id)
+                new_vertices.append(node_id)
+            for v in edge_set:
+                if v not in self.vertices:
+                    self.vertices.add(v)
+                    new_vertices.append(v)
+        for node_id in reported_vertices:
+            if node_id not in self.vertices:
+                self.vertices.add(node_id)
+                new_vertices.append(node_id)
+        return inconsistent, new_edge_sets, new_vertices
+
+    # -- structure queries ---------------------------------------------- #
+    def adjacency(self) -> Dict[int, Set[int]]:
+        """Symmetric adjacency over all known vertices (from known edge sets)."""
+        adj: Dict[int, Set[int]] = {v: set() for v in self.vertices}
+        for node_id, edge_set in self.edge_sets.items():
+            for v in edge_set:
+                adj.setdefault(node_id, set()).add(v)
+                adj.setdefault(v, set()).add(node_id)
+        return adj
+
+    def layer_prefixes(self, adj: Dict[int, Set[int]]) -> List[Set[int]]:
+        """BFS-layer prefixes ``B̂(u, 0) ⊆ B̂(u, 1) ⊆ ...`` from the owner."""
+        dist = {self.own_id: 0}
+        frontier = [self.own_id]
+        layers: List[Set[int]] = [{self.own_id}]
+        while frontier:
+            nxt: List[int] = []
+            for u in frontier:
+                for v in adj.get(u, ()):
+                    if v not in dist:
+                        dist[v] = dist[u] + 1
+                        nxt.append(v)
+            if not nxt:
+                break
+            layers.append(set(nxt))
+            frontier = nxt
+        prefixes: List[Set[int]] = []
+        running: Set[int] = set()
+        for layer in layers:
+            running |= layer
+            prefixes.append(set(running))
+        return prefixes
+
+    def interior_set(self) -> Set[int]:
+        """Settled vertices all of whose claimed neighbors are settled.
+
+        Once the honest part of the network has been fully explored, every
+        honest vertex is interior, so the interior set contains the honest
+        region ``R`` of Lemma 5; its out-boundary is then exactly the layer of
+        vertices the adversary is still expanding.
+        """
+        settled = set(self.edge_sets)
+        return {
+            v
+            for v, edges in self.edge_sets.items()
+            if all(w in settled for w in edges)
+        }
+
+    @staticmethod
+    def expansion_of(adj: Dict[int, Set[int]], subset: Set[int]) -> float:
+        """``|Out(S)| / |S|`` inside the view graph."""
+        if not subset:
+            return math.inf
+        out: Set[int] = set()
+        for u in subset:
+            for v in adj.get(u, ()):
+                if v not in subset:
+                    out.add(v)
+        return len(out) / len(subset)
+
+    def size(self) -> int:
+        """Number of known vertices."""
+        return len(self.vertices)
+
+
+class LocalCountingProtocol(Protocol):
+    """Per-node implementation of Algorithm 1."""
+
+    def __init__(self, ctx: NodeContext, params: LocalParameters) -> None:
+        self.params = params
+        self.view = LocalView(ctx.node_id, ctx.neighbor_ids.values())
+        self._decided = False
+        self._estimate: Optional[float] = None
+        self._decision_round: Optional[int] = None
+        # The initial delta is exactly B̂(u, 1): the node's own edge set and
+        # its neighbor vertices (Line 1 of Algorithm 1).
+        self._pending_edges: List[Tuple[int, Tuple[int, ...]]] = [
+            (ctx.node_id, tuple(sorted(ctx.neighbor_ids.values())))
+        ]
+        self._pending_vertices: List[int] = sorted(ctx.neighbor_ids.values())
+
+    # -- Protocol interface --------------------------------------------- #
+    @property
+    def decided(self) -> bool:
+        return self._decided
+
+    @property
+    def estimate(self) -> Optional[float]:
+        return self._estimate
+
+    @property
+    def decision_round(self) -> Optional[int]:
+        return self._decision_round
+
+    @property
+    def halted(self) -> bool:
+        # A decided node terminates and stops broadcasting; its neighbors
+        # interpret the silence as muteness and decide themselves (Line 5).
+        return self._decided
+
+    # -- helpers ---------------------------------------------------------- #
+    def _delta_message(self) -> Message:
+        payload: TopologyDelta = (
+            tuple(self._pending_edges),
+            tuple(self._pending_vertices),
+        )
+        num_ids = sum(1 + len(edges) for _, edges in self._pending_edges) + len(
+            self._pending_vertices
+        )
+        message = Message(
+            kind="topology",
+            payload=payload,
+            size_bits=8 * max(1, len(self._pending_edges) + len(self._pending_vertices)),
+            num_ids=num_ids,
+        )
+        self._pending_edges = []
+        self._pending_vertices = []
+        return message
+
+    def _decide(self, round_number: int) -> None:
+        self._decided = True
+        self._estimate = float(round_number)
+        self._decision_round = round_number
+
+    def _expansion_check_fails(self, newly_added: int, round_number: int) -> bool:
+        """Line 9-13: does some checked subset of the view fail to expand?"""
+        adj = self.view.adjacency()
+        total = len(adj)
+        candidates: List[Set[int]] = []
+
+        # (1) BFS-layer prefixes of the view (the sets of Lemma 3).
+        candidates.extend(self.view.layer_prefixes(adj))
+
+        # (2) The interior set (the practical stand-in for Lemma 5's R).
+        interior = self.view.interior_set()
+        if interior:
+            candidates.append(interior)
+
+        # (3) Optional exhaustive check for tiny views (test cross-validation).
+        if self.params.exhaustive_subset_check and total <= 16:
+            vertices = list(adj.keys())
+            for size in range(1, total):
+                for combo in itertools.combinations(vertices, size):
+                    candidates.append(set(combo))
+
+        for subset in candidates:
+            if not subset or len(subset) >= total:
+                continue
+            if self.view.expansion_of(adj, subset) < self.params.alpha_prime:
+                return True
+
+        # (4) The view stopped growing entirely: Out(B̂(u, i)) = ∅, which is
+        # the situation that forces the decision at diam(G) + 1 in Lemma 5.
+        if round_number >= 2 and newly_added == 0:
+            return True
+        return False
+
+    # -- engine callbacks ------------------------------------------------ #
+    def on_start(self, ctx: NodeContext) -> Outbox:
+        message = self._delta_message()
+        return {v: [message.clone()] for v in ctx.neighbors}
+
+    def on_round(self, ctx: NodeContext, inbox: List[Message]) -> Outbox:
+        if self._decided:
+            return {}
+        round_number = ctx.round
+
+        # Which neighbors spoke this round?  (Line 5: "some neighbor is mute".)
+        speakers = {m.sender for m in inbox if m.kind == "topology"}
+        mute_neighbor = any(v not in speakers for v in ctx.neighbors)
+
+        inconsistent = False
+        newly_added = 0
+        for message in inbox:
+            if message.kind != "topology":
+                # Unexpected message kinds from a neighbor are malformed
+                # information: treat as an inconsistency.
+                inconsistent = True
+                continue
+            payload = message.payload
+            if (
+                not isinstance(payload, tuple)
+                or len(payload) != 2
+                or not isinstance(payload[0], tuple)
+                or not isinstance(payload[1], tuple)
+            ):
+                inconsistent = True
+                continue
+            reported_edges, reported_vertices = payload
+            try:
+                bad, new_edges, new_vertices = self.view.integrate(
+                    reported_edges, reported_vertices, max_degree=self.params.max_degree
+                )
+            except (TypeError, ValueError):
+                inconsistent = True
+                continue
+            inconsistent = inconsistent or bad
+            self._pending_edges.extend(new_edges)
+            self._pending_vertices.extend(new_vertices)
+            newly_added += len(new_vertices)
+
+        if inconsistent or mute_neighbor:
+            self._decide(round_number)
+            return {}
+
+        if self._expansion_check_fails(newly_added, round_number):
+            self._decide(round_number)
+            return {}
+
+        message = self._delta_message()
+        return {v: [message.clone()] for v in ctx.neighbors}
+
+
+@dataclass
+class LocalCountingRun:
+    """Result wrapper of one Algorithm 1 execution."""
+
+    result: RunResult
+    params: LocalParameters
+    outcome: CountingOutcome
+
+
+def run_local_counting(
+    graph: Graph,
+    *,
+    byzantine: Iterable[int] = (),
+    adversary: Optional[Adversary] = None,
+    params: Optional[LocalParameters] = None,
+    seed: int = 0,
+    max_rounds: Optional[int] = None,
+    evaluation_set: Optional[Set[int]] = None,
+) -> LocalCountingRun:
+    """Execute Algorithm 1 on ``graph`` and summarize the outcome.
+
+    Parameters
+    ----------
+    graph:
+        The network topology (honest nodes only ever see their local views).
+    byzantine:
+        Indices of Byzantine nodes.
+    adversary:
+        Byzantine behaviour; defaults to silence.
+    params:
+        Algorithm parameters; defaults to :class:`LocalParameters` with the
+        graph's maximum degree as Δ.
+    seed:
+        Master seed (the algorithm is deterministic; the seed only affects
+        adversary randomness).
+    max_rounds:
+        Safety cap; defaults to ``6·ceil(log2 n) + 20``, far above the
+        ``diam(G)+1`` bound of Theorem 1 for the expander workloads.
+    evaluation_set:
+        Nodes over which the outcome statistics are computed (defaults to all
+        honest nodes; experiments pass the Lemma 1 ``Good`` set).
+    """
+    if params is None:
+        params = LocalParameters(max_degree=max(2, graph.max_degree()))
+    network = Network(graph=graph, byzantine=frozenset(byzantine))
+    if max_rounds is None:
+        max_rounds = 6 * int(math.ceil(math.log2(max(graph.n, 2)))) + 20
+
+    def factory(ctx: NodeContext) -> Protocol:
+        return LocalCountingProtocol(ctx, params)
+
+    engine = SynchronousEngine(
+        network,
+        factory,
+        adversary=adversary,
+        seed=seed,
+        max_rounds=max_rounds,
+    )
+    result = engine.run()
+
+    records: Dict[int, DecisionRecord] = {}
+    for u, protocol in result.protocols.items():
+        records[u] = DecisionRecord(
+            node=u,
+            decided=protocol.decided,
+            estimate=protocol.estimate,
+            decision_round=protocol.decision_round,
+        )
+    outcome = CountingOutcome(
+        n=graph.n,
+        records=records,
+        evaluation_set=set(evaluation_set) if evaluation_set is not None else set(),
+        rounds_executed=result.rounds_executed,
+        total_messages=result.metrics.total_messages,
+        total_bits=result.metrics.total_bits,
+        small_message_fraction=result.metrics.small_message_fraction(
+            graph.n, list(result.protocols.keys())
+        ),
+    )
+    return LocalCountingRun(result=result, params=params, outcome=outcome)

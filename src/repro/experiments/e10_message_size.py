@@ -1,0 +1,77 @@
+"""Experiment E10 -- message sizes (footnote 1 and Theorem 2's CONGEST claim).
+
+Claim: in Algorithm 2 most good nodes only ever send messages of ``O(log n)``
+bits plus a constant number of node ids, whereas Algorithm 1 (a LOCAL
+algorithm) sends messages whose size grows polynomially with the view.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.core.congest_counting import run_congest_counting
+from repro.core.local_counting import run_local_counting
+from repro.core.parameters import CongestParameters, LocalParameters
+from repro.experiments.common import ExperimentResult
+from repro.graphs.hnd import hnd_random_regular_graph
+
+__all__ = ["run_experiment"]
+
+
+def run_experiment(
+    *,
+    sizes: Sequence[int] = (64, 128, 256, 512),
+    degree: int = 8,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Per-algorithm message-size statistics across network sizes."""
+    result = ExperimentResult(
+        experiment="E10",
+        claim=(
+            "Theorem 2 / footnote 1: Algorithm 2's good nodes send only "
+            "O(log n)-bit messages with O(1) ids, while Algorithm 1's messages "
+            "grow polynomially with n"
+        ),
+    )
+    local_params = LocalParameters(max_degree=degree)
+    congest_params = CongestParameters(d=degree)
+
+    for n in sizes:
+        graph = hnd_random_regular_graph(n, degree, seed=seed + n)
+
+        local_run = run_local_counting(graph, params=local_params, seed=seed)
+        local_metrics = local_run.result.metrics
+        local_max_ids = max(
+            (stats.max_message_ids for stats in local_metrics.per_node.values()),
+            default=0,
+        )
+
+        congest_run = run_congest_counting(graph, params=congest_params, seed=seed)
+        congest_metrics = congest_run.result.metrics
+        congest_max_ids = max(
+            (stats.max_message_ids for stats in congest_metrics.per_node.values()),
+            default=0,
+        )
+
+        result.add_row(
+            n=n,
+            ln_n=round(math.log(n), 2),
+            local_max_message_ids=local_max_ids,
+            local_small_message_fraction=round(
+                local_metrics.small_message_fraction(n), 3
+            ),
+            local_total_messages=local_metrics.total_messages,
+            congest_max_message_ids=congest_max_ids,
+            congest_small_message_fraction=round(
+                congest_metrics.small_message_fraction(n), 3
+            ),
+            congest_total_messages=congest_metrics.total_messages,
+        )
+    result.add_note(
+        "local_max_message_ids grows roughly like n·d (the algorithm ships "
+        "whole neighborhoods), so local_small_message_fraction collapses as n "
+        "grows; congest_max_message_ids stays O(log n)-sized (a path field of "
+        "at most the current phase length) and the small-message fraction stays ~1."
+    )
+    return result

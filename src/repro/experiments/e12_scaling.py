@@ -1,0 +1,103 @@
+"""Experiment E12 -- round-complexity scaling (Theorem 1 and Theorem 2 shapes).
+
+Claim: Algorithm 1's decision rounds track ``diam(G) + 1 = Θ(log n)`` and
+Algorithm 2's rounds track ``O(B(n)·log² n)``; least-squares fits against
+those models should explain the measurements well (high R²).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.adversary.strategies import BeaconFloodAdversary
+from repro.adversary.placement import spread_placement
+from repro.analysis.complexity import fit_blog2_model, fit_log_model
+from repro.core.congest_counting import run_congest_counting
+from repro.core.local_counting import run_local_counting
+from repro.core.parameters import CongestParameters, LocalParameters
+from repro.experiments.common import ExperimentResult
+from repro.graphs.hnd import hnd_random_regular_graph
+
+__all__ = ["run_experiment"]
+
+
+def run_experiment(
+    *,
+    local_sizes: Sequence[int] = (64, 128, 256, 512),
+    congest_sizes: Sequence[int] = (64, 128, 256),
+    degree: int = 8,
+    congest_byzantine_counts: Sequence[int] = (1, 2, 3),
+    seed: int = 0,
+) -> ExperimentResult:
+    """Measure rounds for both algorithms and fit the paper's complexity models."""
+    result = ExperimentResult(
+        experiment="E12",
+        claim=(
+            "Round complexity shapes: Algorithm 1 rounds = Theta(log n); "
+            "Algorithm 2 rounds fit O(B(n) log^2 n) under beacon flooding"
+        ),
+    )
+    # -- Algorithm 1: rounds vs log n -------------------------------------- #
+    local_params = LocalParameters(max_degree=degree)
+    local_rounds = []
+    for n in local_sizes:
+        graph = hnd_random_regular_graph(n, degree, seed=seed + n)
+        run = run_local_counting(graph, params=local_params, seed=seed)
+        rounds = run.outcome.max_decision_round() or run.outcome.rounds_executed
+        local_rounds.append(rounds)
+        result.add_row(
+            algorithm="algorithm1",
+            n=n,
+            byzantine=0,
+            ln_n=round(math.log(n), 2),
+            measured_rounds=rounds,
+            model_feature=round(math.log(n), 2),
+        )
+    local_fit = fit_log_model(list(local_sizes), local_rounds)
+    result.add_note(
+        f"Algorithm 1 fit: {local_fit.model} with a={local_fit.coefficient:.2f}, "
+        f"b={local_fit.intercept:.2f}, R^2={local_fit.r_squared:.3f}"
+    )
+
+    # -- Algorithm 2: rounds vs B log^2 n ----------------------------------- #
+    congest_params = CongestParameters(d=degree)
+    sizes_used, byz_used, congest_rounds = [], [], []
+    for n in congest_sizes:
+        for num_byz in congest_byzantine_counts:
+            graph = hnd_random_regular_graph(n, degree, seed=seed + n + num_byz)
+            byz = spread_placement(graph, num_byz, seed=seed + num_byz)
+            budget = congest_params.rounds_through_phase(
+                int(math.ceil(math.log(n))) + 1
+            )
+            run = run_congest_counting(
+                graph,
+                byzantine=byz,
+                adversary=BeaconFloodAdversary(congest_params),
+                params=congest_params,
+                seed=seed,
+                max_rounds=budget,
+            )
+            rounds = run.outcome.max_decision_round() or run.outcome.rounds_executed
+            sizes_used.append(n)
+            byz_used.append(num_byz)
+            congest_rounds.append(rounds)
+            result.add_row(
+                algorithm="algorithm2",
+                n=n,
+                byzantine=num_byz,
+                ln_n=round(math.log(n), 2),
+                measured_rounds=rounds,
+                model_feature=round((num_byz + 1) * math.log(n) ** 2, 1),
+            )
+    congest_fit = fit_blog2_model(sizes_used, byz_used, congest_rounds)
+    result.add_note(
+        f"Algorithm 2 fit: {congest_fit.model} with a={congest_fit.coefficient:.3f}, "
+        f"b={congest_fit.intercept:.2f}, R^2={congest_fit.r_squared:.3f}"
+    )
+    result.add_note(
+        "The absolute coefficients are implementation constants; the claim "
+        "being reproduced is that the linear models in ln(n) (Algorithm 1) and "
+        "(B+1)ln^2(n) (Algorithm 2) explain the measured rounds (R^2 close to 1)."
+    )
+    return result

@@ -1,0 +1,60 @@
+"""Experiment E5 -- Lemma 2 (locally tree-like nodes of ``H(n, d)``).
+
+Claim: in an ``H(n, d)`` random graph, with high probability at least
+``n - O(n^0.8)`` nodes are locally tree-like up to radius
+``log n / (10 log d)``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.experiments.common import ExperimentResult, mean_or_none
+from repro.graphs.hnd import hnd_random_regular_graph
+from repro.graphs.treelike import treelike_nodes, treelike_radius
+
+__all__ = ["run_experiment"]
+
+
+def run_experiment(
+    *,
+    sizes: Sequence[int] = (256, 512, 1024, 2048),
+    degrees: Sequence[int] = (8, 12),
+    trials: int = 3,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Measure the tree-like fraction against the ``n - O(n^0.8)`` bound."""
+    result = ExperimentResult(
+        experiment="E5",
+        claim=(
+            "Lemma 2: at least n - O(n^0.8) nodes of H(n, d) are locally "
+            "tree-like up to radius log n / (10 log d)"
+        ),
+    )
+    for d in degrees:
+        for n in sizes:
+            radius = treelike_radius(n, d)
+            counts = []
+            for trial in range(trials):
+                graph = hnd_random_regular_graph(n, d, seed=seed + trial * 613 + n + d)
+                counts.append(len(treelike_nodes(graph, degree=d, radius=radius)))
+            mean_count = mean_or_none(counts)
+            result.add_row(
+                n=n,
+                d=d,
+                radius=radius,
+                mean_treelike=round(mean_count, 1),
+                mean_fraction=round(mean_count / n, 4),
+                non_treelike=round(n - mean_count, 1),
+                n_to_0_8=round(n ** 0.8, 1),
+                within_lemma_bound=(n - mean_count) <= 3.0 * n ** 0.8,
+            )
+    result.add_note(
+        "within_lemma_bound checks the number of atypical nodes against "
+        "3·n^0.8 (the lemma's O(n^0.8) with an explicit constant; the hidden "
+        "constant grows with d, so the d = 12 rows need larger n before the "
+        "bound with this constant kicks in).  The shape to check is that the "
+        "non-tree-like *fraction* shrinks as n grows for every fixed d."
+    )
+    return result

@@ -1,0 +1,81 @@
+"""Experiment E6 -- Lemma 1 / Lemma 13 (the Good set and its expansion).
+
+Claim: removing the radius-``(γ/2)log_Δ n`` neighborhood of the Byzantine
+nodes (plus a Lemma 13 pruning) leaves a ``Good`` set of ``n - 2|F| - o(n)``
+nodes whose induced subgraph still has constant vertex expansion.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.adversary.placement import clustered_placement, random_placement, spread_placement
+from repro.core.parameters import byzantine_budget
+from repro.experiments.common import ExperimentResult, mean_or_none
+from repro.graphs.expansion import good_set, vertex_expansion_sampled
+from repro.graphs.hnd import hnd_random_regular_graph
+from repro.graphs.neighborhoods import induced_subgraph
+
+__all__ = ["run_experiment"]
+
+_PLACEMENTS = {
+    "random": random_placement,
+    "clustered": clustered_placement,
+    "spread": spread_placement,
+}
+
+
+def run_experiment(
+    *,
+    sizes: Sequence[int] = (256, 512, 1024),
+    degree: int = 8,
+    gamma: float = 0.7,
+    placements: Sequence[str] = ("random", "clustered", "spread"),
+    trials: int = 2,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Measure |Good| and the expansion of its induced subgraph per placement."""
+    result = ExperimentResult(
+        experiment="E6",
+        claim=(
+            "Lemma 1: excluding B(Byz, (gamma/2) log_Delta n) leaves a Good set "
+            "of n - o(n) nodes whose induced subgraph keeps constant expansion"
+        ),
+    )
+    for placement_name in placements:
+        place = _PLACEMENTS[placement_name]
+        for n in sizes:
+            num_byz = byzantine_budget(n, 1.0 - gamma)
+            sizes_seen = []
+            expansions = []
+            for trial in range(trials):
+                trial_seed = seed + 389 * trial + n
+                graph = hnd_random_regular_graph(n, degree, seed=trial_seed)
+                byz = place(graph, num_byz, seed=trial_seed)
+                good = good_set(graph, byz, gamma)
+                sizes_seen.append(len(good))
+                if len(good) >= 2:
+                    sub, _ = induced_subgraph(graph, sorted(good))
+                    expansions.append(
+                        vertex_expansion_sampled(sub, seed=trial_seed, num_samples=40)
+                    )
+            mean_size = mean_or_none(sizes_seen)
+            result.add_row(
+                n=n,
+                byzantine=num_byz,
+                placement=placement_name,
+                mean_good_size=round(mean_size, 1),
+                mean_good_fraction=round(mean_size / n, 4),
+                lemma_floor=n - 2 * num_byz * degree,
+                mean_induced_expansion_upper_bound=mean_or_none(
+                    [round(e, 3) for e in expansions]
+                ),
+            )
+    result.add_note(
+        "mean_induced_expansion_upper_bound is a sampled upper bound on the "
+        "vertex expansion of the Good-induced subgraph; staying well above 0 "
+        "(and comparable to the full graph's ~1.0) is the Lemma 1(2) behaviour. "
+        "lemma_floor is the crude lower bound n - 2|B(Byz,1)|."
+    )
+    return result

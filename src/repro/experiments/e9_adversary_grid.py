@@ -1,0 +1,146 @@
+"""Experiment E9 -- adversary robustness grid ("arbitrarily placed" claim).
+
+Claim: Theorems 1 and 2 hold for *any* placement and behaviour of the
+Byzantine nodes; this experiment sweeps a placement × behaviour grid for both
+algorithms and reports the fraction of evaluation-set nodes achieving the
+constant-factor band.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence
+
+from repro.adversary.placement import clustered_placement, random_placement, spread_placement
+from repro.adversary.strategies import (
+    BeaconFloodAdversary,
+    ContinueFloodAdversary,
+    FakeTopologyAdversary,
+    InconsistentTopologyAdversary,
+    PathTamperAdversary,
+)
+from repro.core.congest_counting import run_congest_counting
+from repro.core.local_counting import run_local_counting
+from repro.core.parameters import CongestParameters, LocalParameters, byzantine_budget
+from repro.experiments.common import ExperimentResult
+from repro.graphs.expansion import good_set
+from repro.graphs.hnd import hnd_random_regular_graph
+from repro.graphs.neighborhoods import ball_of_set
+from repro.simulator.byzantine import SilentAdversary
+
+__all__ = ["run_experiment"]
+
+_PLACEMENTS = {
+    "random": random_placement,
+    "clustered": clustered_placement,
+    "spread": spread_placement,
+}
+
+
+def run_experiment(
+    *,
+    n: int = 256,
+    degree: int = 8,
+    gamma_local: float = 0.7,
+    gamma_congest: float = 0.5,
+    congest_byzantine: int = 3,
+    placements: Sequence[str] = ("random", "clustered", "spread"),
+    seed: int = 0,
+) -> ExperimentResult:
+    """Placement × behaviour grid for both algorithms at a fixed size."""
+    result = ExperimentResult(
+        experiment="E9",
+        claim=(
+            "Theorems 1-2 hold for arbitrarily placed Byzantine nodes and any "
+            "behaviour: the fraction of evaluation-set nodes in the "
+            "constant-factor band stays high across the placement x behaviour grid"
+        ),
+    )
+    log_n = math.log(n)
+
+    # -- Algorithm 1 grid -------------------------------------------------- #
+    local_params = LocalParameters(gamma=gamma_local, max_degree=degree)
+    local_behaviours = {
+        "silent": SilentAdversary,
+        "fake-topology": FakeTopologyAdversary,
+        "inconsistent": InconsistentTopologyAdversary,
+    }
+    num_byz_local = byzantine_budget(n, 1.0 - gamma_local)
+    for placement_name in placements:
+        for behaviour_name, behaviour_cls in local_behaviours.items():
+            graph = hnd_random_regular_graph(n, degree, seed=seed + n)
+            byz = _PLACEMENTS[placement_name](graph, num_byz_local, seed=seed + 1)
+            evaluation = good_set(graph, byz, gamma_local)
+            run = run_local_counting(
+                graph,
+                byzantine=byz,
+                adversary=behaviour_cls(),
+                params=local_params,
+                seed=seed,
+                evaluation_set=evaluation,
+            )
+            outcome = run.outcome
+            result.add_row(
+                algorithm="algorithm1 (LOCAL)",
+                placement=placement_name,
+                behaviour=behaviour_name,
+                byzantine=num_byz_local,
+                eval_nodes=len(evaluation),
+                decided_fraction=round(outcome.decided_fraction(), 3),
+                fraction_in_band=round(outcome.fraction_within_band(0.35, 1.6), 3),
+                median_estimate=outcome.median_estimate(),
+                max_decision_round=outcome.max_decision_round(),
+            )
+
+    # -- Algorithm 2 grid -------------------------------------------------- #
+    congest_params = CongestParameters(gamma=gamma_congest, d=degree)
+    congest_behaviours = {
+        "silent": lambda: SilentAdversary(),
+        "beacon-flood": lambda: BeaconFloodAdversary(congest_params),
+        "path-tamper": lambda: PathTamperAdversary(congest_params),
+        "continue-flood": lambda: ContinueFloodAdversary(congest_params),
+    }
+    budget = congest_params.rounds_through_phase(int(math.ceil(log_n)) + 1)
+    for placement_name in placements:
+        for behaviour_name, make_behaviour in congest_behaviours.items():
+            graph = hnd_random_regular_graph(n, degree, seed=seed + 2 * n)
+            byz = _PLACEMENTS[placement_name](graph, congest_byzantine, seed=seed + 2)
+            run = run_congest_counting(
+                graph,
+                byzantine=byz,
+                adversary=make_behaviour(),
+                params=congest_params,
+                seed=seed,
+                max_rounds=budget,
+            )
+            outcome = run.outcome
+            contaminated = ball_of_set(graph, byz, 1)
+            far = [u for u in outcome.records if u not in contaminated]
+            far_in_band = (
+                sum(
+                    1
+                    for u in far
+                    if outcome.records[u].within(0.35 * log_n, 1.6 * log_n)
+                )
+                / len(far)
+                if far
+                else 0.0
+            )
+            result.add_row(
+                algorithm="algorithm2 (CONGEST)",
+                placement=placement_name,
+                behaviour=behaviour_name,
+                byzantine=congest_byzantine,
+                eval_nodes=len(far),
+                decided_fraction=round(outcome.decided_fraction(), 3),
+                fraction_in_band=round(far_in_band, 3),
+                median_estimate=outcome.median_estimate(),
+                max_decision_round=outcome.max_decision_round(),
+            )
+    result.add_note(
+        "Algorithm 1 rows evaluate the Lemma 1 Good set; Algorithm 2 rows "
+        "evaluate honest nodes at distance >= 2 from every Byzantine node "
+        "(the GoodTL stand-in).  fraction_in_band should stay >= ~0.9 across "
+        "the whole grid."
+    )
+    return result

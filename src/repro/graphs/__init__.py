@@ -1,0 +1,75 @@
+"""Graph substrates used throughout the reproduction.
+
+This package provides every topology the paper relies on:
+
+* :mod:`repro.graphs.hnd` -- the ``H(n, d)`` permutation-model random regular
+  graph (union of ``d/2`` random Hamiltonian cycles) and the configuration
+  model, the substrate of the randomized CONGEST algorithm (Theorem 2).
+* :mod:`repro.graphs.expanders` -- explicit bounded-degree expanders
+  (hypercubes, Margulis-style torus expanders) used by the deterministic
+  LOCAL algorithm (Theorem 1).
+* :mod:`repro.graphs.generators` -- low-expansion topologies (cycles, paths,
+  barbells) and the chained-copies construction of the impossibility result
+  (Theorem 3), plus small-world graphs for comparison with prior work.
+* :mod:`repro.graphs.neighborhoods` -- ball/boundary utilities ``B(u, i)`` and
+  ``D(u, i)`` used by both algorithms and by the structural lemmas.
+* :mod:`repro.graphs.expansion` -- vertex-expansion computation (exact and
+  sampled), spectral bounds, and the Good/GoodTL set machinery of Lemma 1.
+* :mod:`repro.graphs.treelike` -- the locally-tree-like classification of
+  Lemma 2.
+"""
+
+from repro.graphs.graph import Graph
+from repro.graphs.hnd import hnd_random_regular_graph, configuration_model_graph
+from repro.graphs.expanders import hypercube_graph, margulis_torus_graph
+from repro.graphs.generators import (
+    cycle_graph,
+    path_graph,
+    barbell_graph,
+    chained_copies_graph,
+    small_world_graph,
+    complete_graph,
+    star_graph,
+    two_cliques_bridge_graph,
+)
+from repro.graphs.neighborhoods import ball, boundary, induced_subgraph, distances_from
+from repro.graphs.expansion import (
+    vertex_expansion_exact,
+    vertex_expansion_of_set,
+    vertex_expansion_sampled,
+    spectral_gap,
+    cheeger_lower_bound,
+    good_set,
+    good_treelike_set,
+)
+from repro.graphs.treelike import is_locally_treelike, treelike_nodes, treelike_radius
+
+__all__ = [
+    "Graph",
+    "hnd_random_regular_graph",
+    "configuration_model_graph",
+    "hypercube_graph",
+    "margulis_torus_graph",
+    "cycle_graph",
+    "path_graph",
+    "barbell_graph",
+    "chained_copies_graph",
+    "small_world_graph",
+    "complete_graph",
+    "star_graph",
+    "two_cliques_bridge_graph",
+    "ball",
+    "boundary",
+    "induced_subgraph",
+    "distances_from",
+    "vertex_expansion_exact",
+    "vertex_expansion_of_set",
+    "vertex_expansion_sampled",
+    "spectral_gap",
+    "cheeger_lower_bound",
+    "good_set",
+    "good_treelike_set",
+    "is_locally_treelike",
+    "treelike_nodes",
+    "treelike_radius",
+]

@@ -1,0 +1,207 @@
+"""Auxiliary topologies: low-expansion graphs, impossibility constructions,
+small-world graphs, and simple reference graphs.
+
+These are the workloads of experiments E4 (impossibility, Theorem 3) and of
+several negative-control tests: the paper's algorithms require expansion, so
+we need graphs *without* expansion to demonstrate the boundary of the results.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.graphs.graph import Graph
+
+__all__ = [
+    "cycle_graph",
+    "path_graph",
+    "complete_graph",
+    "star_graph",
+    "barbell_graph",
+    "two_cliques_bridge_graph",
+    "chained_copies_graph",
+    "small_world_graph",
+]
+
+
+def cycle_graph(n: int) -> Graph:
+    """The ``n``-cycle: degree 2, vertex expansion ``Θ(1/n)`` (no expansion)."""
+    if n < 3:
+        raise ValueError("cycle requires n >= 3")
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    return Graph.from_edges(n, edges, name=f"cycle({n})")
+
+
+def path_graph(n: int) -> Graph:
+    """The ``n``-path: the canonical worst case for diameter-based estimation."""
+    if n < 2:
+        raise ValueError("path requires n >= 2")
+    edges = [(i, i + 1) for i in range(n - 1)]
+    return Graph.from_edges(n, edges, name=f"path({n})")
+
+
+def complete_graph(n: int) -> Graph:
+    """The complete graph ``K_n`` (used in tests of the analysis utilities)."""
+    if n < 1:
+        raise ValueError("complete graph requires n >= 1")
+    edges = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    return Graph.from_edges(n, edges, name=f"complete({n})")
+
+
+def star_graph(n: int) -> Graph:
+    """A star with one hub and ``n - 1`` leaves (expansion bottleneck at the hub)."""
+    if n < 2:
+        raise ValueError("star requires n >= 2")
+    edges = [(0, v) for v in range(1, n)]
+    return Graph.from_edges(n, edges, name=f"star({n})")
+
+
+def barbell_graph(clique_size: int, bridge_length: int = 1) -> Graph:
+    """Two cliques of ``clique_size`` nodes joined by a path of ``bridge_length`` edges.
+
+    The bridge is a vertex-expansion bottleneck: placing a single Byzantine
+    node on it disconnects the honest parts' information flow, the scenario
+    Theorem 3 exploits.
+    """
+    if clique_size < 2:
+        raise ValueError("barbell requires clique_size >= 2")
+    if bridge_length < 1:
+        raise ValueError("barbell requires bridge_length >= 1")
+    bridge_nodes = bridge_length - 1
+    n = 2 * clique_size + bridge_nodes
+    edges: List[Tuple[int, int]] = []
+    # Left clique: nodes 0 .. clique_size-1.
+    for u in range(clique_size):
+        for v in range(u + 1, clique_size):
+            edges.append((u, v))
+    # Right clique: nodes clique_size + bridge_nodes .. n-1.
+    offset = clique_size + bridge_nodes
+    for u in range(offset, n):
+        for v in range(u + 1, n):
+            edges.append((u, v))
+    # Bridge path from node clique_size-1 to node offset.
+    chain = [clique_size - 1] + list(range(clique_size, clique_size + bridge_nodes)) + [offset]
+    for a, b in zip(chain, chain[1:]):
+        edges.append((a, b))
+    return Graph.from_edges(n, edges, name=f"barbell({clique_size},{bridge_length})")
+
+
+def two_cliques_bridge_graph(clique_size: int) -> Graph:
+    """Barbell with a single bridge node: the minimal cut-vertex bottleneck."""
+    return barbell_graph(clique_size, bridge_length=2)
+
+
+def chained_copies_graph(
+    copy: Graph,
+    num_copies: int,
+    attachment_node: int = 0,
+    *,
+    seed: Optional[int] = None,
+) -> Tuple[Graph, int, List[List[int]]]:
+    """The Theorem 3 construction: ``t`` copies of ``C_n`` glued at one node.
+
+    The impossibility proof considers a graph ``H`` made of ``t`` copies of a
+    base graph ``C_n`` in which a designated (Byzantine) node ``b`` is shared
+    by every copy, so that ``deg_H(b) = t * deg_{C_n}(b)``.  Honest nodes
+    inside one copy cannot distinguish an execution on ``C_n`` from an
+    execution on ``H`` because ``b`` can simulate, toward each copy, exactly
+    the messages it would send in the single-copy execution.
+
+    Parameters
+    ----------
+    copy:
+        The base graph ``C_n``.
+    num_copies:
+        Number ``t >= 1`` of copies to glue together.
+    attachment_node:
+        The node of ``copy`` that plays the role of the shared Byzantine node.
+    seed:
+        Seed for the fresh node identifiers of the combined graph.
+
+    Returns
+    -------
+    (graph, shared_node, copy_membership):
+        ``graph`` is the glued graph, ``shared_node`` is the index of the
+        shared node ``b`` in it, and ``copy_membership[k]`` lists the indices
+        (in the glued graph) of the nodes of copy ``k`` *excluding* ``b``.
+    """
+    if num_copies < 1:
+        raise ValueError("need at least one copy")
+    if not (0 <= attachment_node < copy.n):
+        raise ValueError("attachment_node out of range")
+
+    base_n = copy.n
+    # Index 0 of the glued graph is the shared node b; the other nodes of copy
+    # k occupy a contiguous block.
+    total_n = 1 + num_copies * (base_n - 1)
+    edges: List[Tuple[int, int]] = []
+    copy_membership: List[List[int]] = []
+
+    def remap(k: int, u: int) -> int:
+        if u == attachment_node:
+            return 0
+        # Position of u among the non-attachment nodes of the base graph.
+        pos = u if u < attachment_node else u - 1
+        return 1 + k * (base_n - 1) + pos
+
+    for k in range(num_copies):
+        members = []
+        for u in range(base_n):
+            if u != attachment_node:
+                members.append(remap(k, u))
+        copy_membership.append(members)
+        for u, v in copy.edges():
+            edges.append((remap(k, u), remap(k, v)))
+
+    rng = random.Random(seed if seed is not None else 0xBADC0DE)
+    glued = Graph.from_edges(total_n, edges, name=f"chained({copy.name},t={num_copies})")
+    glued = glued.relabel_ids(rng)
+    return glued, 0, copy_membership
+
+
+def small_world_graph(
+    n: int,
+    k: int = 4,
+    rewire_probability: float = 0.1,
+    *,
+    seed: Optional[int] = None,
+) -> Graph:
+    """Watts–Strogatz small-world graph (the setting of the prior work [14]).
+
+    Each node is connected to its ``k`` nearest ring neighbors, then each edge
+    endpoint is rewired to a uniform random node with probability
+    ``rewire_probability``.  Included so experiments can contrast this paper's
+    expander-only setting with the small-world assumption of Chatterjee et
+    al. (IPDPS 2019).
+    """
+    if n < 4:
+        raise ValueError("small-world graph requires n >= 4")
+    if k < 2 or k % 2 != 0:
+        raise ValueError("k must be an even integer >= 2")
+    if k >= n:
+        raise ValueError("k must be smaller than n")
+    if not 0.0 <= rewire_probability <= 1.0:
+        raise ValueError("rewire_probability must lie in [0, 1]")
+    rng = random.Random(seed)
+    edges = set()
+    for u in range(n):
+        for offset in range(1, k // 2 + 1):
+            v = (u + offset) % n
+            edges.add((min(u, v), max(u, v)))
+    rewired = set()
+    for (u, v) in sorted(edges):
+        if rng.random() < rewire_probability:
+            # Rewire the far endpoint to a random target, avoiding self-loops
+            # and duplicates; keep the original edge if no target is found.
+            for _ in range(8):
+                w = rng.randrange(n)
+                key = (min(u, w), max(u, w))
+                if w != u and key not in edges and key not in rewired:
+                    rewired.add(key)
+                    break
+            else:
+                rewired.add((u, v))
+        else:
+            rewired.add((u, v))
+    return Graph.from_edges(n, sorted(rewired), name=f"small_world({n},{k},{rewire_probability})")

@@ -1,0 +1,302 @@
+"""A lightweight undirected graph tailored to the simulator.
+
+The simulator runs protocols over thousands of synchronous rounds, so graph
+access must be cheap.  ``networkx`` is excellent for analysis but its per-call
+overhead dominates a tight simulation loop; we therefore keep a minimal
+adjacency-list representation here and provide lossless conversion to and from
+``networkx`` for tests and for the expansion/spectral analysis code.
+
+Nodes are integers ``0 .. n-1``.  Protocol-visible *identifiers* (the IDs of
+Section 2 of the paper, drawn from an arbitrarily large space so that their
+length leaks nothing about ``n``) are kept separately in
+:attr:`Graph.node_ids`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+__all__ = ["Graph"]
+
+_ID_SPACE_BITS = 62
+
+
+def _random_distinct_ids(n: int, rng: random.Random) -> List[int]:
+    """Draw ``n`` distinct IDs uniformly from a sparse 62-bit space.
+
+    Using a space whose size is independent of ``n`` matches the paper's
+    requirement that node IDs are "comparable black boxes that do not leak any
+    information about the network size".
+    """
+    ids: Set[int] = set()
+    while len(ids) < n:
+        ids.add(rng.getrandbits(_ID_SPACE_BITS))
+    return list(ids)
+
+
+@dataclass
+class Graph:
+    """Undirected graph with adjacency lists and opaque node identifiers.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes.  Nodes are ``0 .. n-1``.
+    adjacency:
+        ``adjacency[u]`` is the sorted tuple of neighbors of ``u``.  Parallel
+        edges and self-loops are removed at construction (the permutation
+        model may produce a vanishing number of them; the paper works with
+        simple graphs).
+    node_ids:
+        Opaque per-node identifier visible to protocols.  If not supplied,
+        distinct random 62-bit integers are generated.
+    name:
+        Human-readable description used in experiment reports.
+    """
+
+    n: int
+    adjacency: List[Tuple[int, ...]]
+    node_ids: List[int] = field(default_factory=list)
+    name: str = "graph"
+
+    def __post_init__(self) -> None:
+        if self.n < 0:
+            raise ValueError("graph must have a non-negative number of nodes")
+        if len(self.adjacency) != self.n:
+            raise ValueError(
+                f"adjacency has {len(self.adjacency)} entries for n={self.n} nodes"
+            )
+        cleaned: List[Tuple[int, ...]] = []
+        for u, nbrs in enumerate(self.adjacency):
+            seen = sorted({v for v in nbrs if v != u})
+            for v in seen:
+                if v < 0 or v >= self.n:
+                    raise ValueError(f"edge ({u}, {v}) references a non-existent node")
+            cleaned.append(tuple(seen))
+        self.adjacency = cleaned
+        if not self.node_ids:
+            self.node_ids = _random_distinct_ids(self.n, random.Random(0xC0FFEE ^ self.n))
+        if len(self.node_ids) != self.n:
+            raise ValueError("node_ids must have one entry per node")
+        if len(set(self.node_ids)) != self.n:
+            raise ValueError("node_ids must be distinct")
+        self._id_to_index: Dict[int, int] = {nid: u for u, nid in enumerate(self.node_ids)}
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_edges(
+        cls,
+        n: int,
+        edges: Iterable[Tuple[int, int]],
+        *,
+        node_ids: Optional[Sequence[int]] = None,
+        name: str = "graph",
+    ) -> "Graph":
+        """Build a graph from an edge list (duplicates and self-loops dropped)."""
+        adj: List[Set[int]] = [set() for _ in range(n)]
+        for u, v in edges:
+            if not (0 <= u < n) or not (0 <= v < n):
+                raise ValueError(f"edge ({u}, {v}) references a non-existent node")
+            if u == v:
+                continue
+            adj[u].add(v)
+            adj[v].add(u)
+        return cls(
+            n=n,
+            adjacency=[tuple(sorted(s)) for s in adj],
+            node_ids=list(node_ids) if node_ids is not None else [],
+            name=name,
+        )
+
+    @classmethod
+    def from_networkx(cls, nx_graph, *, name: str = "graph") -> "Graph":
+        """Convert a ``networkx`` graph whose nodes are hashable to a :class:`Graph`."""
+        nodes = list(nx_graph.nodes())
+        index = {node: i for i, node in enumerate(nodes)}
+        edges = [(index[u], index[v]) for u, v in nx_graph.edges()]
+        return cls.from_edges(len(nodes), edges, name=name)
+
+    def to_networkx(self):
+        """Return an equivalent ``networkx.Graph`` (nodes are the integer indices)."""
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(range(self.n))
+        g.add_edges_from(self.edges())
+        return g
+
+    # ------------------------------------------------------------------ #
+    # Basic accessors
+    # ------------------------------------------------------------------ #
+    def neighbors(self, u: int) -> Tuple[int, ...]:
+        """Neighbors of node ``u`` as a sorted tuple."""
+        return self.adjacency[u]
+
+    def degree(self, u: int) -> int:
+        """Degree of node ``u``."""
+        return len(self.adjacency[u])
+
+    def max_degree(self) -> int:
+        """Maximum degree Δ of the graph (0 for the empty graph)."""
+        if self.n == 0:
+            return 0
+        return max(len(nbrs) for nbrs in self.adjacency)
+
+    def min_degree(self) -> int:
+        """Minimum degree of the graph (0 for the empty graph)."""
+        if self.n == 0:
+            return 0
+        return min(len(nbrs) for nbrs in self.adjacency)
+
+    def average_degree(self) -> float:
+        """Average degree ``2m / n``."""
+        if self.n == 0:
+            return 0.0
+        return sum(len(nbrs) for nbrs in self.adjacency) / self.n
+
+    def num_edges(self) -> int:
+        """Number of (undirected) edges."""
+        return sum(len(nbrs) for nbrs in self.adjacency) // 2
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """Iterate over edges ``(u, v)`` with ``u < v``."""
+        for u, nbrs in enumerate(self.adjacency):
+            for v in nbrs:
+                if u < v:
+                    yield (u, v)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """True if ``{u, v}`` is an edge."""
+        nbrs = self.adjacency[u]
+        # adjacency tuples are sorted; for bounded-degree graphs a linear scan
+        # is faster than building sets.
+        return v in nbrs
+
+    def nodes(self) -> range:
+        """The node set as a ``range``."""
+        return range(self.n)
+
+    def node_id(self, u: int) -> int:
+        """Protocol-visible identifier of node ``u``."""
+        return self.node_ids[u]
+
+    def index_of_id(self, node_id: int) -> int:
+        """Inverse of :meth:`node_id`."""
+        return self._id_to_index[node_id]
+
+    # ------------------------------------------------------------------ #
+    # Structure queries
+    # ------------------------------------------------------------------ #
+    def is_regular(self) -> bool:
+        """True if every node has the same degree."""
+        return self.n == 0 or self.max_degree() == self.min_degree()
+
+    def is_connected(self) -> bool:
+        """True if the graph is connected (the empty graph counts as connected)."""
+        if self.n <= 1:
+            return True
+        seen = [False] * self.n
+        stack = [0]
+        seen[0] = True
+        count = 1
+        while stack:
+            u = stack.pop()
+            for v in self.adjacency[u]:
+                if not seen[v]:
+                    seen[v] = True
+                    count += 1
+                    stack.append(v)
+        return count == self.n
+
+    def connected_components(self) -> List[List[int]]:
+        """Connected components, each as a sorted list of nodes."""
+        seen = [False] * self.n
+        components: List[List[int]] = []
+        for start in range(self.n):
+            if seen[start]:
+                continue
+            comp = [start]
+            seen[start] = True
+            stack = [start]
+            while stack:
+                u = stack.pop()
+                for v in self.adjacency[u]:
+                    if not seen[v]:
+                        seen[v] = True
+                        comp.append(v)
+                        stack.append(v)
+            components.append(sorted(comp))
+        return components
+
+    def diameter(self) -> int:
+        """Exact diameter via repeated BFS.
+
+        Raises
+        ------
+        ValueError
+            If the graph is disconnected (the diameter is infinite).
+        """
+        if self.n == 0:
+            return 0
+        if not self.is_connected():
+            raise ValueError("diameter is undefined for a disconnected graph")
+        best = 0
+        for source in range(self.n):
+            dist = self._bfs_distances(source)
+            best = max(best, max(dist))
+        return best
+
+    def eccentricity(self, u: int) -> int:
+        """Largest BFS distance from ``u`` (graph must be connected)."""
+        dist = self._bfs_distances(u)
+        if any(d < 0 for d in dist):
+            raise ValueError("eccentricity is undefined for a disconnected graph")
+        return max(dist)
+
+    def _bfs_distances(self, source: int) -> List[int]:
+        dist = [-1] * self.n
+        dist[source] = 0
+        frontier = [source]
+        d = 0
+        while frontier:
+            d += 1
+            nxt: List[int] = []
+            for u in frontier:
+                for v in self.adjacency[u]:
+                    if dist[v] < 0:
+                        dist[v] = d
+                        nxt.append(v)
+            frontier = nxt
+        return dist
+
+    def bfs_distances(self, source: int) -> List[int]:
+        """BFS distances from ``source`` (-1 for unreachable nodes)."""
+        return self._bfs_distances(source)
+
+    def copy(self) -> "Graph":
+        """Deep copy (node IDs are shared values but the lists are new)."""
+        return Graph(
+            n=self.n,
+            adjacency=[tuple(nbrs) for nbrs in self.adjacency],
+            node_ids=list(self.node_ids),
+            name=self.name,
+        )
+
+    def relabel_ids(self, rng: random.Random) -> "Graph":
+        """Return a copy with fresh random node identifiers drawn with ``rng``."""
+        return Graph(
+            n=self.n,
+            adjacency=[tuple(nbrs) for nbrs in self.adjacency],
+            node_ids=_random_distinct_ids(self.n, rng),
+            name=self.name,
+        )
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return f"Graph(name={self.name!r}, n={self.n}, m={self.num_edges()})"

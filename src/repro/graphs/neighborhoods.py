@@ -1,0 +1,150 @@
+"""Ball and boundary utilities: ``B(u, i)``, ``D(u, i)`` and induced subgraphs.
+
+These mirror the notation of Section 3 of the paper:
+
+* ``B_G(u, i)`` is the *inclusive* ``i``-hop neighborhood of ``u``;
+* ``B_G(S, i)`` is the union of the balls around a set ``S``;
+* ``D(u, i)`` is the ``i``-boundary, i.e. the nodes at distance exactly ``i``.
+
+Both counting algorithms and the structural lemmas (Lemma 1, Lemma 7, Lemma 8)
+are phrased in terms of these sets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.graphs.graph import Graph
+
+__all__ = [
+    "ball",
+    "ball_of_set",
+    "boundary",
+    "distances_from",
+    "induced_subgraph",
+    "layers",
+]
+
+
+def distances_from(
+    graph: Graph,
+    source: int,
+    *,
+    max_distance: Optional[int] = None,
+    allowed: Optional[Set[int]] = None,
+) -> Dict[int, int]:
+    """BFS distances from ``source``, optionally truncated and restricted.
+
+    Parameters
+    ----------
+    graph:
+        The graph.
+    source:
+        Start node.
+    max_distance:
+        If given, exploration stops after this radius.
+    allowed:
+        If given, only nodes in this set are traversed (the source must be in
+        it); used to compute distances inside the subgraph ``H`` induced by the
+        good nodes (Lemma 1).
+
+    Returns
+    -------
+    dict mapping each reached node to its distance from ``source``.
+    """
+    if allowed is not None and source not in allowed:
+        raise ValueError("source must be contained in the allowed set")
+    dist: Dict[int, int] = {source: 0}
+    frontier = [source]
+    d = 0
+    while frontier and (max_distance is None or d < max_distance):
+        d += 1
+        nxt: List[int] = []
+        for u in frontier:
+            for v in graph.neighbors(u):
+                if v in dist:
+                    continue
+                if allowed is not None and v not in allowed:
+                    continue
+                dist[v] = d
+                nxt.append(v)
+        frontier = nxt
+    return dist
+
+
+def ball(
+    graph: Graph,
+    center: int,
+    radius: int,
+    *,
+    allowed: Optional[Set[int]] = None,
+) -> Set[int]:
+    """The inclusive ball ``B(center, radius)`` (restricted to ``allowed`` if given)."""
+    if radius < 0:
+        raise ValueError("radius must be non-negative")
+    return set(distances_from(graph, center, max_distance=radius, allowed=allowed))
+
+
+def ball_of_set(
+    graph: Graph,
+    centers: Iterable[int],
+    radius: int,
+    *,
+    allowed: Optional[Set[int]] = None,
+) -> Set[int]:
+    """``B(S, radius) = union of B(u, radius) for u in S`` (Section 3)."""
+    result: Set[int] = set()
+    for center in centers:
+        result |= ball(graph, center, radius, allowed=allowed)
+    return result
+
+
+def boundary(
+    graph: Graph,
+    center: int,
+    radius: int,
+    *,
+    allowed: Optional[Set[int]] = None,
+) -> Set[int]:
+    """The ``radius``-boundary ``D(center, radius)``: nodes at distance exactly ``radius``."""
+    if radius < 0:
+        raise ValueError("radius must be non-negative")
+    dist = distances_from(graph, center, max_distance=radius, allowed=allowed)
+    return {u for u, d in dist.items() if d == radius}
+
+
+def layers(
+    graph: Graph,
+    center: int,
+    radius: int,
+    *,
+    allowed: Optional[Set[int]] = None,
+) -> List[Set[int]]:
+    """BFS layers ``[D(u,0), D(u,1), ..., D(u,radius)]`` around ``center``."""
+    dist = distances_from(graph, center, max_distance=radius, allowed=allowed)
+    result: List[Set[int]] = [set() for _ in range(radius + 1)]
+    for u, d in dist.items():
+        result[d].add(u)
+    return result
+
+
+def induced_subgraph(graph: Graph, nodes: Sequence[int]) -> Tuple[Graph, Dict[int, int]]:
+    """The subgraph induced by ``nodes``.
+
+    Returns the induced :class:`Graph` (with node IDs inherited from the
+    original) and the mapping from original node index to new index.
+    """
+    node_list = sorted(set(nodes))
+    index = {u: i for i, u in enumerate(node_list)}
+    edges = []
+    for u in node_list:
+        for v in graph.neighbors(u):
+            if v in index and u < v:
+                edges.append((index[u], index[v]))
+    sub = Graph.from_edges(
+        len(node_list),
+        edges,
+        node_ids=[graph.node_id(u) for u in node_list],
+        name=f"{graph.name}[{len(node_list)} nodes]",
+    )
+    return sub, index

@@ -1,0 +1,114 @@
+"""The locally tree-like property of ``H(n, d)`` random graphs (Section 3.1).
+
+Definition 3 of the paper: a node ``w`` is *locally tree-like* (up to radius
+``r = log n / (10 log d)``) if the subgraph induced by ``B(w, r)`` is a
+``(d-1)``-ary tree, i.e. every node ``u`` in ``B(w, j)``, ``1 <= j < r``, is
+*typical*: it has exactly one neighbor in ``B(w, j-1)`` and ``d - 1``
+neighbors in ``B(w, j+1)``.
+
+Lemma 2 states that in ``H(n, d)`` at least ``n - O(n^0.8)`` nodes are locally
+tree-like with high probability -- experiment E5 measures exactly this
+quantity.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Set
+
+from repro.graphs.graph import Graph
+
+__all__ = ["treelike_radius", "is_locally_treelike", "treelike_nodes"]
+
+
+def treelike_radius(n: int, d: int) -> int:
+    """The radius ``r = log n / (10 log d)`` of Definition 3 (at least 1)."""
+    if n < 2 or d < 2:
+        return 1
+    return max(1, int(math.log(n) / (10.0 * math.log(d))))
+
+
+def is_locally_treelike(
+    graph: Graph,
+    node: int,
+    *,
+    degree: Optional[int] = None,
+    radius: Optional[int] = None,
+) -> bool:
+    """Check Definition 3 for a single node.
+
+    Parameters
+    ----------
+    graph:
+        The (nominally ``d``-regular) graph.
+    node:
+        The node ``w`` to classify.
+    degree:
+        The nominal degree ``d``; defaults to the maximum degree of the graph.
+    radius:
+        The radius ``r``; defaults to ``treelike_radius(n, d)``.
+
+    A node is tree-like iff a BFS of depth ``radius`` from it never revisits a
+    node (no cycle closes inside the ball) and every internal node has the
+    full complement of children, i.e. the ball is a ``(d-1)``-ary tree rooted
+    at ``node`` whose root has ``d`` children.
+    """
+    d = degree if degree is not None else max(2, graph.max_degree())
+    r = radius if radius is not None else treelike_radius(graph.n, d)
+    if r <= 0:
+        return True
+
+    # BFS with explicit parent tracking.  Any edge that is not a tree edge
+    # (i.e. touches an already-visited node other than the parent) closes a
+    # cycle inside B(node, r) and makes some node atypical.
+    visited = {node: 0}
+    parent = {node: -1}
+    frontier = [node]
+    depth = 0
+    while frontier and depth < r:
+        depth += 1
+        nxt = []
+        for u in frontier:
+            children = 0
+            for v in graph.neighbors(u):
+                if v == parent[u]:
+                    continue
+                if v in visited:
+                    # A cross or back edge inside the ball: not a tree.
+                    return False
+                visited[v] = depth
+                parent[v] = u
+                nxt.append(v)
+                children += 1
+            expected = d if u == node else d - 1
+            if children != expected:
+                return False
+        frontier = nxt
+    # Nodes on the last explored level are allowed to have unexplored
+    # children; but if the BFS ran out of frontier before reaching radius r,
+    # the ball is smaller than a (d-1)-ary tree of depth r.
+    if depth < r:
+        return False
+    # Finally, the subgraph induced by the ball must itself be a tree: any
+    # extra edge (in particular one between two radius-r nodes, which the BFS
+    # above never traverses) closes a cycle inside B(node, r).
+    induced_edges = 0
+    for u in visited:
+        for v in graph.neighbors(u):
+            if v in visited and u < v:
+                induced_edges += 1
+    return induced_edges == len(visited) - 1
+
+
+def treelike_nodes(
+    graph: Graph,
+    *,
+    degree: Optional[int] = None,
+    radius: Optional[int] = None,
+) -> Set[int]:
+    """The set of locally tree-like nodes of the graph (Definition 3)."""
+    d = degree if degree is not None else max(2, graph.max_degree())
+    r = radius if radius is not None else treelike_radius(graph.n, d)
+    return {
+        u for u in range(graph.n) if is_locally_treelike(graph, u, degree=d, radius=r)
+    }

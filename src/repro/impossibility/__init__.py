@@ -1,0 +1,35 @@
+"""The impossibility result (Theorem 3, Section 6).
+
+Without sufficient vertex expansion, no algorithm can let more than ``⌈n/2⌉``
+nodes approximate ``log n`` with non-trivial probability even against a single
+Byzantine node.  The proof glues ``t`` copies of an arbitrary graph ``C_n`` at
+one Byzantine node ``b``; because ``b`` can simulate toward each copy exactly
+the messages it would send in a single-copy execution, nodes inside a copy
+cannot distinguish "I live in ``C_n``" from "I live in the ``t``-times larger
+glued graph", so their estimates are wrong in at least one of the two worlds.
+
+* :mod:`repro.impossibility.construction` -- the glued-graph construction,
+  the per-copy isomorphism check, and the simulating cut adversary.
+* :mod:`repro.impossibility.experiment` -- the empirical indistinguishability
+  experiment (E4).
+"""
+
+from repro.impossibility.construction import (
+    ChainedCopiesInstance,
+    build_chained_instance,
+    copies_isomorphic_to_base,
+    SimulatingCutAdversary,
+)
+from repro.impossibility.experiment import (
+    IndistinguishabilityResult,
+    run_indistinguishability_experiment,
+)
+
+__all__ = [
+    "ChainedCopiesInstance",
+    "build_chained_instance",
+    "copies_isomorphic_to_base",
+    "SimulatingCutAdversary",
+    "IndistinguishabilityResult",
+    "run_indistinguishability_experiment",
+]

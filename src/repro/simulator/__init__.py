@@ -1,0 +1,43 @@
+"""Synchronous message-passing simulator (LOCAL / CONGEST models).
+
+The engine implements the model of Section 2 of the paper:
+
+* computation proceeds in synchronous rounds; every message sent in round
+  ``r`` is delivered before the start of round ``r + 1``;
+* Byzantine nodes are *full-information* and adaptive: the adversary observes
+  every honest node's state and the honest messages of the current round
+  before choosing its own messages;
+* a message delivered over an edge always carries the true identity of the
+  adjacent sender (Byzantine nodes cannot fake their edge-local ID), although
+  its payload may be arbitrary;
+* message sizes are tracked (bits plus number of embedded node IDs) so that
+  the CONGEST "small message" claim of Theorem 2 can be verified.
+"""
+
+from repro.simulator.messages import Message, estimate_payload_bits
+from repro.simulator.node import NodeContext, Protocol, Outbox, broadcast
+from repro.simulator.network import Network
+from repro.simulator.byzantine import Adversary, AdversaryView, ByzantineOutbox, SilentAdversary
+from repro.simulator.engine import SynchronousEngine, RunResult
+from repro.simulator.metrics import SimulationMetrics, NodeMessageStats
+from repro.simulator.rng import split_seed, spawn_rngs
+
+__all__ = [
+    "Message",
+    "estimate_payload_bits",
+    "NodeContext",
+    "Protocol",
+    "Outbox",
+    "broadcast",
+    "Network",
+    "Adversary",
+    "AdversaryView",
+    "ByzantineOutbox",
+    "SilentAdversary",
+    "SynchronousEngine",
+    "RunResult",
+    "SimulationMetrics",
+    "NodeMessageStats",
+    "split_seed",
+    "spawn_rngs",
+]

@@ -1,0 +1,123 @@
+"""Byzantine adversary interface (full-information model, Section 2).
+
+The adversary controls every Byzantine node.  It is
+
+* **full-information**: before choosing the Byzantine messages of round ``r``
+  it observes the complete state of every honest node, all honest messages
+  sent in round ``r`` (i.e. it sees the honest random choices of the round
+  before acting), and the entire history of the execution;
+* **adaptive**: its behaviour can depend on all of the above;
+* **unable to forge edge-local identity**: the engine stamps every delivered
+  message with the true adjacent sender, so the adversary can lie inside
+  payloads (path fields, topology claims, estimates) but not about which edge
+  a message arrived on.
+
+This module lives in the simulator package (rather than
+:mod:`repro.adversary`) because the engine depends on the *interface* while
+the concrete attack strategies depend on the protocols; keeping the interface
+here avoids a circular import.  :mod:`repro.adversary.base` re-exports these
+names for the public API.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Mapping, Tuple
+
+from repro.graphs.graph import Graph
+from repro.simulator.messages import Message
+from repro.simulator.node import Protocol
+
+__all__ = ["AdversaryView", "Adversary", "SilentAdversary", "ByzantineOutbox"]
+
+#: Messages sent by Byzantine nodes: byzantine node -> neighbor -> messages.
+ByzantineOutbox = Dict[int, Dict[int, List[Message]]]
+
+
+@dataclass
+class AdversaryView:
+    """Everything the full-information adversary may inspect in one round.
+
+    Attributes
+    ----------
+    round:
+        The current round number (1-based; round 0 is the start round).
+    graph:
+        The complete network topology (the adversary knows it; honest nodes
+        do not).
+    byzantine:
+        The set of nodes the adversary controls.
+    honest_protocols:
+        Read access to the live protocol object of every honest node --
+        i.e. the honest nodes' full internal state including the random
+        choices already made this round.
+    honest_outboxes:
+        The messages honest nodes are sending this round, keyed by sender and
+        then by destination.  The adversary sees them *before* its own
+        messages are fixed (omniscience), but cannot alter or suppress them.
+    byzantine_inboxes:
+        Messages delivered to Byzantine nodes at the end of the previous
+        round.
+    rng:
+        The adversary's private randomness (only relevant for randomized
+        attack strategies; the model allows arbitrary computation).
+    """
+
+    round: int
+    graph: Graph
+    byzantine: FrozenSet[int]
+    honest_protocols: Mapping[int, Protocol]
+    honest_outboxes: Mapping[int, Mapping[int, List[Message]]]
+    byzantine_inboxes: Mapping[int, List[Message]]
+    rng: random.Random
+
+    def byzantine_neighbors(self, byz_node: int) -> Tuple[int, ...]:
+        """Neighbors of a Byzantine node (its attack surface)."""
+        return self.graph.neighbors(byz_node)
+
+    def honest_neighbors_of(self, byz_node: int) -> Tuple[int, ...]:
+        """The honest neighbors of a Byzantine node."""
+        return tuple(
+            v for v in self.graph.neighbors(byz_node) if v not in self.byzantine
+        )
+
+
+class Adversary(ABC):
+    """Base class of all Byzantine behaviours.
+
+    Subclasses implement :meth:`act`, returning the messages every Byzantine
+    node sends this round.  :meth:`setup` is called once before the run with
+    the full topology and the set of corrupted nodes.
+    """
+
+    def setup(self, graph: Graph, byzantine: FrozenSet[int], rng: random.Random) -> None:
+        """Called once before round 0.  Default: remember the arguments."""
+        self.graph = graph
+        self.byzantine = byzantine
+        self.rng = rng
+
+    @abstractmethod
+    def act(self, view: AdversaryView) -> ByzantineOutbox:
+        """Return the messages sent by Byzantine nodes this round."""
+
+    # Convenience helpers -------------------------------------------------- #
+    @staticmethod
+    def broadcast_from(
+        view: AdversaryView, byz_node: int, message: Message
+    ) -> Dict[int, List[Message]]:
+        """Outbox fragment sending ``message`` to every neighbor of ``byz_node``."""
+        return {v: [message.clone()] for v in view.byzantine_neighbors(byz_node)}
+
+
+class SilentAdversary(Adversary):
+    """Byzantine nodes that never send anything (pure crash/omission behaviour).
+
+    Silence is itself an attack against Algorithm 1 (a mute neighbor forces a
+    decision, Line 5 of Algorithm 1) and serves as the weakest baseline
+    behaviour in the adversary-grid experiment E9.
+    """
+
+    def act(self, view: AdversaryView) -> ByzantineOutbox:
+        return {}

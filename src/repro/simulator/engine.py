@@ -1,0 +1,257 @@
+"""The synchronous round engine.
+
+Execution of one round proceeds in the order required by the full-information
+adversary model (Section 2):
+
+1. every honest node's protocol is invoked with the messages delivered at the
+   end of the previous round and produces its outbox (thereby fixing the
+   honest random choices of the round);
+2. the adversary observes all honest states and all honest outboxes and then
+   produces the Byzantine outboxes;
+3. all messages are delivered, each stamped with the true index and ID of the
+   adjacent sender (unforgeable edge identity);
+4. metrics are updated and the termination condition is evaluated.
+
+The engine is protocol-agnostic: Algorithm 1, Algorithm 2, and every baseline
+run on it unchanged.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.simulator.byzantine import Adversary, AdversaryView, ByzantineOutbox, SilentAdversary
+from repro.simulator.messages import Message
+from repro.simulator.metrics import SimulationMetrics
+from repro.simulator.network import Network
+from repro.simulator.node import NodeContext, Outbox, Protocol
+from repro.simulator.rng import split_seed
+
+__all__ = ["SynchronousEngine", "RunResult"]
+
+#: Factory producing a fresh protocol instance for an honest node.
+ProtocolFactory = Callable[[NodeContext], Protocol]
+
+
+@dataclass
+class RunResult:
+    """Outcome of a simulation run."""
+
+    network: Network
+    rounds_executed: int
+    protocols: Dict[int, Protocol]
+    metrics: SimulationMetrics
+    completed: bool
+
+    @property
+    def honest_nodes(self) -> Tuple[int, ...]:
+        """Indices of honest nodes."""
+        return self.network.honest
+
+    def estimates(self) -> Dict[int, Optional[float]]:
+        """Map from honest node to its decided estimate (None if undecided)."""
+        return {u: p.estimate if p.decided else None for u, p in self.protocols.items()}
+
+    def decided_fraction(self) -> float:
+        """Fraction of honest nodes that decided."""
+        if not self.protocols:
+            return 0.0
+        decided = sum(1 for p in self.protocols.values() if p.decided)
+        return decided / len(self.protocols)
+
+
+class SynchronousEngine:
+    """Round-synchronous executor for one protocol over one network."""
+
+    def __init__(
+        self,
+        network: Network,
+        protocol_factory: ProtocolFactory,
+        *,
+        adversary: Optional[Adversary] = None,
+        seed: int = 0,
+        max_rounds: int = 100_000,
+        stop_condition: Optional[Callable[[Dict[int, Protocol], int], bool]] = None,
+    ) -> None:
+        """Create an engine.
+
+        Parameters
+        ----------
+        network:
+            The network (graph + Byzantine set) to execute on.
+        protocol_factory:
+            Called once per honest node with that node's :class:`NodeContext`
+            to build its protocol instance.
+        adversary:
+            Byzantine behaviour; defaults to :class:`SilentAdversary`.
+        seed:
+            Master seed; per-node and adversary randomness is derived from it.
+        max_rounds:
+            Hard cap on the number of rounds (safety net).
+        stop_condition:
+            Optional predicate ``(protocols, round) -> bool``; when true the
+            run stops.  The default stops when every honest node reports
+            ``halted``.
+        """
+        self.network = network
+        self.protocol_factory = protocol_factory
+        self.adversary = adversary if adversary is not None else SilentAdversary()
+        self.seed = seed
+        self.max_rounds = max_rounds
+        self.stop_condition = stop_condition
+
+        graph = network.graph
+        self._contexts: Dict[int, NodeContext] = {}
+        self._protocols: Dict[int, Protocol] = {}
+        for u in network.honest:
+            ctx = NodeContext(
+                index=u,
+                node_id=graph.node_id(u),
+                neighbors=graph.neighbors(u),
+                neighbor_ids={v: graph.node_id(v) for v in graph.neighbors(u)},
+                rng=random.Random(split_seed(seed, "node", u)),
+                round=0,
+            )
+            self._contexts[u] = ctx
+            self._protocols[u] = protocol_factory(ctx)
+        self._adversary_rng = random.Random(split_seed(seed, "adversary"))
+        self.adversary.setup(graph, network.byzantine, self._adversary_rng)
+        self.metrics = SimulationMetrics()
+
+    # ------------------------------------------------------------------ #
+    @property
+    def protocols(self) -> Dict[int, Protocol]:
+        """Live honest protocol objects (read access, also used by adversaries)."""
+        return self._protocols
+
+    def _default_stop(self, protocols: Dict[int, Protocol], round_number: int) -> bool:
+        return all(p.halted for p in protocols.values())
+
+    def _validate_outbox(self, sender: int, outbox: Outbox) -> Outbox:
+        """Drop messages addressed to non-neighbors (protocol bug guard)."""
+        valid_targets = set(self.network.graph.neighbors(sender))
+        cleaned: Outbox = {}
+        for target, msgs in outbox.items():
+            if target in valid_targets and msgs:
+                cleaned[target] = list(msgs)
+        return cleaned
+
+    def run(self, max_rounds: Optional[int] = None) -> RunResult:
+        """Execute the protocol until termination and return the result."""
+        graph = self.network.graph
+        limit = max_rounds if max_rounds is not None else self.max_rounds
+        stop = self.stop_condition if self.stop_condition is not None else self._default_stop
+
+        # Inboxes to be delivered at the *start* of the next honest step.
+        pending_inboxes: Dict[int, List[Message]] = {u: [] for u in range(graph.n)}
+
+        # Round 0: on_start.
+        self.metrics.start_round()
+        honest_outboxes: Dict[int, Outbox] = {}
+        for u, protocol in self._protocols.items():
+            ctx = self._contexts[u]
+            ctx.round = 0
+            outbox = self._validate_outbox(u, protocol.on_start(ctx) or {})
+            honest_outboxes[u] = outbox
+        byz_outboxes = self._adversary_step(0, honest_outboxes, pending_inboxes)
+        pending_inboxes = self._deliver(honest_outboxes, byz_outboxes)
+        self._record_decisions(0)
+
+        completed = False
+        round_number = 0
+        for round_number in range(1, limit + 1):
+            if stop(self._protocols, round_number - 1):
+                completed = True
+                break
+            self.metrics.start_round()
+            honest_outboxes = {}
+            for u, protocol in self._protocols.items():
+                if protocol.halted:
+                    honest_outboxes[u] = {}
+                    continue
+                ctx = self._contexts[u]
+                ctx.round = round_number
+                inbox = pending_inboxes.get(u, [])
+                outbox = self._validate_outbox(u, protocol.on_round(ctx, inbox) or {})
+                honest_outboxes[u] = outbox
+            byz_outboxes = self._adversary_step(
+                round_number, honest_outboxes, pending_inboxes
+            )
+            pending_inboxes = self._deliver(honest_outboxes, byz_outboxes)
+            self._record_decisions(round_number)
+        else:
+            completed = stop(self._protocols, round_number)
+
+        return RunResult(
+            network=self.network,
+            rounds_executed=self.metrics.rounds_executed,
+            protocols=self._protocols,
+            metrics=self.metrics,
+            completed=completed,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _adversary_step(
+        self,
+        round_number: int,
+        honest_outboxes: Dict[int, Outbox],
+        pending_inboxes: Dict[int, List[Message]],
+    ) -> ByzantineOutbox:
+        if not self.network.byzantine:
+            return {}
+        view = AdversaryView(
+            round=round_number,
+            graph=self.network.graph,
+            byzantine=self.network.byzantine,
+            honest_protocols=self._protocols,
+            honest_outboxes=honest_outboxes,
+            byzantine_inboxes={
+                b: pending_inboxes.get(b, []) for b in self.network.byzantine
+            },
+            rng=self._adversary_rng,
+        )
+        raw = self.adversary.act(view) or {}
+        # Byzantine nodes may only use their own incident edges.
+        cleaned: ByzantineOutbox = {}
+        for b, per_target in raw.items():
+            if b not in self.network.byzantine:
+                continue
+            valid_targets = set(self.network.graph.neighbors(b))
+            cleaned[b] = {
+                t: list(msgs)
+                for t, msgs in per_target.items()
+                if t in valid_targets and msgs
+            }
+        return cleaned
+
+    def _deliver(
+        self,
+        honest_outboxes: Dict[int, Outbox],
+        byz_outboxes: ByzantineOutbox,
+    ) -> Dict[int, List[Message]]:
+        graph = self.network.graph
+        inboxes: Dict[int, List[Message]] = {}
+
+        def deliver_from(sender: int, outbox: Mapping[int, List[Message]]) -> None:
+            sender_id = graph.node_id(sender)
+            for target, msgs in outbox.items():
+                bucket = inboxes.setdefault(target, [])
+                for msg in msgs:
+                    stamped = msg.clone()
+                    stamped.sender = sender
+                    stamped.sender_id = sender_id
+                    bucket.append(stamped)
+                    self.metrics.record_send(sender, stamped)
+
+        for sender, outbox in honest_outboxes.items():
+            deliver_from(sender, outbox)
+        for sender, outbox in byz_outboxes.items():
+            deliver_from(sender, outbox)
+        return inboxes
+
+    def _record_decisions(self, round_number: int) -> None:
+        for u, protocol in self._protocols.items():
+            if protocol.decided and u not in self.metrics.decision_rounds:
+                self.metrics.record_decision(u, round_number)

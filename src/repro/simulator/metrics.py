@@ -1,0 +1,114 @@
+"""Run metrics: per-round and per-node message statistics.
+
+These feed experiments E2 and E10 (message-size claims) and the round
+complexity analyses of E1/E12.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.simulator.messages import Message
+
+__all__ = ["NodeMessageStats", "SimulationMetrics"]
+
+
+@dataclass
+class NodeMessageStats:
+    """Aggregate statistics of the messages *sent* by one node."""
+
+    messages_sent: int = 0
+    bits_sent: int = 0
+    ids_sent: int = 0
+    max_message_bits: int = 0
+    max_message_ids: int = 0
+
+    def record(self, message: Message) -> None:
+        """Account one sent message."""
+        self.messages_sent += 1
+        self.bits_sent += message.size_bits
+        self.ids_sent += message.num_ids
+        self.max_message_bits = max(self.max_message_bits, message.size_bits)
+        self.max_message_ids = max(self.max_message_ids, message.num_ids)
+
+    def sent_only_small_messages(
+        self, n: int, *, c_bits: float = 64.0, max_ids: Optional[int] = None
+    ) -> bool:
+        """True if every message this node sent was small (see ``Message.is_small``)."""
+        log_n = math.log2(max(n, 2))
+        id_budget = max_ids if max_ids is not None else max(8, int(math.ceil(2 * log_n)))
+        return (
+            self.max_message_bits <= c_bits * log_n
+            and self.max_message_ids <= id_budget
+        )
+
+
+@dataclass
+class SimulationMetrics:
+    """Metrics collected by the engine across a run."""
+
+    rounds_executed: int = 0
+    total_messages: int = 0
+    total_bits: int = 0
+    messages_per_round: List[int] = field(default_factory=list)
+    per_node: Dict[int, NodeMessageStats] = field(default_factory=dict)
+    decision_rounds: Dict[int, int] = field(default_factory=dict)
+
+    def node_stats(self, node: int) -> NodeMessageStats:
+        """Per-node stats record, created lazily."""
+        if node not in self.per_node:
+            self.per_node[node] = NodeMessageStats()
+        return self.per_node[node]
+
+    def record_send(self, node: int, message: Message) -> None:
+        """Account one message sent by ``node`` in the current round."""
+        self.total_messages += 1
+        self.total_bits += message.size_bits
+        if self.messages_per_round:
+            self.messages_per_round[-1] += 1
+        self.node_stats(node).record(message)
+
+    def start_round(self) -> None:
+        """Open the accounting bucket of a new round."""
+        self.messages_per_round.append(0)
+        self.rounds_executed += 1
+
+    def record_decision(self, node: int, round_number: int) -> None:
+        """Record the first round at which ``node`` reported a decision."""
+        self.decision_rounds.setdefault(node, round_number)
+
+    def small_message_fraction(
+        self,
+        n: int,
+        nodes: Optional[List[int]] = None,
+        *,
+        c_bits: float = 64.0,
+        max_ids: Optional[int] = None,
+    ) -> float:
+        """Fraction of the given nodes that sent *only* small messages.
+
+        Nodes that never sent a message count as small-message senders.
+        """
+        candidates = nodes if nodes is not None else sorted(self.per_node)
+        if not candidates:
+            return 1.0
+        small = 0
+        for node in candidates:
+            stats = self.per_node.get(node)
+            if stats is None or stats.sent_only_small_messages(
+                n, c_bits=c_bits, max_ids=max_ids
+            ):
+                small += 1
+        return small / len(candidates)
+
+    def max_message_bits_over(self, nodes: Optional[List[int]] = None) -> int:
+        """Largest single-message payload (bits) sent by any of the given nodes."""
+        candidates = nodes if nodes is not None else sorted(self.per_node)
+        best = 0
+        for node in candidates:
+            stats = self.per_node.get(node)
+            if stats is not None:
+                best = max(best, stats.max_message_bits)
+        return best

@@ -1,0 +1,111 @@
+"""Protocol and per-node context interfaces.
+
+An honest node's algorithm is a :class:`Protocol` object.  The engine calls
+``on_start`` once before round 1 and ``on_round`` once per round with the
+inbox of messages delivered at the end of the previous round; the protocol
+returns an outbox mapping neighbor indices to message lists.
+
+Protocols only ever see *local* information, matching the paper's model:
+
+* the node's own index-free identifier, degree, and the identifiers of its
+  neighbors (port-numbered);
+* messages received from neighbors (with engine-verified sender identity);
+* a private random stream.
+
+In particular no protocol has access to ``n``, the topology beyond its
+immediate neighborhood, or any other node's state.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.simulator.messages import Message
+
+__all__ = ["NodeContext", "Protocol", "Outbox", "broadcast"]
+
+#: An outbox maps the neighbor *index* (engine-level port) to the messages to
+#: deliver to that neighbor at the end of the round.
+Outbox = Dict[int, List[Message]]
+
+
+def broadcast(neighbors: Sequence[int], message: Message) -> Outbox:
+    """Outbox that sends (a clone of) ``message`` to every neighbor."""
+    return {v: [message.clone()] for v in neighbors}
+
+
+@dataclass
+class NodeContext:
+    """Local view handed to a protocol on every callback.
+
+    Attributes
+    ----------
+    index:
+        Engine-level index of this node (not visible semantics-wise to the
+        protocol; protocols should treat it as an opaque port label).
+    node_id:
+        The protocol-visible identifier of this node.
+    neighbors:
+        Engine-level indices of the adjacent nodes (the ports).
+    neighbor_ids:
+        Mapping from neighbor index to that neighbor's identifier (the node
+        knows who is at the other end of each incident edge).
+    rng:
+        Private random stream of this node.
+    round:
+        Current round number (rounds are numbered from 1; ``on_start`` sees 0).
+        Nodes have synchronized clocks in the paper's model, so exposing the
+        global round counter is faithful.
+    """
+
+    index: int
+    node_id: int
+    neighbors: Tuple[int, ...]
+    neighbor_ids: Dict[int, int]
+    rng: random.Random
+    round: int = 0
+
+    @property
+    def degree(self) -> int:
+        """Degree of this node."""
+        return len(self.neighbors)
+
+
+class Protocol(ABC):
+    """Interface implemented by every honest-node algorithm.
+
+    Subclasses implement :meth:`on_start` and :meth:`on_round` and expose
+    their decision state through :attr:`decided`, :attr:`estimate`, and
+    :attr:`halted`.
+    """
+
+    @abstractmethod
+    def on_start(self, ctx: NodeContext) -> Outbox:
+        """Called once before round 1; returns the messages for round 1."""
+
+    @abstractmethod
+    def on_round(self, ctx: NodeContext, inbox: List[Message]) -> Outbox:
+        """Called once per round with the messages delivered this round."""
+
+    @property
+    @abstractmethod
+    def decided(self) -> bool:
+        """Whether this node has (irrevocably) decided on an estimate."""
+
+    @property
+    @abstractmethod
+    def estimate(self) -> Optional[float]:
+        """The decided estimate of ``log n`` (None until decided)."""
+
+    @property
+    def halted(self) -> bool:
+        """Whether this node has stopped participating (default: once decided)."""
+        return self.decided
+
+    @property
+    def decision_round(self) -> Optional[int]:
+        """Round at which the node decided, if it tracks it (default None)."""
+        return getattr(self, "_decision_round", None)

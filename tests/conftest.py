@@ -1,0 +1,84 @@
+"""Shared fixtures.
+
+Expensive simulation runs are session-scoped so many tests can assert
+different properties of the same execution without re-running it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.congest_counting import run_congest_counting
+from repro.core.local_counting import run_local_counting
+from repro.core.parameters import CongestParameters, LocalParameters
+from repro.graphs.expanders import hypercube_graph, margulis_torus_graph
+from repro.graphs.generators import barbell_graph, cycle_graph
+from repro.graphs.hnd import hnd_random_regular_graph
+
+
+@pytest.fixture(scope="session")
+def small_hnd():
+    """A 64-node H(n, 8) graph used across many tests."""
+    return hnd_random_regular_graph(64, 8, seed=1)
+
+
+@pytest.fixture(scope="session")
+def medium_hnd():
+    """A 128-node H(n, 8) graph."""
+    return hnd_random_regular_graph(128, 8, seed=2)
+
+
+@pytest.fixture(scope="session")
+def tiny_cycle():
+    """An 8-node cycle (low expansion)."""
+    return cycle_graph(8)
+
+
+@pytest.fixture(scope="session")
+def small_barbell():
+    """A barbell graph with a bottleneck bridge."""
+    return barbell_graph(8, 2)
+
+
+@pytest.fixture(scope="session")
+def small_hypercube():
+    """The 5-dimensional hypercube (32 nodes, degree 5)."""
+    return hypercube_graph(5)
+
+
+@pytest.fixture(scope="session")
+def small_margulis():
+    """The 8x8 Margulis torus expander (64 nodes, degree <= 8)."""
+    return margulis_torus_graph(8)
+
+
+@pytest.fixture(scope="session")
+def local_params():
+    """Default Algorithm 1 parameters for degree-8 graphs."""
+    return LocalParameters(gamma=0.7, max_degree=8)
+
+
+@pytest.fixture(scope="session")
+def congest_params():
+    """Default Algorithm 2 parameters for degree-8 graphs."""
+    return CongestParameters(d=8)
+
+
+@pytest.fixture(scope="session")
+def benign_local_run(small_hnd, local_params):
+    """One benign Algorithm 1 execution on the 64-node graph."""
+    return run_local_counting(small_hnd, params=local_params, seed=3)
+
+
+@pytest.fixture(scope="session")
+def benign_congest_run(small_hnd, congest_params):
+    """One benign Algorithm 2 execution on the 64-node graph."""
+    return run_congest_counting(small_hnd, params=congest_params, seed=3)
+
+
+@pytest.fixture(scope="session")
+def benign_congest_run_quiescent(small_hnd, congest_params):
+    """Benign Algorithm 2 execution run to full quiescence (Corollary 1 mode)."""
+    return run_congest_counting(
+        small_hnd, params=congest_params, seed=4, stop_when_all_decided=False
+    )

@@ -1,0 +1,216 @@
+"""Tests for Byzantine placement strategies and behaviour strategies."""
+
+import pytest
+
+from repro.adversary.placement import (
+    clustered_placement,
+    cut_placement,
+    high_degree_placement,
+    random_placement,
+    spread_placement,
+)
+from repro.adversary.strategies import (
+    BeaconFloodAdversary,
+    CombinedAdversary,
+    ContinueFloodAdversary,
+    ContinueSuppressAdversary,
+    FakeTopologyAdversary,
+    InconsistentTopologyAdversary,
+    PathTamperAdversary,
+    ValueFakingAdversary,
+)
+from repro.core.parameters import CongestParameters
+from repro.graphs.generators import barbell_graph, star_graph
+from repro.graphs.hnd import hnd_random_regular_graph
+from repro.graphs.neighborhoods import distances_from
+from repro.simulator.byzantine import SilentAdversary
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return hnd_random_regular_graph(64, 8, seed=17)
+
+
+class TestPlacements:
+    @pytest.mark.parametrize(
+        "placement",
+        [random_placement, clustered_placement, cut_placement, high_degree_placement, spread_placement],
+    )
+    def test_returns_requested_count(self, graph, placement):
+        chosen = placement(graph, 5, seed=1)
+        assert len(chosen) == 5
+        assert all(0 <= u < graph.n for u in chosen)
+
+    @pytest.mark.parametrize(
+        "placement",
+        [random_placement, clustered_placement, cut_placement, spread_placement],
+    )
+    def test_zero_budget(self, graph, placement):
+        assert placement(graph, 0, seed=1) == set()
+
+    def test_count_capped_at_n(self, graph):
+        assert len(random_placement(graph, 10_000, seed=0)) == graph.n
+
+    def test_negative_count_rejected(self, graph):
+        with pytest.raises(ValueError):
+            random_placement(graph, -1)
+
+    def test_random_placement_deterministic(self, graph):
+        assert random_placement(graph, 6, seed=3) == random_placement(graph, 6, seed=3)
+
+    def test_clustered_placement_is_connected_ball(self, graph):
+        chosen = clustered_placement(graph, 9, seed=2)
+        # All chosen nodes lie within a small radius of each other.
+        some = next(iter(chosen))
+        dist = distances_from(graph, some)
+        assert all(dist[u] <= 3 for u in chosen)
+
+    def test_spread_placement_spreads(self, graph):
+        chosen = spread_placement(graph, 4, seed=2)
+        nodes = sorted(chosen)
+        for i, u in enumerate(nodes):
+            dist = distances_from(graph, u)
+            for v in nodes[i + 1:]:
+                assert dist[v] >= 2
+
+    def test_high_degree_placement_prefers_hub(self):
+        g = star_graph(10)
+        assert 0 in high_degree_placement(g, 1, seed=0)
+
+    def test_cut_placement_on_barbell_hits_bridge_region(self):
+        g = barbell_graph(10, 2)
+        chosen = cut_placement(g, 3, seed=0)
+        assert len(chosen) == 3
+
+
+class _FakeProtocol:
+    decided = False
+    estimate = None
+
+
+def _make_view(graph, byzantine, round_number=1, params=None):
+    import random as _random
+
+    from repro.simulator.byzantine import AdversaryView
+
+    return AdversaryView(
+        round=round_number,
+        graph=graph,
+        byzantine=frozenset(byzantine),
+        honest_protocols={u: _FakeProtocol() for u in range(graph.n) if u not in byzantine},
+        honest_outboxes={},
+        byzantine_inboxes={b: [] for b in byzantine},
+        rng=_random.Random(0),
+    )
+
+
+class TestBehaviours:
+    def test_silent_and_suppress_send_nothing(self, graph):
+        view = _make_view(graph, {0})
+        for adversary in (SilentAdversary(), ContinueSuppressAdversary()):
+            adversary.setup(graph, frozenset({0}), view.rng)
+            assert adversary.act(view) == {}
+
+    def test_fake_topology_round0_announces_fake_roots(self, graph):
+        adversary = FakeTopologyAdversary()
+        view = _make_view(graph, {0}, round_number=0)
+        adversary.setup(graph, frozenset({0}), view.rng)
+        out = adversary.act(view)
+        assert set(out) == {0}
+        messages = next(iter(out[0].values()))
+        edge_sets, _ = messages[0].payload
+        claimed_ids = {node_id for node_id, _ in edge_sets}
+        assert graph.node_id(0) in claimed_ids
+
+    def test_fake_topology_grows_but_bounded_per_round(self, graph):
+        adversary = FakeTopologyAdversary(max_new_per_round=8)
+        view0 = _make_view(graph, {0}, round_number=0)
+        adversary.setup(graph, frozenset({0}), view0.rng)
+        adversary.act(view0)
+        out = adversary.act(_make_view(graph, {0}, round_number=1))
+        messages = next(iter(out[0].values()))
+        edge_sets, _ = messages[0].payload
+        new_ids = sum(len(edges) for _, edges in edge_sets)
+        assert 0 < new_ids <= 8 * (graph.max_degree() - 1)
+
+    def test_fake_topology_max_depth_stops_growth(self, graph):
+        adversary = FakeTopologyAdversary(max_depth=1)
+        view0 = _make_view(graph, {0}, round_number=0)
+        adversary.setup(graph, frozenset({0}), view0.rng)
+        adversary.act(view0)
+        adversary.act(_make_view(graph, {0}, round_number=1))
+        out = adversary.act(_make_view(graph, {0}, round_number=2))
+        messages = next(iter(out[0].values()))
+        edge_sets, _ = messages[0].payload
+        assert edge_sets == ()
+
+    def test_inconsistent_topology_targets_honest_nodes(self, graph):
+        adversary = InconsistentTopologyAdversary(claims_per_round=3)
+        view = _make_view(graph, {0})
+        adversary.setup(graph, frozenset({0}), view.rng)
+        out = adversary.act(view)
+        messages = next(iter(out[0].values()))
+        edge_sets, _ = messages[0].payload
+        assert len(edge_sets) == 3
+        honest_ids = {graph.node_id(u) for u in range(graph.n) if u != 0}
+        assert all(node_id in honest_ids for node_id, _ in edge_sets)
+
+    def test_beacon_flood_only_in_beacon_window(self, graph):
+        params = CongestParameters(d=8)
+        adversary = BeaconFloodAdversary(params)
+        adversary.setup(graph, frozenset({0}), _make_view(graph, {0}).rng)
+        in_window = adversary.act(_make_view(graph, {0}, round_number=1, params=params))
+        assert in_window and all(
+            m.kind == "beacon" for msgs in in_window[0].values() for m in msgs
+        )
+        # Step i+3 of phase 2 is round 6: outside the beacon window.
+        outside = adversary.act(_make_view(graph, {0}, round_number=6, params=params))
+        assert outside == {}
+
+    def test_continue_flood_only_in_continue_window(self, graph):
+        params = CongestParameters(d=8)
+        adversary = ContinueFloodAdversary(params)
+        adversary.setup(graph, frozenset({0}), _make_view(graph, {0}).rng)
+        assert adversary.act(_make_view(graph, {0}, round_number=1)) == {}
+        out = adversary.act(_make_view(graph, {0}, round_number=6))
+        assert out and all(
+            m.kind == "continue" for msgs in out[0].values() for m in msgs
+        )
+
+    def test_path_tamper_sends_something_every_round(self, graph):
+        params = CongestParameters(d=8)
+        adversary = PathTamperAdversary(params)
+        adversary.setup(graph, frozenset({0}), _make_view(graph, {0}).rng)
+        for round_number in (1, 3, 6, 8):
+            out = adversary.act(_make_view(graph, {0}, round_number=round_number))
+            assert out
+
+    def test_value_faking_modes(self, graph):
+        view = _make_view(graph, {0})
+        inflate = ValueFakingAdversary(mode="inflate", magnitude=123.0)
+        inflate.setup(graph, frozenset({0}), view.rng)
+        out = inflate.act(view)
+        assert next(iter(out[0].values()))[0].payload == 123.0
+        deflate = ValueFakingAdversary(mode="deflate")
+        deflate.setup(graph, frozenset({0}), view.rng)
+        out = deflate.act(view)
+        assert next(iter(out[0].values()))[0].payload == 0.0
+
+    def test_value_faking_invalid_mode(self):
+        with pytest.raises(ValueError):
+            ValueFakingAdversary(mode="weird")
+
+    def test_combined_adversary_merges(self, graph):
+        params = CongestParameters(d=8)
+        combined = CombinedAdversary(
+            [BeaconFloodAdversary(params), ValueFakingAdversary()]
+        )
+        view = _make_view(graph, {0})
+        combined.setup(graph, frozenset({0}), view.rng)
+        out = combined.act(view)
+        kinds = {m.kind for msgs in out[0].values() for m in msgs}
+        assert kinds == {"beacon", "estimate"}
+
+    def test_combined_adversary_requires_strategies(self):
+        with pytest.raises(ValueError):
+            CombinedAdversary([])

@@ -1,0 +1,152 @@
+"""Tests for the theorem checks, complexity fits, and table rendering."""
+
+import math
+
+import pytest
+
+from repro.analysis.accuracy import corollary1_check, theorem1_check, theorem2_check
+from repro.analysis.complexity import fit_blog2_model, fit_log_model
+from repro.analysis.tables import render_series, render_table
+from repro.core.estimate import CountingOutcome, DecisionRecord
+
+
+def _outcome(n, estimates, *, rounds=5, small_fraction=1.0):
+    records = {
+        node: DecisionRecord(
+            node=node, decided=est is not None, estimate=est,
+            decision_round=rounds if est is not None else None,
+        )
+        for node, est in estimates.items()
+    }
+    return CountingOutcome(
+        n=n, records=records, rounds_executed=rounds, total_messages=1,
+        total_bits=1, small_message_fraction=small_fraction,
+    )
+
+
+class TestTheoremChecks:
+    def test_theorem1_pass(self):
+        n = 1024
+        good = {i: math.log(n) * 0.8 for i in range(10)}
+        report = theorem1_check(_outcome(n, good))
+        assert report.passed
+        assert report.fraction_in_band == 1.0
+
+    def test_theorem1_fails_on_undecided(self):
+        n = 1024
+        estimates = {0: math.log(n), 1: None}
+        assert not theorem1_check(_outcome(n, estimates)).passed
+
+    def test_theorem1_fails_on_too_many_rounds(self):
+        n = 64
+        estimates = {0: math.log(n)}
+        report = theorem1_check(_outcome(n, estimates, rounds=1000))
+        assert not report.passed
+
+    def test_theorem1_fails_out_of_band(self):
+        n = 1024
+        estimates = {i: 0.01 for i in range(10)}
+        assert not theorem1_check(_outcome(n, estimates)).passed
+
+    def test_theorem2_pass(self):
+        n = 1024
+        estimates = {i: math.log(n) for i in range(20)}
+        report = theorem2_check(_outcome(n, estimates), beta=0.1, round_budget=100)
+        assert report.passed
+
+    def test_theorem2_beta_tolerates_minority_failures(self):
+        n = 1024
+        estimates = {i: math.log(n) for i in range(18)}
+        estimates[18] = 0.01
+        estimates[19] = 0.01
+        report = theorem2_check(_outcome(n, estimates), beta=0.15)
+        assert report.passed
+        assert not theorem2_check(_outcome(n, estimates), beta=0.05).passed
+
+    def test_theorem2_small_message_requirement(self):
+        n = 256
+        estimates = {i: math.log(n) for i in range(5)}
+        report = theorem2_check(
+            _outcome(n, estimates, small_fraction=0.2), beta=0.1
+        )
+        assert not report.passed
+
+    def test_corollary1_upper_bound_enforced(self):
+        n = 64
+        ok = {i: float(math.ceil(math.log(n))) for i in range(5)}
+        assert corollary1_check(_outcome(n, ok)).passed
+        too_big = {i: math.ceil(math.log(n)) + 5.0 for i in range(5)}
+        assert not corollary1_check(_outcome(n, too_big)).passed
+
+    def test_report_summary_keys(self):
+        n = 128
+        report = theorem1_check(_outcome(n, {0: math.log(n)}))
+        summary = report.summary()
+        assert summary["check"] == "theorem1"
+        assert "fraction_in_band" in summary
+
+
+class TestComplexityFits:
+    def test_log_fit_recovers_coefficients(self):
+        sizes = [64, 128, 256, 512, 1024]
+        rounds = [3.0 * math.log(n) + 2.0 for n in sizes]
+        fit = fit_log_model(sizes, rounds)
+        assert fit.coefficient == pytest.approx(3.0, abs=1e-6)
+        assert fit.intercept == pytest.approx(2.0, abs=1e-6)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_blog2_fit_recovers_coefficients(self):
+        sizes = [64, 128, 256, 256, 512]
+        byz = [1, 2, 3, 5, 4]
+        rounds = [0.5 * (b + 1) * math.log(n) ** 2 + 7 for n, b in zip(sizes, byz)]
+        fit = fit_blog2_model(sizes, byz, rounds)
+        assert fit.coefficient == pytest.approx(0.5, abs=1e-6)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_fit_handles_single_point(self):
+        fit = fit_log_model([100], [5.0])
+        assert fit.r_squared == 1.0
+        assert fit.intercept == 5.0
+
+    def test_fit_rejects_empty(self):
+        with pytest.raises(ValueError):
+            fit_log_model([], [])
+
+    def test_fit_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            fit_blog2_model([1, 2], [1], [3.0, 4.0])
+
+    def test_noisy_fit_r_squared_below_one(self):
+        sizes = [64, 128, 256, 512]
+        rounds = [10, 11, 30, 12]
+        fit = fit_log_model(sizes, rounds)
+        assert fit.r_squared < 0.9
+
+    def test_summary(self):
+        fit = fit_log_model([10, 100], [1.0, 2.0])
+        assert set(fit.summary()) == {"model", "coefficient", "intercept", "r_squared"}
+
+
+class TestTables:
+    def test_render_table_basic(self):
+        text = render_table([{"a": 1, "b": 2.5}, {"a": 10, "b": None}], title="t")
+        assert "t" in text
+        assert "a" in text and "b" in text
+        assert "2.500" in text
+        assert "-" in text  # None rendered as dash
+
+    def test_render_table_empty(self):
+        assert "(no rows)" in render_table([])
+
+    def test_render_table_column_selection(self):
+        text = render_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_render_table_bool(self):
+        text = render_table([{"ok": True}, {"ok": False}])
+        assert "yes" in text and "no" in text
+
+    def test_render_series(self):
+        text = render_series([1, 2], [3.0, 4.0], x_label="n", y_label="rounds")
+        assert "rounds" in text
+        assert "4.000" in text

@@ -1,0 +1,176 @@
+"""Tests for beacon/continue messages, the phase blacklist, and the schedule."""
+
+import math
+
+import pytest
+
+from repro.core.beacon import (
+    BeaconPayload,
+    is_continue,
+    make_beacon_message,
+    make_continue_message,
+    parse_beacon,
+)
+from repro.core.blacklist import PhaseBlacklist, split_trusted_suffix
+from repro.core.congest_counting import PhaseSchedule
+from repro.core.parameters import CongestParameters
+from repro.simulator.messages import Message
+
+
+class TestBeaconMessages:
+    def test_make_beacon_counts_ids(self):
+        m = make_beacon_message(origin=7, path=(1, 2, 3))
+        assert m.kind == "beacon"
+        assert m.num_ids == 4
+
+    def test_beacon_is_small_message(self):
+        m = make_beacon_message(origin=7, path=(1, 2, 3))
+        assert m.is_small(10**6)
+
+    def test_parse_roundtrip(self):
+        m = make_beacon_message(origin=9, path=(4, 5))
+        payload = parse_beacon(m)
+        assert payload == BeaconPayload(origin=9, path=(4, 5))
+
+    def test_parse_rejects_wrong_kind(self):
+        assert parse_beacon(Message(kind="continue")) is None
+
+    def test_parse_rejects_malformed_payload(self):
+        assert parse_beacon(Message(kind="beacon", payload="garbage")) is None
+        assert parse_beacon(
+            Message(kind="beacon", payload=BeaconPayload(origin="x", path=(1,)))
+        ) is None
+        assert parse_beacon(
+            Message(kind="beacon", payload=BeaconPayload(origin=1, path=("a",)))
+        ) is None
+
+    def test_extended_appends(self):
+        payload = BeaconPayload(origin=1, path=(2,))
+        assert payload.extended(3).path == (2, 3)
+
+    def test_continue_message(self):
+        m = make_continue_message()
+        assert is_continue(m)
+        assert m.num_ids == 0
+        assert not is_continue(make_beacon_message(1))
+
+
+class TestTrustedSuffix:
+    def test_split_basic(self):
+        far, suffix = split_trusted_suffix((1, 2, 3, 4), 2)
+        assert far == (1, 2)
+        assert suffix == (3, 4)
+
+    def test_split_suffix_longer_than_path(self):
+        far, suffix = split_trusted_suffix((1, 2), 5)
+        assert far == ()
+        assert suffix == (1, 2)
+
+    def test_split_zero_suffix(self):
+        far, suffix = split_trusted_suffix((1, 2), 0)
+        assert far == (1, 2)
+        assert suffix == ()
+
+
+class TestPhaseBlacklist:
+    def test_add_and_block(self):
+        bl = PhaseBlacklist()
+        added = bl.add_path((10, 20, 30, 40), suffix_length=1)
+        assert added == 3
+        assert 10 in bl and 40 not in bl
+        assert bl.blocks_path((99, 10, 55, 66), suffix_length=1)
+        assert not bl.blocks_path((77, 88, 10), suffix_length=1)  # 10 is in the suffix
+
+    def test_reset(self):
+        bl = PhaseBlacklist()
+        bl.add_path((1, 2, 3), suffix_length=1)
+        bl.reset()
+        assert len(bl) == 0
+        assert not bl.blocks_path((1, 2, 3), suffix_length=1)
+
+    def test_add_counts_only_new(self):
+        bl = PhaseBlacklist()
+        bl.add_path((1, 2, 3), suffix_length=1)
+        assert bl.add_path((1, 2, 9), suffix_length=1) == 0  # 1, 2 already there
+
+    def test_short_path_fully_trusted(self):
+        bl = PhaseBlacklist()
+        assert bl.add_path((5,), suffix_length=1) == 0
+        assert not bl.blocks_path((5,), suffix_length=1)
+
+    def test_blocked_property(self):
+        bl = PhaseBlacklist()
+        bl.add_path((1, 2, 3, 4), suffix_length=2)
+        assert bl.blocked == frozenset({1, 2})
+
+
+class TestPhaseSchedule:
+    def test_first_round_is_first_phase(self):
+        params = CongestParameters(first_phase=2)
+        schedule = PhaseSchedule(params)
+        pos = schedule.locate(1)
+        assert pos.phase == 2 and pos.iteration == 1 and pos.step == 1
+        assert pos.is_iteration_start
+
+    def test_rejects_round_zero(self):
+        schedule = PhaseSchedule(CongestParameters())
+        with pytest.raises(ValueError):
+            schedule.locate(0)
+
+    def test_phase_boundaries(self):
+        params = CongestParameters(first_phase=2, gamma=0.5)
+        schedule = PhaseSchedule(params)
+        phase2_length = params.phase_length(2)
+        last_of_phase2 = schedule.locate(phase2_length)
+        first_of_phase3 = schedule.locate(phase2_length + 1)
+        assert last_of_phase2.phase == 2
+        assert last_of_phase2.step == params.rounds_per_iteration(2)
+        assert first_of_phase3.phase == 3
+        assert first_of_phase3.iteration == 1 and first_of_phase3.step == 1
+
+    def test_steps_cycle_within_iterations(self):
+        params = CongestParameters(first_phase=2)
+        schedule = PhaseSchedule(params)
+        rpi = params.rounds_per_iteration(2)
+        assert schedule.locate(rpi).iteration == 1
+        assert schedule.locate(rpi + 1).iteration == 2
+        assert schedule.locate(rpi + 1).step == 1
+
+    def test_consistent_with_phase_start_round(self):
+        params = CongestParameters(first_phase=2)
+        schedule = PhaseSchedule(params)
+        for phase in (2, 3, 4, 5):
+            start = schedule.phase_start_round(phase)
+            assert schedule.locate(start).phase == phase
+            assert schedule.locate(start).step == 1
+            end = schedule.end_of_phase_round(phase)
+            assert schedule.locate(end).phase == phase
+            if phase > 2:
+                assert schedule.locate(start - 1).phase == phase - 1
+
+    def test_phase_start_round_rejects_early_phase(self):
+        schedule = PhaseSchedule(CongestParameters(first_phase=3))
+        with pytest.raises(ValueError):
+            schedule.phase_start_round(2)
+
+    def test_locate_monotone_phases(self):
+        params = CongestParameters()
+        schedule = PhaseSchedule(params)
+        phases = [schedule.locate(r).phase for r in range(1, 400, 7)]
+        assert phases == sorted(phases)
+
+    def test_every_round_covered_exactly_once(self):
+        params = CongestParameters(first_phase=2)
+        schedule = PhaseSchedule(params)
+        # Walk rounds 1..N and confirm (phase, iteration, step) advances without
+        # gaps: step increments by 1 or wraps to 1.
+        previous = schedule.locate(1)
+        for r in range(2, 300):
+            current = schedule.locate(r)
+            if current.step != 1:
+                assert current.step == previous.step + 1
+                assert current.phase == previous.phase
+                assert current.iteration == previous.iteration
+            else:
+                assert previous.step == params.rounds_per_iteration(previous.phase)
+            previous = current

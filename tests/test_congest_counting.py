@@ -1,0 +1,154 @@
+"""Tests for Algorithm 2 (randomized small-message counting)."""
+
+import math
+from collections import Counter
+
+import pytest
+
+from repro.adversary.placement import spread_placement
+from repro.adversary.strategies import (
+    BeaconFloodAdversary,
+    ContinueFloodAdversary,
+    PathTamperAdversary,
+)
+from repro.core.congest_counting import run_congest_counting
+from repro.core.parameters import CongestParameters
+from repro.graphs.hnd import hnd_random_regular_graph
+from repro.graphs.neighborhoods import ball_of_set
+
+
+class TestBenignRuns:
+    def test_all_nodes_decide(self, benign_congest_run):
+        assert benign_congest_run.outcome.decided_fraction() == 1.0
+
+    def test_estimates_upper_bounded_by_ceil_ln_n(self, small_hnd, benign_congest_run):
+        _, high = benign_congest_run.outcome.estimate_range()
+        assert high <= math.ceil(math.log(small_hnd.n)) + 1
+
+    def test_estimates_lower_bounded(self, small_hnd, benign_congest_run):
+        low, _ = benign_congest_run.outcome.estimate_range()
+        assert low >= benign_congest_run.params.first_phase
+
+    def test_most_nodes_agree_on_modal_value(self, benign_congest_run):
+        histogram = Counter(benign_congest_run.outcome.estimates())
+        _, modal_count = histogram.most_common(1)[0]
+        assert modal_count >= 0.75 * len(benign_congest_run.outcome.records)
+
+    def test_only_small_messages(self, benign_congest_run):
+        assert benign_congest_run.outcome.small_message_fraction == 1.0
+
+    def test_quiescence_in_benign_case(self, benign_congest_run_quiescent):
+        metrics = benign_congest_run_quiescent.result.metrics
+        assert metrics.messages_per_round[-1] == 0
+        assert benign_congest_run_quiescent.outcome.decided_fraction() == 1.0
+
+    def test_reproducible_given_seed(self, small_hnd, congest_params):
+        a = run_congest_counting(small_hnd, params=congest_params, seed=12)
+        b = run_congest_counting(small_hnd, params=congest_params, seed=12)
+        assert a.outcome.estimates() == b.outcome.estimates()
+
+    def test_estimates_grow_with_n(self, congest_params):
+        medians = []
+        for n in (64, 512):
+            graph = hnd_random_regular_graph(n, 8, seed=13)
+            run = run_congest_counting(graph, params=congest_params, seed=13)
+            medians.append(run.outcome.median_estimate())
+        assert medians[1] > medians[0]
+
+    def test_rounds_within_budget(self, small_hnd, congest_params, benign_congest_run):
+        budget = congest_params.round_budget(small_hnd.n)
+        assert benign_congest_run.outcome.rounds_executed <= budget
+
+
+class TestByzantineRuns:
+    @pytest.fixture(scope="class")
+    def attack_setup(self):
+        params = CongestParameters(d=8)
+        graph = hnd_random_regular_graph(128, 8, seed=41)
+        byzantine = spread_placement(graph, 3, seed=41)
+        budget = params.rounds_through_phase(int(math.ceil(math.log(graph.n))) + 1)
+        return params, graph, byzantine, budget
+
+    def _far_nodes(self, graph, byzantine, outcome):
+        contaminated = ball_of_set(graph, byzantine, 1)
+        return [u for u in outcome.records if u not in contaminated]
+
+    def test_beacon_flood_far_nodes_decide_in_band(self, attack_setup):
+        params, graph, byz, budget = attack_setup
+        run = run_congest_counting(
+            graph, byzantine=byz, adversary=BeaconFloodAdversary(params),
+            params=params, seed=1, max_rounds=budget,
+        )
+        outcome = run.outcome
+        log_n = math.log(graph.n)
+        far = self._far_nodes(graph, byz, outcome)
+        in_band = [
+            u for u in far if outcome.records[u].within(0.35 * log_n, 1.6 * log_n)
+        ]
+        assert len(in_band) >= 0.9 * len(far)
+
+    def test_beacon_flood_does_not_cause_unbounded_overshoot(self, attack_setup):
+        params, graph, byz, budget = attack_setup
+        run = run_congest_counting(
+            graph, byzantine=byz, adversary=BeaconFloodAdversary(params),
+            params=params, seed=2, max_rounds=budget,
+        )
+        estimates = run.outcome.estimates()
+        assert estimates
+        assert max(estimates) <= math.ceil(math.log(graph.n)) + 3
+
+    def test_path_tamper_attack(self, attack_setup):
+        params, graph, byz, budget = attack_setup
+        run = run_congest_counting(
+            graph, byzantine=byz, adversary=PathTamperAdversary(params),
+            params=params, seed=3, max_rounds=budget,
+        )
+        outcome = run.outcome
+        far = self._far_nodes(graph, byz, outcome)
+        decided_far = [u for u in far if outcome.records[u].decided]
+        assert len(decided_far) >= 0.9 * len(far)
+
+    def test_continue_flood_does_not_change_estimates(self, attack_setup):
+        params, graph, byz, budget = attack_setup
+        attacked = run_congest_counting(
+            graph, byzantine=byz, adversary=ContinueFloodAdversary(params),
+            params=params, seed=4, max_rounds=budget,
+        )
+        outcome = attacked.outcome
+        assert outcome.decided_fraction() == 1.0
+        assert max(outcome.estimates()) <= math.ceil(math.log(graph.n)) + 1
+
+    def test_blacklist_ablation_far_nodes_cannot_decide(self):
+        # With blacklisting disabled, the flooding adversary keeps every good
+        # node that can hear it from ever seeing a beacon-free iteration.
+        params = CongestParameters(d=8, blacklist_enabled=False)
+        graph = hnd_random_regular_graph(64, 8, seed=55)
+        byzantine = spread_placement(graph, 2, seed=55)
+        budget = params.rounds_through_phase(int(math.ceil(math.log(graph.n))) + 1)
+        run = run_congest_counting(
+            graph, byzantine=byzantine, adversary=BeaconFloodAdversary(params),
+            params=params, seed=5, max_rounds=budget,
+        )
+        assert run.outcome.decided_fraction() < 0.5
+
+    def test_blacklist_enabled_beats_ablation(self):
+        graph = hnd_random_regular_graph(64, 8, seed=56)
+        byzantine = spread_placement(graph, 2, seed=56)
+        results = {}
+        for enabled in (True, False):
+            params = CongestParameters(d=8, blacklist_enabled=enabled)
+            budget = params.rounds_through_phase(int(math.ceil(math.log(graph.n))) + 1)
+            run = run_congest_counting(
+                graph, byzantine=byzantine, adversary=BeaconFloodAdversary(params),
+                params=params, seed=6, max_rounds=budget,
+            )
+            results[enabled] = run.outcome.decided_fraction()
+        assert results[True] > results[False]
+
+    def test_small_messages_under_attack(self, attack_setup):
+        params, graph, byz, budget = attack_setup
+        run = run_congest_counting(
+            graph, byzantine=byz, adversary=BeaconFloodAdversary(params),
+            params=params, seed=7, max_rounds=budget,
+        )
+        assert run.outcome.small_message_fraction >= 0.95

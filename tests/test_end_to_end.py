@@ -1,0 +1,105 @@
+"""End-to-end integration tests phrased as the paper's guarantees."""
+
+import math
+
+import pytest
+
+from repro.adversary.placement import random_placement, spread_placement
+from repro.adversary.strategies import BeaconFloodAdversary, FakeTopologyAdversary
+from repro.analysis.accuracy import corollary1_check, theorem1_check, theorem2_check
+from repro.core.congest_counting import run_congest_counting
+from repro.core.local_counting import run_local_counting
+from repro.core.parameters import CongestParameters, LocalParameters
+from repro.graphs.expansion import good_set
+from repro.graphs.hnd import configuration_model_graph, hnd_random_regular_graph
+from repro.graphs.expanders import margulis_torus_graph
+
+
+class TestTheorem1EndToEnd:
+    def test_hnd_expander_with_adversarial_byzantine(self):
+        graph = hnd_random_regular_graph(256, 8, seed=71)
+        params = LocalParameters(gamma=0.7, max_degree=8)
+        byzantine = random_placement(graph, params.byzantine_bound(256), seed=71)
+        evaluation = good_set(graph, byzantine, params.gamma)
+        run = run_local_counting(
+            graph, byzantine=byzantine, adversary=FakeTopologyAdversary(),
+            params=params, seed=71, evaluation_set=evaluation,
+        )
+        assert theorem1_check(run.outcome).passed
+
+    def test_margulis_expander_benign(self):
+        graph = margulis_torus_graph(12)  # 144 nodes, explicit expander
+        run = run_local_counting(graph, seed=0)
+        report = theorem1_check(run.outcome, min_fraction=0.95)
+        assert report.passed
+
+
+class TestTheorem2EndToEnd:
+    def test_hnd_with_beacon_flooding(self):
+        params = CongestParameters(gamma=0.5, d=8)
+        graph = hnd_random_regular_graph(256, 8, seed=72)
+        byzantine = spread_placement(graph, 4, seed=72)
+        budget = params.rounds_through_phase(int(math.ceil(math.log(256))) + 1)
+        # Theorem 2's guarantee is for the nodes far from every Byzantine node
+        # (GoodTL); honest nodes sharing an edge with a Byzantine flooder can
+        # legitimately be kept undecided, and they are the beta fraction.
+        from repro.graphs.neighborhoods import ball_of_set
+
+        contaminated = ball_of_set(graph, byzantine, 1)
+        evaluation = {u for u in range(graph.n) if u not in contaminated}
+        run = run_congest_counting(
+            graph, byzantine=byzantine, adversary=BeaconFloodAdversary(params),
+            params=params, seed=72, max_rounds=budget, evaluation_set=evaluation,
+        )
+        report = theorem2_check(
+            run.outcome, beta=0.25, num_byzantine=4, round_budget=budget
+        )
+        assert report.passed
+
+    def test_rounds_grow_with_byzantine_budget(self):
+        # O(B log^2 n): more Byzantine flooders should not shrink the decision
+        # time, and stay within the budget.
+        params = CongestParameters(d=8)
+        graph = hnd_random_regular_graph(128, 8, seed=73)
+        budget = params.rounds_through_phase(int(math.ceil(math.log(128))) + 1)
+        rounds = {}
+        for num_byz in (1, 4):
+            byz = spread_placement(graph, num_byz, seed=73)
+            run = run_congest_counting(
+                graph, byzantine=byz, adversary=BeaconFloodAdversary(params),
+                params=params, seed=73, max_rounds=budget,
+            )
+            rounds[num_byz] = run.outcome.max_decision_round()
+        assert rounds[4] >= rounds[1]
+        assert rounds[4] <= budget
+
+    def test_configuration_model_also_works(self):
+        # "Almost all d-regular graphs": the configuration model is the other
+        # distribution the contiguity argument covers.
+        params = CongestParameters(d=8)
+        graph = configuration_model_graph(128, 8, seed=74)
+        run = run_congest_counting(graph, params=params, seed=74)
+        assert corollary1_check(run.outcome).passed
+
+
+class TestCorollary1EndToEnd:
+    def test_benign_termination_and_agreement(self):
+        params = CongestParameters(d=8)
+        graph = hnd_random_regular_graph(128, 8, seed=75)
+        run = run_congest_counting(
+            graph, params=params, seed=75, stop_when_all_decided=False
+        )
+        assert corollary1_check(run.outcome).passed
+        # Termination: the network is quiescent at the end of the run.
+        assert run.result.metrics.messages_per_round[-1] == 0
+
+
+class TestCrossAlgorithmConsistency:
+    def test_both_algorithms_land_in_overlapping_bands(self):
+        graph = hnd_random_regular_graph(256, 8, seed=76)
+        local = run_local_counting(graph, seed=76)
+        congest = run_congest_counting(graph, params=CongestParameters(d=8), seed=76)
+        log_n = math.log(graph.n)
+        for outcome in (local.outcome, congest.outcome):
+            median = outcome.median_estimate()
+            assert 0.35 * log_n <= median <= 1.6 * log_n

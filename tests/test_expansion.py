@@ -1,0 +1,193 @@
+"""Tests for vertex expansion, spectral bounds, and the Lemma 1 Good sets."""
+
+import math
+
+import pytest
+
+from repro.graphs.expansion import (
+    cheeger_lower_bound,
+    good_set,
+    good_treelike_set,
+    out_neighbors,
+    prune_to_expander,
+    spectral_gap,
+    vertex_expansion_exact,
+    vertex_expansion_of_set,
+    vertex_expansion_sampled,
+)
+from repro.graphs.generators import (
+    barbell_graph,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graphs.hnd import hnd_random_regular_graph
+
+
+class TestOutNeighborsAndSetExpansion:
+    def test_out_neighbors_basic(self):
+        g = path_graph(5)
+        assert out_neighbors(g, {1, 2}) == {0, 3}
+
+    def test_out_neighbors_whole_graph_empty(self):
+        g = cycle_graph(5)
+        assert out_neighbors(g, set(range(5))) == set()
+
+    def test_expansion_of_single_node(self):
+        g = cycle_graph(6)
+        assert vertex_expansion_of_set(g, {0}) == 2.0
+
+    def test_expansion_of_empty_set_raises(self):
+        with pytest.raises(ValueError):
+            vertex_expansion_of_set(cycle_graph(5), set())
+
+    def test_expansion_of_half_cycle(self):
+        g = cycle_graph(8)
+        assert vertex_expansion_of_set(g, {0, 1, 2, 3}) == pytest.approx(0.5)
+
+
+class TestExactExpansion:
+    def test_complete_graph(self):
+        # K_4: any set S of size <= 2 has all remaining nodes as out-neighbors.
+        assert vertex_expansion_exact(complete_graph(4)) == pytest.approx(1.0)
+
+    def test_cycle_expansion_small(self):
+        g = cycle_graph(10)
+        # Worst set: a contiguous arc of 5 nodes with 2 out-neighbors.
+        assert vertex_expansion_exact(g, max_n=12) == pytest.approx(2 / 5)
+
+    def test_star_bottleneck(self):
+        g = star_graph(7)
+        # Leaves only connect through the hub: a set of 3 leaves has Out = {hub}.
+        assert vertex_expansion_exact(g) == pytest.approx(1 / 3)
+
+    def test_refuses_large_graphs(self):
+        with pytest.raises(ValueError):
+            vertex_expansion_exact(cycle_graph(50))
+
+    def test_single_node_graph(self):
+        from repro.graphs.graph import Graph
+
+        assert vertex_expansion_exact(Graph(n=1, adjacency=[()])) == 0.0
+
+    def test_disconnected_graph_zero(self):
+        from repro.graphs.graph import Graph
+
+        g = Graph.from_edges(4, [(0, 1), (2, 3)])
+        assert vertex_expansion_exact(g) == 0.0
+
+
+class TestSampledExpansion:
+    def test_upper_bounds_exact_on_small_graphs(self):
+        g = cycle_graph(12)
+        exact = vertex_expansion_exact(g, max_n=12)
+        sampled = vertex_expansion_sampled(g, seed=0, num_samples=100)
+        assert sampled >= exact - 1e-9
+
+    def test_expander_vs_cycle_discrimination(self):
+        expander = hnd_random_regular_graph(128, 8, seed=0)
+        weak = cycle_graph(128)
+        assert vertex_expansion_sampled(expander, seed=1, num_samples=60) > 5 * (
+            vertex_expansion_sampled(weak, seed=1, num_samples=60)
+        )
+
+    def test_barbell_finds_bottleneck(self):
+        g = barbell_graph(10, 2)
+        assert vertex_expansion_sampled(g, seed=0, num_samples=150) <= 0.35
+
+    def test_trivial_graphs(self):
+        from repro.graphs.graph import Graph
+
+        assert vertex_expansion_sampled(Graph(n=1, adjacency=[()])) == 0.0
+        assert vertex_expansion_sampled(Graph(n=0, adjacency=[])) == 0.0
+
+
+class TestSpectral:
+    def test_spectral_gap_complete_graph(self):
+        # K_n has eigenvalues n-1 and -1, so the gap is n.
+        assert spectral_gap(complete_graph(6)) == pytest.approx(6.0, abs=1e-6)
+
+    def test_spectral_gap_expander_large(self):
+        g = hnd_random_regular_graph(200, 8, seed=1)
+        # Ramanujan-ish: lambda_2 <= ~2*sqrt(7)+o(1) < 6, so gap > 2.
+        assert spectral_gap(g) > 1.5
+
+    def test_spectral_gap_cycle_small(self):
+        assert spectral_gap(cycle_graph(100)) < 0.2
+
+    def test_cheeger_bound_nonnegative_and_ordered(self):
+        g = hnd_random_regular_graph(100, 8, seed=2)
+        bound = cheeger_lower_bound(g)
+        assert bound > 0
+        assert bound <= vertex_expansion_sampled(g, seed=0, num_samples=50) + 1e-9
+
+    def test_cheeger_bound_empty_graph(self):
+        from repro.graphs.graph import Graph
+
+        assert cheeger_lower_bound(Graph(n=0, adjacency=[])) == 0.0
+
+
+class TestGoodSets:
+    def test_good_set_excludes_byzantine_and_neighbors(self):
+        g = hnd_random_regular_graph(64, 8, seed=3)
+        byz = {0}
+        good = good_set(g, byz, gamma=0.5)
+        assert 0 not in good
+        assert all(v not in good for v in g.neighbors(0))
+
+    def test_good_set_literal_radius_zero(self):
+        g = hnd_random_regular_graph(64, 8, seed=3)
+        good = good_set(g, {0}, gamma=0.5, min_radius=0)
+        # With the literal formula the radius is 0 at this size, so only the
+        # Byzantine node itself is excluded.
+        assert good == set(range(64)) - {0}
+
+    def test_good_set_no_byzantine_is_everything(self):
+        g = hnd_random_regular_graph(32, 4, seed=1)
+        assert good_set(g, set(), gamma=0.5) == set(range(32))
+
+    def test_good_set_size_lower_bound(self):
+        g = hnd_random_regular_graph(256, 8, seed=4)
+        byz = {1, 2, 3}
+        good = good_set(g, byz, gamma=0.7)
+        assert len(good) >= 256 - 3 * (1 + 8 + 56)  # |B(Byz, 1)| at most, loosely
+
+    def test_good_set_empty_graph(self):
+        from repro.graphs.graph import Graph
+
+        assert good_set(Graph(n=0, adjacency=[]), set(), 0.5) == set()
+
+    def test_good_set_with_pruning(self):
+        g = hnd_random_regular_graph(128, 8, seed=5)
+        good = good_set(g, {0}, gamma=0.5, alpha_prime=0.2, seed=1)
+        assert 0 not in good
+        assert len(good) >= 100
+
+    def test_good_treelike_subset_of_good(self):
+        g = hnd_random_regular_graph(128, 8, seed=6)
+        byz = {5}
+        gtl = good_treelike_set(g, byz, gamma=0.5)
+        good = good_set(g, byz, gamma=0.5)
+        assert gtl <= good
+
+    def test_prune_to_expander_keeps_expander_intact(self):
+        g = hnd_random_regular_graph(128, 8, seed=7)
+        surviving = prune_to_expander(g, set(), target_expansion=0.2, seed=0)
+        assert len(surviving) >= 120
+
+    def test_prune_to_expander_removes_dangling_path(self):
+        # An expander with a long path glued on: the path should be pruned.
+        from repro.graphs.graph import Graph
+
+        core = hnd_random_regular_graph(64, 8, seed=8)
+        edges = list(core.edges())
+        # Attach a 10-node path to node 0.
+        for i in range(10):
+            a = 64 + i
+            b = 0 if i == 0 else 64 + i - 1
+            edges.append((b, a))
+        g = Graph.from_edges(74, edges)
+        surviving = prune_to_expander(g, set(), target_expansion=0.3, seed=0)
+        tail = set(range(64, 74))
+        assert len(surviving & tail) < 10

@@ -1,0 +1,133 @@
+"""Tests for the auxiliary topologies (low-expansion graphs, constructions)."""
+
+import pytest
+
+from repro.graphs.generators import (
+    barbell_graph,
+    chained_copies_graph,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    small_world_graph,
+    star_graph,
+    two_cliques_bridge_graph,
+)
+from repro.graphs.hnd import hnd_random_regular_graph
+
+
+class TestBasicTopologies:
+    def test_cycle(self):
+        g = cycle_graph(10)
+        assert g.n == 10
+        assert g.num_edges() == 10
+        assert all(g.degree(u) == 2 for u in range(10))
+
+    def test_cycle_too_small(self):
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+    def test_path(self):
+        g = path_graph(6)
+        assert g.num_edges() == 5
+        assert g.degree(0) == 1
+        assert g.degree(3) == 2
+
+    def test_complete(self):
+        g = complete_graph(7)
+        assert g.num_edges() == 21
+        assert all(g.degree(u) == 6 for u in range(7))
+
+    def test_star(self):
+        g = star_graph(9)
+        assert g.degree(0) == 8
+        assert all(g.degree(u) == 1 for u in range(1, 9))
+
+
+class TestBarbell:
+    def test_size(self):
+        g = barbell_graph(5, 1)
+        assert g.n == 10
+
+    def test_bridge_nodes(self):
+        g = barbell_graph(5, 3)
+        assert g.n == 12
+        assert g.is_connected()
+
+    def test_two_cliques_bridge(self):
+        g = two_cliques_bridge_graph(4)
+        assert g.n == 9
+        assert g.is_connected()
+        # The middle node is a cut vertex of degree 2.
+        bridge = [u for u in range(g.n) if g.degree(u) == 2]
+        assert len(bridge) == 1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            barbell_graph(1, 1)
+        with pytest.raises(ValueError):
+            barbell_graph(5, 0)
+
+
+class TestChainedCopies:
+    def test_size_formula(self):
+        base = cycle_graph(10)
+        glued, shared, members = chained_copies_graph(base, 4)
+        assert glued.n == 1 + 4 * 9
+        assert shared == 0
+        assert all(len(m) == 9 for m in members)
+
+    def test_shared_node_degree(self):
+        base = cycle_graph(10)
+        glued, shared, _ = chained_copies_graph(base, 3)
+        assert glued.degree(shared) == 3 * base.degree(0)
+
+    def test_connected(self):
+        base = hnd_random_regular_graph(16, 4, seed=0)
+        glued, _, _ = chained_copies_graph(base, 3, seed=1)
+        assert glued.is_connected()
+
+    def test_membership_partitions_non_shared_nodes(self):
+        base = cycle_graph(8)
+        glued, shared, members = chained_copies_graph(base, 5)
+        all_members = [u for group in members for u in group]
+        assert len(all_members) == len(set(all_members)) == glued.n - 1
+        assert shared not in all_members
+
+    def test_single_copy_is_isomorphic_size(self):
+        base = cycle_graph(12)
+        glued, _, _ = chained_copies_graph(base, 1)
+        assert glued.n == base.n
+        assert glued.num_edges() == base.num_edges()
+
+    def test_invalid_arguments(self):
+        base = cycle_graph(6)
+        with pytest.raises(ValueError):
+            chained_copies_graph(base, 0)
+        with pytest.raises(ValueError):
+            chained_copies_graph(base, 2, attachment_node=99)
+
+
+class TestSmallWorld:
+    def test_size_and_connectivity(self):
+        g = small_world_graph(64, k=4, rewire_probability=0.1, seed=0)
+        assert g.n == 64
+        assert g.is_connected()
+
+    def test_zero_rewire_is_ring_lattice(self):
+        g = small_world_graph(20, k=4, rewire_probability=0.0, seed=0)
+        assert all(g.degree(u) == 4 for u in range(g.n))
+
+    def test_deterministic(self):
+        a = small_world_graph(40, seed=5)
+        b = small_world_graph(40, seed=5)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            small_world_graph(3)
+        with pytest.raises(ValueError):
+            small_world_graph(10, k=3)
+        with pytest.raises(ValueError):
+            small_world_graph(10, k=4, rewire_probability=1.5)
+        with pytest.raises(ValueError):
+            small_world_graph(10, k=12)

@@ -1,0 +1,164 @@
+"""Unit tests for the core Graph data structure."""
+
+import random
+
+import pytest
+
+from repro.graphs.graph import Graph
+from repro.graphs.generators import complete_graph, cycle_graph, path_graph, star_graph
+
+
+class TestConstruction:
+    def test_from_edges_basic(self):
+        g = Graph.from_edges(3, [(0, 1), (1, 2)])
+        assert g.n == 3
+        assert g.num_edges() == 2
+        assert g.neighbors(1) == (0, 2)
+
+    def test_from_edges_removes_duplicates(self):
+        g = Graph.from_edges(2, [(0, 1), (1, 0), (0, 1)])
+        assert g.num_edges() == 1
+
+    def test_from_edges_removes_self_loops(self):
+        g = Graph.from_edges(2, [(0, 0), (0, 1)])
+        assert g.num_edges() == 1
+        assert g.neighbors(0) == (1,)
+
+    def test_adjacency_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(n=3, adjacency=[(1,), (0,)])
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(n=-1, adjacency=[])
+
+    def test_out_of_range_edge_rejected(self):
+        with pytest.raises(ValueError):
+            Graph.from_edges(2, [(0, 5)])
+
+    def test_node_ids_unique(self):
+        g = Graph.from_edges(50, [(i, i + 1) for i in range(49)])
+        assert len(set(g.node_ids)) == 50
+
+    def test_explicit_node_ids(self):
+        g = Graph.from_edges(2, [(0, 1)], node_ids=[10, 20])
+        assert g.node_id(0) == 10
+        assert g.index_of_id(20) == 1
+
+    def test_duplicate_node_ids_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(n=2, adjacency=[(1,), (0,)], node_ids=[5, 5])
+
+    def test_wrong_number_of_node_ids_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(n=2, adjacency=[(1,), (0,)], node_ids=[5])
+
+    def test_empty_graph(self):
+        g = Graph(n=0, adjacency=[])
+        assert g.n == 0
+        assert g.num_edges() == 0
+        assert g.max_degree() == 0
+        assert g.is_connected()
+
+
+class TestAccessors:
+    def test_degree_and_max_degree(self):
+        g = star_graph(5)
+        assert g.degree(0) == 4
+        assert g.degree(1) == 1
+        assert g.max_degree() == 4
+        assert g.min_degree() == 1
+
+    def test_average_degree(self):
+        g = cycle_graph(10)
+        assert g.average_degree() == pytest.approx(2.0)
+
+    def test_edges_iteration_sorted_pairs(self):
+        g = Graph.from_edges(3, [(2, 0), (1, 2)])
+        assert sorted(g.edges()) == [(0, 2), (1, 2)]
+
+    def test_has_edge(self):
+        g = path_graph(4)
+        assert g.has_edge(0, 1)
+        assert g.has_edge(1, 0)
+        assert not g.has_edge(0, 3)
+
+    def test_nodes_range(self):
+        g = path_graph(4)
+        assert list(g.nodes()) == [0, 1, 2, 3]
+
+    def test_len(self):
+        assert len(cycle_graph(7)) == 7
+
+
+class TestStructure:
+    def test_is_regular(self):
+        assert cycle_graph(6).is_regular()
+        assert not star_graph(4).is_regular()
+
+    def test_is_connected_true(self):
+        assert cycle_graph(9).is_connected()
+
+    def test_is_connected_false(self):
+        g = Graph.from_edges(4, [(0, 1), (2, 3)])
+        assert not g.is_connected()
+
+    def test_connected_components(self):
+        g = Graph.from_edges(5, [(0, 1), (2, 3)])
+        comps = g.connected_components()
+        assert sorted(map(tuple, comps)) == [(0, 1), (2, 3), (4,)]
+
+    def test_diameter_cycle(self):
+        assert cycle_graph(8).diameter() == 4
+
+    def test_diameter_path(self):
+        assert path_graph(5).diameter() == 4
+
+    def test_diameter_complete(self):
+        assert complete_graph(6).diameter() == 1
+
+    def test_diameter_disconnected_raises(self):
+        g = Graph.from_edges(4, [(0, 1), (2, 3)])
+        with pytest.raises(ValueError):
+            g.diameter()
+
+    def test_eccentricity(self):
+        g = path_graph(5)
+        assert g.eccentricity(0) == 4
+        assert g.eccentricity(2) == 2
+
+    def test_bfs_distances(self):
+        g = path_graph(4)
+        assert g.bfs_distances(0) == [0, 1, 2, 3]
+
+    def test_bfs_distances_unreachable(self):
+        g = Graph.from_edges(3, [(0, 1)])
+        assert g.bfs_distances(0)[2] == -1
+
+
+class TestConversionAndCopy:
+    def test_to_from_networkx_roundtrip(self):
+        g = cycle_graph(12)
+        nx_graph = g.to_networkx()
+        back = Graph.from_networkx(nx_graph)
+        assert back.n == g.n
+        assert sorted(back.edges()) == sorted(g.edges())
+
+    def test_copy_is_independent(self):
+        g = cycle_graph(5)
+        copy = g.copy()
+        assert copy.adjacency == g.adjacency
+        assert copy is not g
+        assert copy.node_ids == g.node_ids
+
+    def test_relabel_ids_changes_ids_not_structure(self):
+        g = cycle_graph(5)
+        relabeled = g.relabel_ids(random.Random(99))
+        assert sorted(relabeled.edges()) == sorted(g.edges())
+        assert set(relabeled.node_ids) != set(g.node_ids)
+
+    def test_node_ids_do_not_leak_size(self):
+        # IDs are drawn from a 62-bit space regardless of n.
+        small = cycle_graph(4)
+        assert all(nid < 2**62 for nid in small.node_ids)
+        assert max(small.node_ids) > 4  # not 0..n-1

@@ -1,0 +1,141 @@
+"""Tests for the random regular graph models and explicit expanders."""
+
+import math
+import random
+
+import pytest
+
+from repro.graphs.expanders import hypercube_graph, margulis_torus_graph
+from repro.graphs.hnd import configuration_model_graph, hnd_random_regular_graph
+
+
+class TestHndModel:
+    def test_basic_shape(self):
+        g = hnd_random_regular_graph(100, 8, seed=0)
+        assert g.n == 100
+        assert g.max_degree() <= 8
+        # The union of 4 Hamiltonian cycles has close to 4n edges; simplification
+        # removes at most a handful of parallel edges.
+        assert g.num_edges() >= 4 * 100 - 20
+
+    def test_connected(self):
+        g = hnd_random_regular_graph(200, 8, seed=1)
+        assert g.is_connected()
+
+    def test_most_nodes_have_full_degree(self):
+        # Simplifying the multigraph removes an O(1)-expected number of
+        # parallel edges, so the vast majority of nodes keep degree exactly d.
+        g = hnd_random_regular_graph(300, 8, seed=2)
+        full = sum(1 for u in range(g.n) if g.degree(u) == 8)
+        assert full >= 0.85 * g.n
+
+    def test_deterministic_given_seed(self):
+        a = hnd_random_regular_graph(64, 8, seed=7)
+        b = hnd_random_regular_graph(64, 8, seed=7)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_different_seeds_differ(self):
+        a = hnd_random_regular_graph(64, 8, seed=7)
+        b = hnd_random_regular_graph(64, 8, seed=8)
+        assert sorted(a.edges()) != sorted(b.edges())
+
+    def test_degree_2_is_hamiltonian_cycle(self):
+        g = hnd_random_regular_graph(20, 2, seed=0)
+        assert g.is_connected()
+        assert all(g.degree(u) == 2 for u in range(g.n))
+        assert g.num_edges() == 20
+
+    def test_odd_degree_rejected(self):
+        with pytest.raises(ValueError):
+            hnd_random_regular_graph(10, 5)
+
+    def test_too_small_n_rejected(self):
+        with pytest.raises(ValueError):
+            hnd_random_regular_graph(2, 4)
+
+    def test_seed_and_rng_mutually_exclusive(self):
+        with pytest.raises(ValueError):
+            hnd_random_regular_graph(10, 4, seed=1, rng=random.Random(1))
+
+    def test_rng_argument_used(self):
+        rng = random.Random(5)
+        g = hnd_random_regular_graph(30, 4, rng=rng)
+        assert g.n == 30
+
+    def test_name(self):
+        assert hnd_random_regular_graph(16, 4, seed=0).name == "H(16,4)"
+
+    def test_diameter_logarithmic(self):
+        g = hnd_random_regular_graph(256, 8, seed=3)
+        assert g.diameter() <= 2 * math.ceil(math.log(256, 7)) + 2
+
+
+class TestConfigurationModel:
+    def test_exactly_regular(self):
+        g = configuration_model_graph(40, 4, seed=0)
+        assert all(g.degree(u) == 4 for u in range(g.n))
+
+    def test_simple_no_self_loops(self):
+        g = configuration_model_graph(30, 3, seed=1)
+        assert all(u not in g.neighbors(u) for u in range(g.n))
+
+    def test_odd_total_degree_rejected(self):
+        with pytest.raises(ValueError):
+            configuration_model_graph(5, 3)
+
+    def test_degree_at_least_n_rejected(self):
+        with pytest.raises(ValueError):
+            configuration_model_graph(4, 4)
+
+    def test_deterministic_given_seed(self):
+        a = configuration_model_graph(24, 4, seed=9)
+        b = configuration_model_graph(24, 4, seed=9)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            configuration_model_graph(1, 1)
+        with pytest.raises(ValueError):
+            configuration_model_graph(10, 0)
+
+
+class TestHypercube:
+    def test_size_and_degree(self):
+        g = hypercube_graph(4)
+        assert g.n == 16
+        assert all(g.degree(u) == 4 for u in range(g.n))
+
+    def test_edge_count(self):
+        g = hypercube_graph(5)
+        assert g.num_edges() == 5 * 32 // 2
+
+    def test_connected(self):
+        assert hypercube_graph(6).is_connected()
+
+    def test_diameter_equals_dimension(self):
+        assert hypercube_graph(4).diameter() == 4
+
+    def test_invalid_dimension(self):
+        with pytest.raises(ValueError):
+            hypercube_graph(0)
+
+
+class TestMargulisTorus:
+    def test_size(self):
+        g = margulis_torus_graph(6)
+        assert g.n == 36
+
+    def test_bounded_degree(self):
+        g = margulis_torus_graph(7)
+        assert g.max_degree() <= 8
+
+    def test_connected(self):
+        assert margulis_torus_graph(8).is_connected()
+
+    def test_logarithmic_diameter(self):
+        g = margulis_torus_graph(10)
+        assert g.diameter() <= 12
+
+    def test_invalid_side(self):
+        with pytest.raises(ValueError):
+            margulis_torus_graph(1)

@@ -1,0 +1,92 @@
+"""Tests for the Theorem 3 construction and indistinguishability experiment."""
+
+import math
+
+import pytest
+
+from repro.core.congest_counting import CongestCountingProtocol, PhaseSchedule
+from repro.core.parameters import CongestParameters
+from repro.graphs.generators import cycle_graph
+from repro.graphs.hnd import hnd_random_regular_graph
+from repro.impossibility import (
+    SimulatingCutAdversary,
+    build_chained_instance,
+    copies_isomorphic_to_base,
+    run_indistinguishability_experiment,
+)
+
+
+class TestConstruction:
+    def test_instance_bookkeeping(self):
+        base = cycle_graph(12)
+        instance = build_chained_instance(base, 4)
+        assert instance.num_copies == 4
+        assert instance.glued.n == 1 + 4 * 11
+        assert instance.copy_of(instance.shared_node) is None
+        some_member = instance.copy_membership[2][0]
+        assert instance.copy_of(some_member) == 2
+
+    def test_copies_isomorphic_to_base_cycle(self):
+        base = cycle_graph(10)
+        instance = build_chained_instance(base, 3)
+        assert copies_isomorphic_to_base(instance)
+
+    def test_copies_isomorphic_to_base_expander(self):
+        base = hnd_random_regular_graph(24, 4, seed=1)
+        instance = build_chained_instance(base, 5, seed=2)
+        assert copies_isomorphic_to_base(instance)
+
+    def test_shared_node_degree_multiplied(self):
+        base = hnd_random_regular_graph(24, 4, seed=1)
+        instance = build_chained_instance(base, 5, seed=2)
+        assert instance.glued.degree(instance.shared_node) == 5 * base.degree(0)
+
+
+class TestSimulatingCutAdversary:
+    def test_requires_shared_node_to_be_byzantine(self):
+        base = cycle_graph(8)
+        instance = build_chained_instance(base, 2)
+        params = CongestParameters(d=4)
+        schedule = PhaseSchedule(params)
+        adversary = SimulatingCutAdversary(
+            instance, lambda ctx: CongestCountingProtocol(ctx, params, schedule)
+        )
+        import random
+
+        with pytest.raises(ValueError):
+            adversary.setup(instance.glued, frozenset({1}), random.Random(0))
+
+    def test_builds_one_simulated_protocol_per_copy(self):
+        base = hnd_random_regular_graph(16, 4, seed=3)
+        instance = build_chained_instance(base, 3, seed=3)
+        params = CongestParameters(d=4)
+        schedule = PhaseSchedule(params)
+        adversary = SimulatingCutAdversary(
+            instance, lambda ctx: CongestCountingProtocol(ctx, params, schedule)
+        )
+        import random
+
+        adversary.setup(instance.glued, frozenset({instance.shared_node}), random.Random(0))
+        assert set(adversary.simulated_estimates()) == {0, 1, 2}
+
+
+class TestIndistinguishabilityExperiment:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        base = hnd_random_regular_graph(48, 8, seed=5)
+        return run_indistinguishability_experiment(base, 8, seed=5, num_trials=2)
+
+    def test_demonstrates_impossibility(self, outcome):
+        assert outcome.demonstrates_impossibility()
+
+    def test_glued_estimates_track_base_size(self, outcome):
+        assert outcome.glued_fraction_matching_base_size >= 0.8
+        assert abs(outcome.glued_median_estimate - outcome.base_median_estimate) <= 1.0
+
+    def test_hidden_growth_is_large(self, outcome):
+        assert outcome.log_glued_n - outcome.log_base_n >= 1.5
+
+    def test_summary_keys(self, outcome):
+        summary = outcome.summary()
+        assert summary["copies"] == 8
+        assert summary["glued_n"] == outcome.glued_n

@@ -1,0 +1,208 @@
+"""Tests for Algorithm 1 (deterministic LOCAL counting)."""
+
+import math
+
+import pytest
+
+from repro.adversary.strategies import FakeTopologyAdversary, InconsistentTopologyAdversary
+from repro.core.local_counting import LocalView, run_local_counting
+from repro.core.parameters import LocalParameters
+from repro.graphs.expansion import good_set
+from repro.graphs.generators import cycle_graph
+from repro.graphs.hnd import hnd_random_regular_graph
+from repro.simulator.byzantine import SilentAdversary
+
+
+class TestLocalView:
+    def _view(self):
+        # Owner 100 with neighbors 101, 102.
+        return LocalView(100, [101, 102])
+
+    def test_initial_state(self):
+        view = self._view()
+        assert view.vertices == {100, 101, 102}
+        assert view.edge_sets[100] == frozenset({101, 102})
+
+    def test_integrate_new_edge_set(self):
+        view = self._view()
+        bad, new_edges, new_vertices = view.integrate(
+            [(101, (100, 103))], [], max_degree=4
+        )
+        assert not bad
+        assert (101, (100, 103)) in new_edges
+        assert 103 in new_vertices
+        assert view.edge_sets[101] == frozenset({100, 103})
+
+    def test_integrate_duplicate_identical_is_fine(self):
+        view = self._view()
+        view.integrate([(101, (100, 103))], [], max_degree=4)
+        bad, new_edges, _ = view.integrate([(101, (103, 100))], [], max_degree=4)
+        assert not bad and new_edges == []
+
+    def test_integrate_conflicting_edge_sets_flagged(self):
+        view = self._view()
+        view.integrate([(101, (100, 103))], [], max_degree=4)
+        bad, _, _ = view.integrate([(101, (100, 104))], [], max_degree=4)
+        assert bad
+
+    def test_integrate_degree_violation_flagged(self):
+        view = self._view()
+        bad, _, _ = view.integrate([(101, (1, 2, 3, 4, 5))], [], max_degree=4)
+        assert bad
+
+    def test_integrate_self_loop_flagged(self):
+        view = self._view()
+        bad, _, _ = view.integrate([(101, (101, 100))], [], max_degree=4)
+        assert bad
+
+    def test_integrate_new_frontier_vertices(self):
+        view = self._view()
+        bad, _, new_vertices = view.integrate([], [200, 201], max_degree=4)
+        assert not bad
+        assert set(new_vertices) == {200, 201}
+
+    def test_layer_prefixes_are_nested(self):
+        view = self._view()
+        view.integrate([(101, (100, 103)), (102, (100, 104))], [], max_degree=4)
+        adj = view.adjacency()
+        prefixes = view.layer_prefixes(adj)
+        assert prefixes[0] == {100}
+        for a, b in zip(prefixes, prefixes[1:]):
+            assert a < b
+
+    def test_interior_set_grows_with_settlement(self):
+        view = self._view()
+        assert view.interior_set() == set()  # neighbors' edges unknown
+        view.integrate([(101, (100, 103)), (102, (100, 104))], [], max_degree=4)
+        assert view.interior_set() == {100}
+
+    def test_expansion_of(self):
+        view = self._view()
+        adj = view.adjacency()
+        assert view.expansion_of(adj, {100}) == pytest.approx(2.0)
+        assert view.expansion_of(adj, set()) == math.inf
+
+
+class TestBenignRuns:
+    def test_all_nodes_decide(self, benign_local_run):
+        assert benign_local_run.outcome.decided_fraction() == 1.0
+
+    def test_estimates_track_diameter(self, small_hnd, benign_local_run):
+        diameter = small_hnd.diameter()
+        low, high = benign_local_run.outcome.estimate_range()
+        assert low >= 1
+        assert high <= diameter + 1
+
+    def test_rounds_logarithmic(self, small_hnd, benign_local_run):
+        assert benign_local_run.outcome.max_decision_round() <= 4 * math.log(small_hnd.n)
+
+    def test_deterministic_outcome(self, small_hnd, local_params):
+        a = run_local_counting(small_hnd, params=local_params, seed=5)
+        b = run_local_counting(small_hnd, params=local_params, seed=9)
+        # The algorithm itself is deterministic; different seeds only matter
+        # for adversary randomness, absent here.
+        assert a.outcome.estimates() == b.outcome.estimates()
+
+    def test_works_on_margulis_expander(self, small_margulis):
+        run = run_local_counting(small_margulis, seed=0)
+        assert run.outcome.decided_fraction() == 1.0
+        assert run.outcome.median_estimate() >= 2
+
+    def test_works_on_hypercube(self, small_hypercube):
+        run = run_local_counting(small_hypercube, seed=0)
+        assert run.outcome.decided_fraction() == 1.0
+
+    def test_estimates_grow_with_n(self, local_params):
+        # Decisions track the diameter, which only increases by one every time
+        # n grows by a factor of ~d-1, so compare sizes a factor 8 apart.
+        medians = []
+        for n in (64, 512):
+            graph = hnd_random_regular_graph(n, 8, seed=11)
+            run = run_local_counting(graph, params=local_params, seed=1)
+            medians.append(run.outcome.median_estimate())
+        assert medians[1] > medians[0]
+
+    def test_message_sizes_not_small(self, benign_local_run, small_hnd):
+        # Algorithm 1 is a LOCAL algorithm: it ships whole neighborhoods.
+        assert benign_local_run.outcome.small_message_fraction < 0.5
+
+
+class TestByzantineRuns:
+    @pytest.fixture(scope="class")
+    def attacked_setup(self):
+        graph = hnd_random_regular_graph(128, 8, seed=21)
+        byzantine = {3, 77}
+        evaluation = good_set(graph, byzantine, gamma=0.7)
+        return graph, byzantine, evaluation
+
+    def test_silent_adversary_good_nodes_in_band(self, attacked_setup, local_params):
+        graph, byz, evaluation = attacked_setup
+        run = run_local_counting(
+            graph, byzantine=byz, adversary=SilentAdversary(), params=local_params,
+            seed=0, evaluation_set=evaluation,
+        )
+        assert run.outcome.decided_fraction() == 1.0
+        assert run.outcome.fraction_within_band(0.35, 1.6) >= 0.9
+
+    def test_fake_topology_adversary_bounded_estimates(self, attacked_setup, local_params):
+        graph, byz, evaluation = attacked_setup
+        run = run_local_counting(
+            graph, byzantine=byz, adversary=FakeTopologyAdversary(), params=local_params,
+            seed=0, evaluation_set=evaluation,
+        )
+        assert run.outcome.decided_fraction() == 1.0
+        _, high = run.outcome.estimate_range()
+        assert high <= 3 * math.log(graph.n)
+
+    def test_inconsistent_adversary_detected(self, attacked_setup, local_params):
+        graph, byz, evaluation = attacked_setup
+        run = run_local_counting(
+            graph, byzantine=byz, adversary=InconsistentTopologyAdversary(),
+            params=local_params, seed=0, evaluation_set=evaluation,
+        )
+        assert run.outcome.decided_fraction() == 1.0
+        assert run.outcome.max_decision_round() <= 4 * math.log(graph.n)
+
+    def test_nodes_adjacent_to_silent_byzantine_decide_immediately(self, local_params):
+        graph = hnd_random_regular_graph(64, 8, seed=30)
+        byzantine = {0}
+        run = run_local_counting(
+            graph, byzantine=byzantine, adversary=SilentAdversary(),
+            params=local_params, seed=0,
+        )
+        for v in graph.neighbors(0):
+            record = run.outcome.records[v]
+            assert record.decided and record.estimate == 1.0
+
+    def test_theorem1_lower_bound_for_good_nodes(self, attacked_setup, local_params):
+        graph, byz, evaluation = attacked_setup
+        run = run_local_counting(
+            graph, byzantine=byz, adversary=FakeTopologyAdversary(), params=local_params,
+            seed=0, evaluation_set=evaluation,
+        )
+        lower = local_params.lower_decision_bound(graph.n)
+        for u in evaluation:
+            record = run.outcome.records[u]
+            assert record.estimate is None or record.estimate >= max(1, lower)
+
+
+class TestExhaustiveCheckCrossValidation:
+    def test_exhaustive_matches_practical_on_tiny_graph(self):
+        graph = cycle_graph(8)
+        practical = run_local_counting(
+            graph, params=LocalParameters(gamma=0.5, max_degree=2, alpha_prime=0.2), seed=0
+        )
+        exhaustive = run_local_counting(
+            graph,
+            params=LocalParameters(
+                gamma=0.5, max_degree=2, alpha_prime=0.2, exhaustive_subset_check=True
+            ),
+            seed=0,
+        )
+        assert exhaustive.outcome.decided_fraction() == 1.0
+        # The exhaustive family can only trigger earlier (it includes more sets).
+        for u in range(graph.n):
+            assert (
+                exhaustive.outcome.records[u].estimate
+                <= practical.outcome.records[u].estimate
+            )

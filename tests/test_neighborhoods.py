@@ -1,0 +1,107 @@
+"""Tests for ball/boundary/induced-subgraph utilities (Section 3 notation)."""
+
+import pytest
+
+from repro.graphs.generators import cycle_graph, path_graph, star_graph
+from repro.graphs.neighborhoods import (
+    ball,
+    ball_of_set,
+    boundary,
+    distances_from,
+    induced_subgraph,
+    layers,
+)
+
+
+class TestDistances:
+    def test_distances_path(self):
+        g = path_graph(5)
+        dist = distances_from(g, 0)
+        assert dist == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_max_distance_truncates(self):
+        g = path_graph(10)
+        dist = distances_from(g, 0, max_distance=3)
+        assert max(dist.values()) == 3
+        assert len(dist) == 4
+
+    def test_allowed_restricts_traversal(self):
+        g = cycle_graph(8)
+        dist = distances_from(g, 0, allowed={0, 1, 2})
+        assert set(dist) == {0, 1, 2}
+        assert dist[2] == 2  # can't take the short way around through 7
+
+    def test_allowed_must_contain_source(self):
+        g = cycle_graph(6)
+        with pytest.raises(ValueError):
+            distances_from(g, 0, allowed={1, 2})
+
+
+class TestBalls:
+    def test_ball_radius_zero(self):
+        g = cycle_graph(6)
+        assert ball(g, 0, 0) == {0}
+
+    def test_ball_radius_one_inclusive(self):
+        g = cycle_graph(6)
+        assert ball(g, 0, 1) == {5, 0, 1}
+
+    def test_ball_covers_graph(self):
+        g = cycle_graph(7)
+        assert ball(g, 0, 10) == set(range(7))
+
+    def test_ball_negative_radius(self):
+        with pytest.raises(ValueError):
+            ball(cycle_graph(5), 0, -1)
+
+    def test_ball_of_set_union(self):
+        g = path_graph(10)
+        result = ball_of_set(g, [0, 9], 1)
+        assert result == {0, 1, 8, 9}
+
+    def test_ball_monotone_in_radius(self):
+        g = cycle_graph(12)
+        assert ball(g, 3, 1) <= ball(g, 3, 2) <= ball(g, 3, 3)
+
+
+class TestBoundary:
+    def test_boundary_exact_distance(self):
+        g = path_graph(6)
+        assert boundary(g, 0, 2) == {2}
+
+    def test_boundary_star(self):
+        g = star_graph(6)
+        assert boundary(g, 0, 1) == {1, 2, 3, 4, 5}
+        assert boundary(g, 1, 2) == {2, 3, 4, 5}
+
+    def test_boundary_beyond_graph_is_empty(self):
+        g = cycle_graph(6)
+        assert boundary(g, 0, 10) == set()
+
+    def test_layers_partition_ball(self):
+        g = cycle_graph(9)
+        ls = layers(g, 0, 3)
+        assert ls[0] == {0}
+        union = set().union(*ls)
+        assert union == ball(g, 0, 3)
+        # Layers are pairwise disjoint.
+        assert sum(len(layer) for layer in ls) == len(union)
+
+
+class TestInducedSubgraph:
+    def test_induced_keeps_internal_edges_only(self):
+        g = cycle_graph(6)
+        sub, index = induced_subgraph(g, [0, 1, 2])
+        assert sub.n == 3
+        assert sub.num_edges() == 2
+        assert set(index) == {0, 1, 2}
+
+    def test_induced_preserves_node_ids(self):
+        g = cycle_graph(5)
+        sub, index = induced_subgraph(g, [1, 3])
+        assert sub.node_id(index[1] if index[1] < 2 else 0) in g.node_ids
+
+    def test_induced_with_duplicates(self):
+        g = cycle_graph(5)
+        sub, _ = induced_subgraph(g, [0, 0, 1])
+        assert sub.n == 2

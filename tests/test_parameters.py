@@ -1,0 +1,155 @@
+"""Tests for the algorithm parameter sets (Equations (2)-(4))."""
+
+import math
+
+import pytest
+
+from repro.core.parameters import CongestParameters, LocalParameters, byzantine_budget
+
+
+class TestByzantineBudget:
+    def test_basic(self):
+        assert byzantine_budget(1000, 0.5) == 31
+        assert byzantine_budget(1024, 0.3) == int(1024 ** 0.3)
+
+    def test_zero_exponent(self):
+        assert byzantine_budget(1000, 0.0) == 0
+
+    def test_zero_size(self):
+        assert byzantine_budget(0, 0.5) == 0
+
+
+class TestLocalParameters:
+    def test_defaults_valid(self):
+        params = LocalParameters()
+        assert 0 < params.gamma <= 1
+        assert params.alpha_prime > 0
+
+    def test_gamma_out_of_range(self):
+        with pytest.raises(ValueError):
+            LocalParameters(gamma=0.0)
+        with pytest.raises(ValueError):
+            LocalParameters(gamma=1.5)
+
+    def test_bad_degree(self):
+        with pytest.raises(ValueError):
+            LocalParameters(max_degree=1)
+
+    def test_bad_alpha(self):
+        with pytest.raises(ValueError):
+            LocalParameters(alpha_prime=0.0)
+
+    def test_byzantine_bound(self):
+        params = LocalParameters(gamma=0.5)
+        assert params.byzantine_bound(1024) == 32
+
+    def test_lower_decision_bound(self):
+        params = LocalParameters(gamma=0.5, max_degree=8)
+        expected = int(math.floor(0.25 * math.log(1024, 8)))
+        assert params.lower_decision_bound(1024) == expected
+        assert params.lower_decision_bound(1) == 0
+
+    def test_frozen(self):
+        params = LocalParameters()
+        with pytest.raises(Exception):
+            params.gamma = 0.9  # type: ignore[misc]
+
+
+class TestCongestParameters:
+    def test_defaults_valid(self):
+        params = CongestParameters()
+        assert params.gamma >= 0.5 - params.delta + params.eta - 1e-9
+
+    def test_equation2_enforced(self):
+        with pytest.raises(ValueError):
+            CongestParameters(gamma=0.3, delta=0.1, eta=0.05)
+
+    def test_invalid_fields(self):
+        with pytest.raises(ValueError):
+            CongestParameters(delta=0.0)
+        with pytest.raises(ValueError):
+            CongestParameters(eta=0.0)
+        with pytest.raises(ValueError):
+            CongestParameters(d=2)
+        with pytest.raises(ValueError):
+            CongestParameters(c1=0)
+        with pytest.raises(ValueError):
+            CongestParameters(first_phase=0)
+        with pytest.raises(ValueError):
+            CongestParameters(min_suffix=-1)
+
+    def test_epsilon_equation3(self):
+        params = CongestParameters(gamma=0.5, delta=0.1, d=8)
+        expected = 1.0 - 0.9 * 0.5 / math.log(8)
+        assert params.epsilon == pytest.approx(expected)
+        # Sanity: the derived quantity satisfies d^((1-eps)i) = e^((1-delta)gamma i).
+        i = 10
+        assert 8 ** ((1 - params.epsilon) * i) == pytest.approx(
+            math.exp((1 - params.delta) * params.gamma * i)
+        )
+
+    def test_trusted_suffix_respects_minimum(self):
+        params = CongestParameters(min_suffix=1)
+        assert params.trusted_suffix_length(2) >= 1
+
+    def test_trusted_suffix_literal_when_disabled(self):
+        params = CongestParameters(min_suffix=0)
+        assert params.trusted_suffix_length(2) == int(
+            math.floor((1 - params.epsilon) * 2)
+        )
+
+    def test_trusted_suffix_grows_with_phase(self):
+        params = CongestParameters()
+        assert params.trusted_suffix_length(40) >= params.trusted_suffix_length(5)
+
+    def test_rho_equation4(self):
+        params = CongestParameters(gamma=0.5, delta=0.1, d=8)
+        n = 10**6
+        log_d_n = math.log(n, 8)
+        expected = int(math.floor(min(0.9 * 0.5 * log_d_n, log_d_n / 10))) - 2
+        assert params.rho(n) == expected
+
+    def test_rho_small_n_can_be_negative(self):
+        assert CongestParameters().rho(16) <= 0
+
+    def test_iterations_in_phase(self):
+        params = CongestParameters(gamma=0.5)
+        assert params.iterations_in_phase(4) == int(math.floor(math.exp(2.0))) + 1
+
+    def test_rounds_per_iteration(self):
+        assert CongestParameters().rounds_per_iteration(5) == 15
+
+    def test_windows_sum_to_iteration_length(self):
+        params = CongestParameters()
+        for phase in (2, 5, 9):
+            assert (
+                params.beacon_window(phase) + params.continue_window(phase)
+                == params.rounds_per_iteration(phase)
+            )
+
+    def test_activation_probability(self):
+        params = CongestParameters(c1=4.0, d=8)
+        assert params.activation_probability(3) == pytest.approx(12 / 512)
+        assert params.activation_probability(3, degree=4) == pytest.approx(12 / 64)
+
+    def test_activation_probability_capped_at_one(self):
+        params = CongestParameters(c1=1000.0)
+        assert params.activation_probability(2) == 1.0
+
+    def test_phase_length_and_cumulative(self):
+        params = CongestParameters(first_phase=2)
+        assert params.phase_length(2) == params.iterations_in_phase(2) * 9
+        assert params.rounds_through_phase(3) == params.phase_length(2) + params.phase_length(3)
+
+    def test_expected_decision_phase_monotone_in_n(self):
+        params = CongestParameters()
+        assert params.expected_decision_phase(10_000) >= params.expected_decision_phase(100)
+
+    def test_round_budget_covers_ln_n_phases(self):
+        params = CongestParameters()
+        n = 256
+        budget = params.round_budget(n)
+        assert budget >= params.rounds_through_phase(int(math.ceil(math.log(n))))
+
+    def test_byzantine_bound(self):
+        assert CongestParameters(gamma=0.5).byzantine_bound(900) == 30

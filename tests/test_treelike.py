@@ -1,0 +1,93 @@
+"""Tests for the locally tree-like classification (Definition 3 / Lemma 2)."""
+
+import pytest
+
+from repro.graphs.generators import complete_graph, cycle_graph
+from repro.graphs.graph import Graph
+from repro.graphs.hnd import hnd_random_regular_graph
+from repro.graphs.treelike import is_locally_treelike, treelike_nodes, treelike_radius
+
+
+def _full_binary_tree(depth: int) -> Graph:
+    """A rooted tree in which the root has 3 children and every internal node
+    has 2 children -- i.e. the ball around the root is a (d-1)-ary tree for d=3."""
+    edges = []
+    nodes = [0]
+    next_id = 1
+    # Root gets 3 children.
+    root_children = []
+    for _ in range(3):
+        edges.append((0, next_id))
+        root_children.append(next_id)
+        next_id += 1
+    frontier = root_children
+    for _ in range(depth - 1):
+        new_frontier = []
+        for u in frontier:
+            for _ in range(2):
+                edges.append((u, next_id))
+                new_frontier.append(next_id)
+                next_id += 1
+        frontier = new_frontier
+    return Graph.from_edges(next_id, edges)
+
+
+class TestTreelikeRadius:
+    def test_formula(self):
+        import math
+
+        assert treelike_radius(1000, 8) == max(1, int(math.log(1000) / (10 * math.log(8))))
+
+    def test_minimum_one(self):
+        assert treelike_radius(10, 8) == 1
+        assert treelike_radius(1, 2) == 1
+
+
+class TestIsLocallyTreelike:
+    def test_tree_root_is_treelike(self):
+        g = _full_binary_tree(3)
+        assert is_locally_treelike(g, 0, degree=3, radius=2)
+
+    def test_cycle_node_not_treelike_at_wrap_radius(self):
+        g = cycle_graph(6)
+        # Radius 3 closes the cycle (distance-3 node reached from both sides).
+        assert not is_locally_treelike(g, 0, degree=2, radius=3)
+
+    def test_cycle_node_treelike_at_small_radius(self):
+        g = cycle_graph(20)
+        assert is_locally_treelike(g, 0, degree=2, radius=2)
+
+    def test_triangle_never_treelike(self):
+        g = complete_graph(3)
+        assert not is_locally_treelike(g, 0, degree=2, radius=1)
+
+    def test_degree_deficiency_not_treelike(self):
+        # A node of degree d-1 in a nominally d-regular graph is atypical.
+        g = cycle_graph(10)
+        assert not is_locally_treelike(g, 0, degree=3, radius=1)
+
+    def test_radius_zero_always_treelike(self):
+        g = complete_graph(4)
+        assert is_locally_treelike(g, 0, degree=3, radius=0)
+
+
+class TestTreelikeNodes:
+    def test_lemma2_fraction_on_hnd(self):
+        g = hnd_random_regular_graph(512, 8, seed=0)
+        tl = treelike_nodes(g)
+        # Lemma 2: at least n - O(n^0.8) tree-like nodes; 512^0.8 ~ 147, so
+        # even with a generous constant the tree-like set is large.
+        assert len(tl) >= 512 - 2 * 512 ** 0.8
+
+    def test_cycle_all_treelike_at_radius_one(self):
+        g = cycle_graph(30)
+        assert treelike_nodes(g, degree=2, radius=1) == set(range(30))
+
+    def test_complete_graph_none_treelike(self):
+        g = complete_graph(5)
+        assert treelike_nodes(g, degree=4, radius=1) == set()
+
+    def test_respects_explicit_radius(self):
+        g = cycle_graph(12)
+        assert treelike_nodes(g, degree=2, radius=2) == set(range(12))
+        assert treelike_nodes(g, degree=2, radius=6) == set()
