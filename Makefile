@@ -1,0 +1,34 @@
+# One-word entry points for the verify / benchmark / demo workflows.
+#
+#   make test        - tier-1 test suite (the verify command of ROADMAP.md)
+#   make bench-smoke - E3 + E12 at reduced sizes through the parallel runner
+#   make sweep-demo  - cached parallel sweep of E3 (re-run it to see the
+#                      artifact cache short-circuit the work)
+
+PYTHON ?= python
+WORKERS ?= 4
+ARTIFACT_DIR ?= .sweep-artifacts
+
+.PHONY: test bench-smoke sweep-demo clean-artifacts
+
+test:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+bench-smoke:
+	PYTHONPATH=src $(PYTHON) -c "\
+	from repro.experiments import e3_benign, e12_scaling; \
+	from repro.runner import SweepRunner; \
+	import time; \
+	runner = SweepRunner(workers=$(WORKERS)); \
+	t0 = time.perf_counter(); \
+	print(e3_benign.run_experiment(sizes=(64, 128), trials=1, runner=runner).render()); \
+	print(); \
+	print(e12_scaling.run_experiment(local_sizes=(64, 128), congest_sizes=(64,), congest_byzantine_counts=(1, 2), runner=runner).render()); \
+	print(); \
+	print(f'bench-smoke wall-clock: {time.perf_counter() - t0:.2f}s ($(WORKERS) workers)')"
+
+sweep-demo:
+	PYTHONPATH=src $(PYTHON) -m repro.cli sweep e3 --workers $(WORKERS) --artifact-dir $(ARTIFACT_DIR)
+
+clean-artifacts:
+	rm -rf $(ARTIFACT_DIR)

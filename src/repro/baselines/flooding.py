@@ -69,7 +69,7 @@ class FloodingDiameterProtocol(Protocol):
 
     def on_start(self, ctx: NodeContext) -> Outbox:
         message = _message(_LEADER, self.best_id, 0.0)
-        return {v: [message.clone()] for v in ctx.neighbors}
+        return {v: [message] for v in ctx.neighbors}
 
     def on_round(self, ctx: NodeContext, inbox: List) -> Outbox:
         round_number = ctx.round
@@ -115,19 +115,19 @@ class FloodingDiameterProtocol(Protocol):
         if round_number < self.flood_rounds:
             if changed:
                 message = _message(_LEADER, self.best_id, self.best_hops)
-                return {v: [message.clone()] for v in ctx.neighbors}
+                return {v: [message] for v in ctx.neighbors}
             return {}
 
         if round_number == self.flood_rounds:
             # Transition: seed the eccentricity propagation with our own hops.
             self.max_ecc = max(self.max_ecc, self.best_hops)
             message = _message(_ECC, self.max_ecc)
-            return {v: [message.clone()] for v in ctx.neighbors}
+            return {v: [message] for v in ctx.neighbors}
 
         if round_number < self.flood_rounds + self.ecc_rounds:
             if changed:
                 message = _message(_ECC, self.max_ecc)
-                return {v: [message.clone()] for v in ctx.neighbors}
+                return {v: [message] for v in ctx.neighbors}
             return {}
 
         if not self._decided:

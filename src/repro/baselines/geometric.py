@@ -63,7 +63,7 @@ class GeometricMaxProtocol(Protocol):
 
     def on_start(self, ctx: NodeContext) -> Outbox:
         message = value_payload(_TAG, self.best)
-        return {v: [message.clone()] for v in ctx.neighbors}
+        return {v: [message] for v in ctx.neighbors}
 
     def on_round(self, ctx: NodeContext, inbox: List) -> Outbox:
         improved = False
@@ -77,7 +77,7 @@ class GeometricMaxProtocol(Protocol):
             return {}
         if improved:
             message = value_payload(_TAG, self.best)
-            return {v: [message.clone()] for v in ctx.neighbors}
+            return {v: [message] for v in ctx.neighbors}
         return {}
 
 

@@ -98,7 +98,7 @@ class SpanningTreeProtocol(Protocol):
     # -- engine callbacks -------------------------------------------------- #
     def on_start(self, ctx: NodeContext) -> Outbox:
         message = _message(_BUILD, self.root_id, 0)
-        return {v: [message.clone()] for v in ctx.neighbors}
+        return {v: [message] for v in ctx.neighbors}
 
     def on_round(self, ctx: NodeContext, inbox: List) -> Outbox:
         round_number = ctx.round
@@ -157,7 +157,7 @@ class SpanningTreeProtocol(Protocol):
         if round_number <= self.build_rounds:
             if changed:
                 message = _message(_BUILD, self.root_id, self.depth)
-                return {v: [message.clone()] for v in ctx.neighbors}
+                return {v: [message] for v in ctx.neighbors}
             return {}
 
         if round_number <= self.build_rounds + self.count_rounds:
@@ -174,7 +174,7 @@ class SpanningTreeProtocol(Protocol):
             self._finish(ctx)
         if self._result is not None:
             message = _message(_RESULT, self._result)
-            return {v: [message.clone()] for v in ctx.neighbors}
+            return {v: [message] for v in ctx.neighbors}
         return {}
 
 

@@ -87,7 +87,7 @@ class SupportEstimationProtocol(Protocol):
 
     def on_start(self, ctx: NodeContext) -> Outbox:
         message = _make_message(self.minima)
-        return {v: [message.clone()] for v in ctx.neighbors}
+        return {v: [message] for v in ctx.neighbors}
 
     def on_round(self, ctx: NodeContext, inbox: List) -> Outbox:
         improved = False
@@ -104,7 +104,7 @@ class SupportEstimationProtocol(Protocol):
             return {}
         if improved:
             message = _make_message(self.minima)
-            return {v: [message.clone()] for v in ctx.neighbors}
+            return {v: [message] for v in ctx.neighbors}
         return {}
 
 

@@ -1,6 +1,6 @@
 """Command-line entry point: ``repro-byzantine-counting``.
 
-Two sub-commands:
+Three sub-commands:
 
 ``run``
     Execute one counting algorithm on a generated topology and print the
@@ -14,6 +14,13 @@ Two sub-commands:
     configuration and print the regenerated table, e.g.::
 
         repro-byzantine-counting experiment e3
+
+``sweep``
+    Run one experiment (or ``all``) through the parallel sweep runner, fanning
+    the driver's config list over a worker pool and optionally caching each
+    run as a JSON artifact (see RUNNER.md), e.g.::
+
+        repro-byzantine-counting sweep e12 --workers 8 --artifact-dir .sweeps
 """
 
 from __future__ import annotations
@@ -84,6 +91,13 @@ def _build_graph(args: argparse.Namespace):
     raise ValueError(f"unknown topology {args.topology!r}")
 
 
+def _positive_int(value: str) -> int:
+    parsed = int(value)
+    if parsed < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return parsed
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -118,6 +132,25 @@ def build_parser() -> argparse.ArgumentParser:
 
     exp_parser = sub.add_parser("experiment", help="run an experiment driver (E1-E12)")
     exp_parser.add_argument("name", help="experiment id, e.g. e1 or e7")
+
+    sweep_parser = sub.add_parser(
+        "sweep", help="run an experiment sweep through the parallel runner"
+    )
+    sweep_parser.add_argument("name", help="experiment id (e1-e12) or 'all'")
+    sweep_parser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        help="worker processes (1 = serial)",
+    )
+    sweep_parser.add_argument(
+        "--artifact-dir",
+        default=None,
+        help="JSON artifact cache directory (makes re-runs resumable)",
+    )
+    sweep_parser.add_argument(
+        "--force", action="store_true", help="recompute even when artifacts exist"
+    )
     return parser
 
 
@@ -177,6 +210,33 @@ def _command_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments import ALL_EXPERIMENTS
+    from repro.runner import SweepRunner
+
+    # Numeric order (e1..e12), not lexicographic (which puts e10 after e1).
+    ordered = sorted(ALL_EXPERIMENTS, key=lambda key: int(key[1:]))
+    name = args.name.lower()
+    names = ordered if name == "all" else [name]
+    for candidate in names:
+        if candidate not in ALL_EXPERIMENTS:
+            print(f"unknown experiment {args.name!r}; options: {ordered}")
+            return 2
+    runner = SweepRunner(
+        workers=args.workers, artifact_dir=args.artifact_dir, force=args.force
+    )
+    for candidate in names:
+        result = ALL_EXPERIMENTS[candidate].run_experiment(runner=runner)
+        print(result.render())
+        if runner.store is not None:
+            print(
+                f"[sweep] {candidate}: {runner.last_cached} cached, "
+                f"{runner.last_executed} executed -> artifacts in {runner.store.root}"
+            )
+        print()
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     parser = build_parser()
@@ -185,6 +245,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_run(args)
     if args.command == "experiment":
         return _command_experiment(args)
+    if args.command == "sweep":
+        return _command_sweep(args)
     parser.print_help()
     return 2
 

@@ -67,24 +67,39 @@ def make_beacon_message(origin: int, path: Tuple[int, ...] = ()) -> Message:
     )
 
 
+#: Sentinel marking a message whose beacon parse has not been cached yet.
+_UNPARSED = object()
+
+
 def parse_beacon(message: Message) -> Optional[BeaconPayload]:
     """Return the beacon payload, or ``None`` if the message is malformed.
 
     Byzantine nodes may send arbitrary payloads; honest nodes simply discard
     anything that does not look like a beacon.
+
+    The verdict is cached on the message object: the engine delivers one
+    shared envelope to every receiver of a broadcast, so a beacon is validated
+    once per edge-disjoint message instead of once per receiving neighbor.
+    Messages are immutable after sending, which makes the cache sound.
     """
-    if message.kind != BEACON_KIND:
-        return None
-    payload = message.payload
-    if isinstance(payload, BeaconPayload):
-        if not isinstance(payload.path, tuple):
-            return None
-        if not all(isinstance(x, int) for x in payload.path):
-            return None
-        if not isinstance(payload.origin, int):
-            return None
-        return payload
-    return None
+    cached = getattr(message, "_parsed_beacon", _UNPARSED)
+    if cached is not _UNPARSED:
+        return cached
+    result: Optional[BeaconPayload] = None
+    if message.kind == BEACON_KIND:
+        payload = message.payload
+        if (
+            isinstance(payload, BeaconPayload)
+            and isinstance(payload.path, tuple)
+            and all(isinstance(x, int) for x in payload.path)
+            and isinstance(payload.origin, int)
+        ):
+            result = payload
+    try:
+        message._parsed_beacon = result
+    except AttributeError:  # exotic read-only message objects in tests
+        pass
+    return result
 
 
 def make_continue_message() -> Message:

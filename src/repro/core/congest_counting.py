@@ -98,6 +98,10 @@ class PhaseSchedule:
         self._phase_starts: List[Tuple[int, int]] = []  # (phase, first_round)
         self._next_round = 1
         self._next_phase = params.first_phase
+        # (phase, start, end, rounds_per_iteration) of the most recent lookup:
+        # consecutive rounds almost always fall in the same phase, so this
+        # makes `locate` O(1) on the per-round hot path.
+        self._current_span: Optional[Tuple[int, int, int, int]] = None
 
     def _extend_through(self, round_number: int) -> None:
         while not self._phase_starts or self._phase_end(self._phase_starts[-1]) < round_number:
@@ -113,15 +117,28 @@ class PhaseSchedule:
         """Return the position of ``round_number`` (which must be >= 1)."""
         if round_number < 1:
             raise ValueError("Algorithm 2 rounds are numbered from 1")
+        span = self._current_span
+        if span is None or not (span[1] <= round_number <= span[2]):
+            span = self._locate_span(round_number)
+        phase, start, _end, rpi = span
+        offset = round_number - start
+        iteration = offset // rpi + 1
+        step = offset % rpi + 1
+        return SchedulePosition(phase=phase, iteration=iteration, step=step)
+
+    def _locate_span(self, round_number: int) -> Tuple[int, int, int, int]:
         self._extend_through(round_number)
         # The phases list is short (tens of entries); linear scan is fine.
         for phase, start in reversed(self._phase_starts):
             if round_number >= start:
-                offset = round_number - start
-                rpi = self.params.rounds_per_iteration(phase)
-                iteration = offset // rpi + 1
-                step = offset % rpi + 1
-                return SchedulePosition(phase=phase, iteration=iteration, step=step)
+                span = (
+                    phase,
+                    start,
+                    self._phase_end((phase, start)),
+                    self.params.rounds_per_iteration(phase),
+                )
+                self._current_span = span
+                return span
         raise AssertionError("unreachable: schedule did not cover the round")
 
     def phase_start_round(self, phase: int) -> int:
@@ -208,7 +225,7 @@ class CongestCountingProtocol(Protocol):
             # Line 7: the active node's own shortest path is just itself.
             self._shortest_path = (ctx.node_id,)
             beacon = make_beacon_message(origin=ctx.node_id, path=())
-            return {v: [beacon.clone()] for v in ctx.neighbors}
+            return {v: [beacon] for v in ctx.neighbors}
         return {}
 
     def _handle_beacons(
@@ -232,7 +249,7 @@ class CongestCountingProtocol(Protocol):
         # Line 17-19: forward while still within the first i rounds.
         if position.step <= phase + 1:
             forwarded = make_beacon_message(origin=extended.origin, path=extended.path)
-            outbox = {v: [forwarded.clone()] for v in ctx.neighbors}
+            outbox = {v: [forwarded] for v in ctx.neighbors}
 
         # Lines 20-25: accept into shortestPath if the far prefix is clean.
         suffix = self.params.trusted_suffix_length(phase)
@@ -254,7 +271,7 @@ class CongestCountingProtocol(Protocol):
             self._blacklist.add_path(self._shortest_path, suffix)
         if self._participating and not self._decided:
             cont = make_continue_message()
-            return {v: [cont.clone()] for v in ctx.neighbors}
+            return {v: [cont] for v in ctx.neighbors}
         return {}
 
     def _handle_continues(
@@ -270,7 +287,7 @@ class CongestCountingProtocol(Protocol):
         # message to be useful.
         if position.step <= 2 * phase + 4:
             cont = make_continue_message()
-            return {v: [cont.clone()] for v in ctx.neighbors}
+            return {v: [cont] for v in ctx.neighbors}
         return {}
 
     def _end_of_iteration(self) -> None:

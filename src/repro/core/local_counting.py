@@ -85,6 +85,14 @@ class LocalView:
         self.own_id = own_id
         self.vertices: Set[int] = {own_id} | set(neighbor_ids)
         self.edge_sets: Dict[int, FrozenSet[int]] = {own_id: frozenset(neighbor_ids)}
+        # Symmetric adjacency over all known vertices, maintained
+        # *incrementally* by ``integrate`` (the expansion check reads it every
+        # round; rebuilding it from scratch dominated large-n runs).
+        self._adj: Dict[int, Set[int]] = {v: set() for v in self.vertices}
+        own_adj = self._adj[own_id]
+        for v in self.edge_sets[own_id]:
+            own_adj.add(v)
+            self._adj[v].add(own_id)
 
     # -- mutation ------------------------------------------------------- #
     def integrate(
@@ -102,9 +110,18 @@ class LocalView:
         inconsistent = False
         new_edge_sets: List[Tuple[int, Tuple[int, ...]]] = []
         new_vertices: List[int] = []
+        adj = self._adj
         for node_id, edge_ids in reported_edges:
             edge_set = frozenset(edge_ids)
             if len(edge_set) > max_degree or node_id in edge_set:
+                inconsistent = True
+                continue
+            # Identifiers are integers in the model; anything else is
+            # malformed Byzantine data and counts as an inconsistency
+            # rather than contaminating the view.
+            if not isinstance(node_id, int) or not all(
+                isinstance(v, int) for v in edge_set
+            ):
                 inconsistent = True
                 continue
             existing = self.edge_sets.get(node_id)
@@ -119,25 +136,31 @@ class LocalView:
             if node_id not in self.vertices:
                 self.vertices.add(node_id)
                 new_vertices.append(node_id)
+            node_adj = adj.setdefault(node_id, set())
             for v in edge_set:
                 if v not in self.vertices:
                     self.vertices.add(v)
                     new_vertices.append(v)
+                node_adj.add(v)
+                adj.setdefault(v, set()).add(node_id)
         for node_id in reported_vertices:
+            if not isinstance(node_id, int):
+                inconsistent = True
+                continue
             if node_id not in self.vertices:
                 self.vertices.add(node_id)
                 new_vertices.append(node_id)
+                adj.setdefault(node_id, set())
         return inconsistent, new_edge_sets, new_vertices
 
     # -- structure queries ---------------------------------------------- #
     def adjacency(self) -> Dict[int, Set[int]]:
-        """Symmetric adjacency over all known vertices (from known edge sets)."""
-        adj: Dict[int, Set[int]] = {v: set() for v in self.vertices}
-        for node_id, edge_set in self.edge_sets.items():
-            for v in edge_set:
-                adj.setdefault(node_id, set()).add(v)
-                adj.setdefault(v, set()).add(node_id)
-        return adj
+        """Symmetric adjacency over all known vertices (from known edge sets).
+
+        Maintained incrementally by :meth:`integrate`; callers get the live
+        structure and must treat it as read-only.
+        """
+        return self._adj
 
     def layer_prefixes(self, adj: Dict[int, Set[int]]) -> List[Set[int]]:
         """BFS-layer prefixes ``B̂(u, 0) ⊆ B̂(u, 1) ⊆ ...`` from the owner."""
@@ -238,12 +261,11 @@ class LocalCountingProtocol(Protocol):
         num_ids = sum(1 + len(edges) for _, edges in self._pending_edges) + len(
             self._pending_vertices
         )
-        message = Message(
-            kind="topology",
-            payload=payload,
-            size_bits=8 * max(1, len(self._pending_edges) + len(self._pending_vertices)),
-            num_ids=num_ids,
-        )
+        # Route construction through ``Message.make`` so ``size_bits`` follows
+        # the documented accounting (``estimate_payload_bits`` over the
+        # payload) instead of a flat per-entry constant; the identifier count
+        # is still reported separately via ``num_ids``.
+        message = Message.make("topology", payload, num_ids=num_ids)
         self._pending_edges = []
         self._pending_vertices = []
         return message
@@ -289,7 +311,7 @@ class LocalCountingProtocol(Protocol):
     # -- engine callbacks ------------------------------------------------ #
     def on_start(self, ctx: NodeContext) -> Outbox:
         message = self._delta_message()
-        return {v: [message.clone()] for v in ctx.neighbors}
+        return {v: [message] for v in ctx.neighbors}
 
     def on_round(self, ctx: NodeContext, inbox: List[Message]) -> Outbox:
         if self._decided:
@@ -339,7 +361,7 @@ class LocalCountingProtocol(Protocol):
             return {}
 
         message = self._delta_message()
-        return {v: [message.clone()] for v in ctx.neighbors}
+        return {v: [message] for v in ctx.neighbors}
 
 
 @dataclass

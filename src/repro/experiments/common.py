@@ -4,11 +4,25 @@ from __future__ import annotations
 
 import statistics
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence
 
 from repro.analysis.tables import render_table
+from repro.runner import SweepConfig, SweepRunner
 
-__all__ = ["ExperimentResult", "mean_or_none", "median_or_none"]
+__all__ = ["ExperimentResult", "mean_or_none", "median_or_none", "run_configs"]
+
+
+def run_configs(
+    configs: Sequence[SweepConfig], runner: Optional[SweepRunner] = None
+) -> List[Any]:
+    """Execute a driver's config list through ``runner``.
+
+    Drivers call this with the runner handed to ``run_experiment``; when none
+    was given they fall back to a fresh serial, cache-less
+    :class:`~repro.runner.sweep.SweepRunner`, which reproduces the historical
+    in-process behaviour exactly.
+    """
+    return (runner if runner is not None else SweepRunner()).run(configs)
 
 
 def mean_or_none(values: Iterable[Optional[float]]) -> Optional[float]:

@@ -8,15 +8,65 @@ algorithm) sends messages whose size grows polynomially with the view.
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from typing import List, Sequence
 
 from repro.core.congest_counting import run_congest_counting
 from repro.core.local_counting import run_local_counting
 from repro.core.parameters import CongestParameters, LocalParameters
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, run_configs
 from repro.graphs.hnd import hnd_random_regular_graph
+from repro.runner import SweepConfig, sweep_task
 
-__all__ = ["run_experiment"]
+__all__ = ["run_experiment", "sweep_configs"]
+
+
+@sweep_task("e10.local")
+def _local_stats(*, n: int, degree: int, seed: int) -> dict:
+    """Algorithm 1 message-size statistics on one graph."""
+    local_params = LocalParameters(max_degree=degree)
+    graph = hnd_random_regular_graph(n, degree, seed=seed + n)
+    run = run_local_counting(graph, params=local_params, seed=seed)
+    metrics = run.result.metrics
+    max_ids = max(
+        (stats.max_message_ids for stats in metrics.per_node.values()), default=0
+    )
+    return {
+        "local_max_message_ids": max_ids,
+        "local_small_message_fraction": round(metrics.small_message_fraction(n), 3),
+        "local_total_messages": metrics.total_messages,
+    }
+
+
+@sweep_task("e10.congest")
+def _congest_stats(*, n: int, degree: int, seed: int) -> dict:
+    """Algorithm 2 message-size statistics on one graph."""
+    congest_params = CongestParameters(d=degree)
+    graph = hnd_random_regular_graph(n, degree, seed=seed + n)
+    run = run_congest_counting(graph, params=congest_params, seed=seed)
+    metrics = run.result.metrics
+    max_ids = max(
+        (stats.max_message_ids for stats in metrics.per_node.values()), default=0
+    )
+    return {
+        "congest_max_message_ids": max_ids,
+        "congest_small_message_fraction": round(metrics.small_message_fraction(n), 3),
+        "congest_total_messages": metrics.total_messages,
+    }
+
+
+def sweep_configs(
+    *,
+    sizes: Sequence[int] = (64, 128, 256, 512),
+    degree: int = 8,
+    seed: int = 0,
+) -> List[SweepConfig]:
+    """Per size: one Algorithm 1 run and one Algorithm 2 run (interleaved)."""
+    configs: List[SweepConfig] = []
+    for n in sizes:
+        params = {"n": n, "degree": degree, "seed": seed}
+        configs.append(SweepConfig("e10.local", params))
+        configs.append(SweepConfig("e10.congest", params))
+    return configs
 
 
 def run_experiment(
@@ -24,8 +74,12 @@ def run_experiment(
     sizes: Sequence[int] = (64, 128, 256, 512),
     degree: int = 8,
     seed: int = 0,
+    runner=None,
 ) -> ExperimentResult:
     """Per-algorithm message-size statistics across network sizes."""
+    configs = sweep_configs(sizes=sizes, degree=degree, seed=seed)
+    flat = run_configs(configs, runner)
+
     result = ExperimentResult(
         experiment="E10",
         claim=(
@@ -34,39 +88,14 @@ def run_experiment(
             "grow polynomially with n"
         ),
     )
-    local_params = LocalParameters(max_degree=degree)
-    congest_params = CongestParameters(d=degree)
-
-    for n in sizes:
-        graph = hnd_random_regular_graph(n, degree, seed=seed + n)
-
-        local_run = run_local_counting(graph, params=local_params, seed=seed)
-        local_metrics = local_run.result.metrics
-        local_max_ids = max(
-            (stats.max_message_ids for stats in local_metrics.per_node.values()),
-            default=0,
-        )
-
-        congest_run = run_congest_counting(graph, params=congest_params, seed=seed)
-        congest_metrics = congest_run.result.metrics
-        congest_max_ids = max(
-            (stats.max_message_ids for stats in congest_metrics.per_node.values()),
-            default=0,
-        )
-
+    for index, n in enumerate(sizes):
+        local_stats = flat[2 * index]
+        congest_stats = flat[2 * index + 1]
         result.add_row(
             n=n,
             ln_n=round(math.log(n), 2),
-            local_max_message_ids=local_max_ids,
-            local_small_message_fraction=round(
-                local_metrics.small_message_fraction(n), 3
-            ),
-            local_total_messages=local_metrics.total_messages,
-            congest_max_message_ids=congest_max_ids,
-            congest_small_message_fraction=round(
-                congest_metrics.small_message_fraction(n), 3
-            ),
-            congest_total_messages=congest_metrics.total_messages,
+            **local_stats,
+            **congest_stats,
         )
     result.add_note(
         "local_max_message_ids grows roughly like n·d (the algorithm ships "

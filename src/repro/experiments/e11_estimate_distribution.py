@@ -11,14 +11,42 @@ from __future__ import annotations
 
 import math
 from collections import Counter
-from typing import Sequence
+from typing import List, Sequence
 
 from repro.core.congest_counting import run_congest_counting
 from repro.core.parameters import CongestParameters
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, run_configs
 from repro.graphs.hnd import hnd_random_regular_graph
+from repro.runner import SweepConfig, sweep_task
 
-__all__ = ["run_experiment"]
+__all__ = ["run_experiment", "sweep_configs"]
+
+
+@sweep_task("e11.trial")
+def _trial(*, n: int, degree: int, trial_seed: int) -> List[float]:
+    """Decided estimates of one benign Algorithm 2 run."""
+    params = CongestParameters(d=degree)
+    graph = hnd_random_regular_graph(n, degree, seed=trial_seed)
+    run = run_congest_counting(graph, params=params, seed=trial_seed)
+    return list(run.outcome.estimates())
+
+
+def sweep_configs(
+    *,
+    sizes: Sequence[int] = (128, 256, 512),
+    degree: int = 8,
+    trials: int = 2,
+    seed: int = 0,
+) -> List[SweepConfig]:
+    """The experiment's sweep as a flat config list (trials nested per size)."""
+    return [
+        SweepConfig(
+            "e11.trial",
+            {"n": n, "degree": degree, "trial_seed": seed + 23 * trial + n},
+        )
+        for n in sizes
+        for trial in range(trials)
+    ]
 
 
 def run_experiment(
@@ -27,8 +55,12 @@ def run_experiment(
     degree: int = 8,
     trials: int = 2,
     seed: int = 0,
+    runner=None,
 ) -> ExperimentResult:
     """Histogram of decided values per network size (benign runs)."""
+    configs = sweep_configs(sizes=sizes, degree=degree, trials=trials, seed=seed)
+    flat = run_configs(configs, runner)
+
     result = ExperimentResult(
         experiment="E11",
         claim=(
@@ -36,14 +68,10 @@ def run_experiment(
             "are upper-bounded by ceil(ln n) + 1"
         ),
     )
-    params = CongestParameters(d=degree)
-    for n in sizes:
+    for index, n in enumerate(sizes):
         histogram: Counter = Counter()
-        for trial in range(trials):
-            trial_seed = seed + 23 * trial + n
-            graph = hnd_random_regular_graph(n, degree, seed=trial_seed)
-            run = run_congest_counting(graph, params=params, seed=trial_seed)
-            histogram.update(run.outcome.estimates())
+        for estimates in flat[index * trials : (index + 1) * trials]:
+            histogram.update(estimates)
         total = sum(histogram.values())
         values = sorted(histogram)
         result.add_row(

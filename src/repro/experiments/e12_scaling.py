@@ -8,7 +8,7 @@ those models should explain the measurements well (high R²).
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from typing import List, Sequence
 
 from repro.adversary.strategies import BeaconFloodAdversary
 from repro.adversary.placement import spread_placement
@@ -16,10 +16,69 @@ from repro.analysis.complexity import fit_blog2_model, fit_log_model
 from repro.core.congest_counting import run_congest_counting
 from repro.core.local_counting import run_local_counting
 from repro.core.parameters import CongestParameters, LocalParameters
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, run_configs
 from repro.graphs.hnd import hnd_random_regular_graph
+from repro.runner import SweepConfig, sweep_task
 
-__all__ = ["run_experiment"]
+__all__ = ["run_experiment", "sweep_configs"]
+
+
+@sweep_task("e12.local")
+def _local_rounds(*, n: int, degree: int, seed: int) -> int:
+    """Measured rounds of one Algorithm 1 run (benign)."""
+    local_params = LocalParameters(max_degree=degree)
+    graph = hnd_random_regular_graph(n, degree, seed=seed + n)
+    run = run_local_counting(graph, params=local_params, seed=seed)
+    return run.outcome.max_decision_round() or run.outcome.rounds_executed
+
+
+@sweep_task("e12.congest")
+def _congest_rounds(*, n: int, degree: int, num_byz: int, budget: int, seed: int) -> int:
+    """Measured rounds of one Algorithm 2 run under beacon flooding."""
+    congest_params = CongestParameters(d=degree)
+    graph = hnd_random_regular_graph(n, degree, seed=seed + n + num_byz)
+    byz = spread_placement(graph, num_byz, seed=seed + num_byz)
+    run = run_congest_counting(
+        graph,
+        byzantine=byz,
+        adversary=BeaconFloodAdversary(congest_params),
+        params=congest_params,
+        seed=seed,
+        max_rounds=budget,
+    )
+    return run.outcome.max_decision_round() or run.outcome.rounds_executed
+
+
+def sweep_configs(
+    *,
+    local_sizes: Sequence[int] = (64, 128, 256, 512),
+    congest_sizes: Sequence[int] = (64, 128, 256),
+    degree: int = 8,
+    congest_byzantine_counts: Sequence[int] = (1, 2, 3),
+    seed: int = 0,
+) -> List[SweepConfig]:
+    """Algorithm 1 configs (per size), then Algorithm 2 configs (size × B)."""
+    configs = [
+        SweepConfig("e12.local", {"n": n, "degree": degree, "seed": seed})
+        for n in local_sizes
+    ]
+    congest_params = CongestParameters(d=degree)
+    for n in congest_sizes:
+        budget = congest_params.rounds_through_phase(int(math.ceil(math.log(n))) + 1)
+        configs.extend(
+            SweepConfig(
+                "e12.congest",
+                {
+                    "n": n,
+                    "degree": degree,
+                    "num_byz": num_byz,
+                    "budget": budget,
+                    "seed": seed,
+                },
+            )
+            for num_byz in congest_byzantine_counts
+        )
+    return configs
 
 
 def run_experiment(
@@ -29,8 +88,18 @@ def run_experiment(
     degree: int = 8,
     congest_byzantine_counts: Sequence[int] = (1, 2, 3),
     seed: int = 0,
+    runner=None,
 ) -> ExperimentResult:
     """Measure rounds for both algorithms and fit the paper's complexity models."""
+    configs = sweep_configs(
+        local_sizes=local_sizes,
+        congest_sizes=congest_sizes,
+        degree=degree,
+        congest_byzantine_counts=congest_byzantine_counts,
+        seed=seed,
+    )
+    flat = run_configs(configs, runner)
+
     result = ExperimentResult(
         experiment="E12",
         claim=(
@@ -39,13 +108,8 @@ def run_experiment(
         ),
     )
     # -- Algorithm 1: rounds vs log n -------------------------------------- #
-    local_params = LocalParameters(max_degree=degree)
-    local_rounds = []
-    for n in local_sizes:
-        graph = hnd_random_regular_graph(n, degree, seed=seed + n)
-        run = run_local_counting(graph, params=local_params, seed=seed)
-        rounds = run.outcome.max_decision_round() or run.outcome.rounds_executed
-        local_rounds.append(rounds)
+    local_rounds = list(flat[: len(local_sizes)])
+    for n, rounds in zip(local_sizes, local_rounds):
         result.add_row(
             algorithm="algorithm1",
             n=n,
@@ -61,24 +125,12 @@ def run_experiment(
     )
 
     # -- Algorithm 2: rounds vs B log^2 n ----------------------------------- #
-    congest_params = CongestParameters(d=degree)
     sizes_used, byz_used, congest_rounds = [], [], []
+    index = len(local_sizes)
     for n in congest_sizes:
         for num_byz in congest_byzantine_counts:
-            graph = hnd_random_regular_graph(n, degree, seed=seed + n + num_byz)
-            byz = spread_placement(graph, num_byz, seed=seed + num_byz)
-            budget = congest_params.rounds_through_phase(
-                int(math.ceil(math.log(n))) + 1
-            )
-            run = run_congest_counting(
-                graph,
-                byzantine=byz,
-                adversary=BeaconFloodAdversary(congest_params),
-                params=congest_params,
-                seed=seed,
-                max_rounds=budget,
-            )
-            rounds = run.outcome.max_decision_round() or run.outcome.rounds_executed
+            rounds = flat[index]
+            index += 1
             sizes_used.append(n)
             byz_used.append(num_byz)
             congest_rounds.append(rounds)

@@ -8,19 +8,20 @@ the ``Good`` set decide a constant-factor estimate of ``log n``.
 from __future__ import annotations
 
 import math
-from typing import Iterable, Optional, Sequence
+from typing import List, Iterable, Optional, Sequence
 
 from repro.adversary.placement import clustered_placement, random_placement, spread_placement
 from repro.adversary.strategies import FakeTopologyAdversary, InconsistentTopologyAdversary
 from repro.analysis.accuracy import theorem1_check
 from repro.core.local_counting import run_local_counting
 from repro.core.parameters import LocalParameters, byzantine_budget
-from repro.experiments.common import ExperimentResult, mean_or_none
+from repro.experiments.common import ExperimentResult, mean_or_none, run_configs
 from repro.graphs.expansion import good_set
 from repro.graphs.hnd import hnd_random_regular_graph
+from repro.runner import SweepConfig, sweep_task
 from repro.simulator.byzantine import SilentAdversary
 
-__all__ = ["run_experiment"]
+__all__ = ["run_experiment", "sweep_configs"]
 
 _BEHAVIOURS = {
     "silent": SilentAdversary,
@@ -35,6 +36,69 @@ _PLACEMENTS = {
 }
 
 
+@sweep_task("e1.trial")
+def _trial(
+    *, n: int, gamma: float, degree: int, behaviour: str, placement: str, trial_seed: int
+) -> dict:
+    """One (size, seed) cell of the sweep: run Algorithm 1 and summarize."""
+    params = LocalParameters(gamma=gamma, max_degree=degree)
+    num_byz = byzantine_budget(n, 1.0 - gamma)
+    graph = hnd_random_regular_graph(n, degree, seed=trial_seed)
+    byz = _PLACEMENTS[placement](graph, num_byz, seed=trial_seed)
+    adversary = _BEHAVIOURS[behaviour]()
+    evaluation = good_set(graph, byz, gamma)
+    run = run_local_counting(
+        graph,
+        byzantine=byz,
+        adversary=adversary,
+        params=params,
+        seed=trial_seed,
+        evaluation_set=evaluation,
+    )
+    check = theorem1_check(run.outcome)
+    return {
+        "good": len(evaluation),
+        "decided": run.outcome.decided_fraction(),
+        "in_band": run.outcome.fraction_within_band(0.35, 1.6),
+        "min_est": run.outcome.estimate_range()[0],
+        "max_est": run.outcome.estimate_range()[1],
+        "rounds": run.outcome.max_decision_round(),
+        "passed": 1.0 if check.passed else 0.0,
+    }
+
+
+def sweep_configs(
+    *,
+    sizes: Sequence[int] = (64, 128, 256, 512),
+    gamma: float = 0.7,
+    degree: int = 8,
+    behaviour: str = "fake-topology",
+    placement: str = "random",
+    trials: int = 2,
+    seed: int = 0,
+) -> List[SweepConfig]:
+    """The experiment's sweep as a flat config list (trials nested per size)."""
+    if behaviour not in _BEHAVIOURS:
+        raise ValueError(f"unknown behaviour {behaviour!r}; options: {sorted(_BEHAVIOURS)}")
+    if placement not in _PLACEMENTS:
+        raise ValueError(f"unknown placement {placement!r}; options: {sorted(_PLACEMENTS)}")
+    return [
+        SweepConfig(
+            "e1.trial",
+            {
+                "n": n,
+                "gamma": gamma,
+                "degree": degree,
+                "behaviour": behaviour,
+                "placement": placement,
+                "trial_seed": seed + 7919 * trial + n,
+            },
+        )
+        for n in sizes
+        for trial in range(trials)
+    ]
+
+
 def run_experiment(
     *,
     sizes: Sequence[int] = (64, 128, 256, 512),
@@ -44,6 +108,7 @@ def run_experiment(
     placement: str = "random",
     trials: int = 2,
     seed: int = 0,
+    runner=None,
 ) -> ExperimentResult:
     """Sweep network sizes and measure Theorem 1's quantities.
 
@@ -53,10 +118,16 @@ def run_experiment(
     constant-factor band, the estimate range, and the latest decision round
     (to be compared against ``O(log n)``).
     """
-    if behaviour not in _BEHAVIOURS:
-        raise ValueError(f"unknown behaviour {behaviour!r}; options: {sorted(_BEHAVIOURS)}")
-    if placement not in _PLACEMENTS:
-        raise ValueError(f"unknown placement {placement!r}; options: {sorted(_PLACEMENTS)}")
+    configs = sweep_configs(
+        sizes=sizes,
+        gamma=gamma,
+        degree=degree,
+        behaviour=behaviour,
+        placement=placement,
+        trials=trials,
+        seed=seed,
+    )
+    rows = run_configs(configs, runner)
 
     result = ExperimentResult(
         experiment="E1",
@@ -66,37 +137,9 @@ def run_experiment(
             "n^(1-gamma) Byzantine nodes"
         ),
     )
-    params = LocalParameters(gamma=gamma, max_degree=degree)
-
-    for n in sizes:
+    for index, n in enumerate(sizes):
         num_byz = byzantine_budget(n, 1.0 - gamma)
-        per_trial = []
-        for trial in range(trials):
-            trial_seed = seed + 7919 * trial + n
-            graph = hnd_random_regular_graph(n, degree, seed=trial_seed)
-            byz = _PLACEMENTS[placement](graph, num_byz, seed=trial_seed)
-            adversary = _BEHAVIOURS[behaviour]()
-            evaluation = good_set(graph, byz, gamma)
-            run = run_local_counting(
-                graph,
-                byzantine=byz,
-                adversary=adversary,
-                params=params,
-                seed=trial_seed,
-                evaluation_set=evaluation,
-            )
-            check = theorem1_check(run.outcome)
-            per_trial.append(
-                {
-                    "good": len(evaluation),
-                    "decided": run.outcome.decided_fraction(),
-                    "in_band": run.outcome.fraction_within_band(0.35, 1.6),
-                    "min_est": run.outcome.estimate_range()[0],
-                    "max_est": run.outcome.estimate_range()[1],
-                    "rounds": run.outcome.max_decision_round(),
-                    "passed": 1.0 if check.passed else 0.0,
-                }
-            )
+        per_trial = rows[index * trials : (index + 1) * trials]
         result.add_row(
             n=n,
             ln_n=round(math.log(n), 2),

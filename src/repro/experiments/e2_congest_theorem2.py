@@ -9,25 +9,120 @@ most good nodes send only ``O(log n)``-bit messages.
 from __future__ import annotations
 
 import math
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.adversary.placement import random_placement, spread_placement
 from repro.adversary.strategies import BeaconFloodAdversary, PathTamperAdversary
 from repro.analysis.accuracy import theorem2_check
 from repro.core.congest_counting import run_congest_counting
 from repro.core.parameters import CongestParameters
-from repro.experiments.common import ExperimentResult, mean_or_none
+from repro.experiments.common import ExperimentResult, mean_or_none, run_configs
 from repro.graphs.hnd import hnd_random_regular_graph
 from repro.graphs.neighborhoods import ball_of_set
+from repro.runner import SweepConfig, sweep_task
 from repro.simulator.byzantine import SilentAdversary
 
-__all__ = ["run_experiment"]
+__all__ = ["run_experiment", "sweep_configs"]
 
 _BEHAVIOURS = {
     "silent": SilentAdversary,
     "beacon-flood": BeaconFloodAdversary,
     "path-tamper": PathTamperAdversary,
 }
+
+_PLACEMENTS = {"random": random_placement, "spread": spread_placement}
+
+
+@sweep_task("e2.trial")
+def _trial(
+    *,
+    n: int,
+    degree: int,
+    num_byz: int,
+    behaviour: str,
+    placement: str,
+    gamma: float,
+    round_budget: int,
+    trial_seed: int,
+) -> dict:
+    """One (size, seed) cell: run Algorithm 2 under attack and summarize."""
+    params = CongestParameters(gamma=gamma, d=degree)
+    graph = hnd_random_regular_graph(n, degree, seed=trial_seed)
+    byz = _PLACEMENTS[placement](graph, num_byz, seed=trial_seed)
+    behaviour_cls = _BEHAVIOURS[behaviour]
+    adversary = behaviour_cls() if behaviour == "silent" else behaviour_cls(params)
+    # GoodTL stand-in at small scale: honest nodes at distance >= 2
+    # from every Byzantine node -- the set Theorem 2's (1-beta)n
+    # guarantee is really about (nodes adjacent to a Byzantine flooder
+    # can legitimately be kept undecided forever).
+    contaminated = ball_of_set(graph, byz, 1)
+    evaluation = {u for u in range(graph.n) if u not in contaminated and u not in byz}
+    run = run_congest_counting(
+        graph,
+        byzantine=byz,
+        adversary=adversary,
+        params=params,
+        seed=trial_seed,
+        max_rounds=round_budget,
+        evaluation_set=evaluation,
+    )
+    outcome = run.outcome
+    far_in_band = outcome.fraction_within_band(0.35, 1.6)
+    check = theorem2_check(
+        outcome, beta=0.25, num_byzantine=num_byz, round_budget=round_budget
+    )
+    return {
+        "decided": outcome.decided_fraction(over_evaluation_set=False),
+        "in_band": outcome.fraction_within_band(0.35, 1.6, over_evaluation_set=False),
+        "far_in_band": far_in_band,
+        "median": outcome.median_estimate(),
+        "rounds": outcome.max_decision_round(),
+        "small": outcome.small_message_fraction,
+        "passed": 1.0 if check.passed else 0.0,
+    }
+
+
+def sweep_configs(
+    *,
+    sizes: Sequence[int] = (128, 256, 512),
+    degree: int = 8,
+    byzantine_exponent: float = 0.3,
+    behaviour: str = "beacon-flood",
+    placement: str = "spread",
+    gamma: float = 0.5,
+    trials: int = 1,
+    seed: int = 0,
+    max_phase_slack: int = 1,
+) -> List[SweepConfig]:
+    """The experiment's sweep as a flat config list (trials nested per size)."""
+    if behaviour not in _BEHAVIOURS:
+        raise ValueError(f"unknown behaviour {behaviour!r}; options: {sorted(_BEHAVIOURS)}")
+    if placement not in _PLACEMENTS:
+        raise ValueError(f"unknown placement {placement!r}; options: {sorted(_PLACEMENTS)}")
+    params = CongestParameters(gamma=gamma, d=degree)
+    configs: List[SweepConfig] = []
+    for n in sizes:
+        num_byz = max(1, int(math.floor(n ** byzantine_exponent)))
+        round_budget = params.rounds_through_phase(
+            int(math.ceil(math.log(n))) + max_phase_slack
+        )
+        for trial in range(trials):
+            configs.append(
+                SweepConfig(
+                    "e2.trial",
+                    {
+                        "n": n,
+                        "degree": degree,
+                        "num_byz": num_byz,
+                        "behaviour": behaviour,
+                        "placement": placement,
+                        "gamma": gamma,
+                        "round_budget": round_budget,
+                        "trial_seed": seed + 104729 * trial + n,
+                    },
+                )
+            )
+    return configs
 
 
 def run_experiment(
@@ -41,6 +136,7 @@ def run_experiment(
     trials: int = 1,
     seed: int = 0,
     max_phase_slack: int = 1,
+    runner=None,
 ) -> ExperimentResult:
     """Sweep network sizes under Byzantine beacon attacks.
 
@@ -51,11 +147,18 @@ def run_experiment(
     also reports the fraction over nodes at distance ≥ 2 from every Byzantine
     node, the small-scale stand-in for GoodTL.
     """
-    if behaviour not in _BEHAVIOURS:
-        raise ValueError(f"unknown behaviour {behaviour!r}; options: {sorted(_BEHAVIOURS)}")
-    placements = {"random": random_placement, "spread": spread_placement}
-    if placement not in placements:
-        raise ValueError(f"unknown placement {placement!r}; options: {sorted(placements)}")
+    configs = sweep_configs(
+        sizes=sizes,
+        degree=degree,
+        byzantine_exponent=byzantine_exponent,
+        behaviour=behaviour,
+        placement=placement,
+        gamma=gamma,
+        trials=trials,
+        seed=seed,
+        max_phase_slack=max_phase_slack,
+    )
+    rows = run_configs(configs, runner)
 
     result = ExperimentResult(
         experiment="E2",
@@ -65,57 +168,10 @@ def run_experiment(
             "using small messages, under B(n) Byzantine nodes"
         ),
     )
-    params = CongestParameters(gamma=gamma, d=degree)
-
-    for n in sizes:
-        num_byz = max(1, int(math.floor(n ** byzantine_exponent)))
-        round_budget = params.rounds_through_phase(
-            int(math.ceil(math.log(n))) + max_phase_slack
-        )
-        per_trial = []
-        for trial in range(trials):
-            trial_seed = seed + 104729 * trial + n
-            graph = hnd_random_regular_graph(n, degree, seed=trial_seed)
-            byz = placements[placement](graph, num_byz, seed=trial_seed)
-            behaviour_cls = _BEHAVIOURS[behaviour]
-            adversary = (
-                behaviour_cls() if behaviour == "silent" else behaviour_cls(params)
-            )
-            # GoodTL stand-in at small scale: honest nodes at distance >= 2
-            # from every Byzantine node -- the set Theorem 2's (1-beta)n
-            # guarantee is really about (nodes adjacent to a Byzantine flooder
-            # can legitimately be kept undecided forever).
-            contaminated = ball_of_set(graph, byz, 1)
-            evaluation = {
-                u for u in range(graph.n) if u not in contaminated and u not in byz
-            }
-            run = run_congest_counting(
-                graph,
-                byzantine=byz,
-                adversary=adversary,
-                params=params,
-                seed=trial_seed,
-                max_rounds=round_budget,
-                evaluation_set=evaluation,
-            )
-            outcome = run.outcome
-            far_in_band = outcome.fraction_within_band(0.35, 1.6)
-            check = theorem2_check(
-                outcome, beta=0.25, num_byzantine=num_byz, round_budget=round_budget
-            )
-            per_trial.append(
-                {
-                    "decided": outcome.decided_fraction(over_evaluation_set=False),
-                    "in_band": outcome.fraction_within_band(
-                        0.35, 1.6, over_evaluation_set=False
-                    ),
-                    "far_in_band": far_in_band,
-                    "median": outcome.median_estimate(),
-                    "rounds": outcome.max_decision_round(),
-                    "small": outcome.small_message_fraction,
-                    "passed": 1.0 if check.passed else 0.0,
-                }
-            )
+    for index, n in enumerate(sizes):
+        num_byz = configs[index * trials].params["num_byz"]
+        round_budget = configs[index * trials].params["round_budget"]
+        per_trial = rows[index * trials : (index + 1) * trials]
         result.add_row(
             n=n,
             ln_n=round(math.log(n), 2),

@@ -9,15 +9,65 @@ from __future__ import annotations
 
 import math
 from collections import Counter
-from typing import Sequence
+from typing import List, Sequence
 
 from repro.analysis.accuracy import corollary1_check
 from repro.core.congest_counting import run_congest_counting
 from repro.core.parameters import CongestParameters
-from repro.experiments.common import ExperimentResult, mean_or_none
+from repro.experiments.common import ExperimentResult, mean_or_none, run_configs
 from repro.graphs.hnd import hnd_random_regular_graph
+from repro.runner import SweepConfig, sweep_task
 
-__all__ = ["run_experiment"]
+__all__ = ["run_experiment", "sweep_configs"]
+
+
+@sweep_task("e3.trial")
+def _trial(*, n: int, degree: int, trial_seed: int) -> dict:
+    """One benign run of Algorithm 2: agreement, quiescence, Corollary 1."""
+    params = CongestParameters(d=degree)
+    graph = hnd_random_regular_graph(n, degree, seed=trial_seed)
+    run = run_congest_counting(
+        graph,
+        params=params,
+        seed=trial_seed,
+        stop_when_all_decided=False,
+    )
+    outcome = run.outcome
+    histogram = Counter(outcome.estimates())
+    modal_value, modal_count = histogram.most_common(1)[0] if histogram else (None, 0)
+    check = corollary1_check(outcome)
+    quiescent = (
+        run.result.metrics.messages_per_round[-1] == 0
+        if run.result.metrics.messages_per_round
+        else False
+    )
+    return {
+        "decided": outcome.decided_fraction(),
+        "modal_value": modal_value,
+        "modal_fraction": modal_count / max(1, len(outcome.records)),
+        "max_est": outcome.estimate_range()[1],
+        "rounds": run.outcome.rounds_executed,
+        "quiescent": 1.0 if quiescent else 0.0,
+        "passed": 1.0 if check.passed else 0.0,
+    }
+
+
+def sweep_configs(
+    *,
+    sizes: Sequence[int] = (64, 128, 256, 512),
+    degree: int = 8,
+    trials: int = 2,
+    seed: int = 0,
+) -> List[SweepConfig]:
+    """The experiment's sweep as a flat config list (trials nested per size)."""
+    return [
+        SweepConfig(
+            "e3.trial",
+            {"n": n, "degree": degree, "trial_seed": seed + 31 * trial + n},
+        )
+        for n in sizes
+        for trial in range(trials)
+    ]
 
 
 def run_experiment(
@@ -26,8 +76,12 @@ def run_experiment(
     degree: int = 8,
     trials: int = 2,
     seed: int = 0,
+    runner=None,
 ) -> ExperimentResult:
     """Benign-case sweep: decision values, modal agreement, quiescence."""
+    configs = sweep_configs(sizes=sizes, degree=degree, trials=trials, seed=seed)
+    rows = run_configs(configs, runner)
+
     result = ExperimentResult(
         experiment="E3",
         claim=(
@@ -35,41 +89,8 @@ def run_experiment(
             "Omega(n) nodes decide a common value bounded by ceil(ln n)"
         ),
     )
-    params = CongestParameters(d=degree)
-
-    for n in sizes:
-        per_trial = []
-        for trial in range(trials):
-            trial_seed = seed + 31 * trial + n
-            graph = hnd_random_regular_graph(n, degree, seed=trial_seed)
-            run = run_congest_counting(
-                graph,
-                params=params,
-                seed=trial_seed,
-                stop_when_all_decided=False,
-            )
-            outcome = run.outcome
-            histogram = Counter(outcome.estimates())
-            modal_value, modal_count = (
-                histogram.most_common(1)[0] if histogram else (None, 0)
-            )
-            check = corollary1_check(outcome)
-            quiescent = (
-                run.result.metrics.messages_per_round[-1] == 0
-                if run.result.metrics.messages_per_round
-                else False
-            )
-            per_trial.append(
-                {
-                    "decided": outcome.decided_fraction(),
-                    "modal_value": modal_value,
-                    "modal_fraction": modal_count / max(1, len(outcome.records)),
-                    "max_est": outcome.estimate_range()[1],
-                    "rounds": run.outcome.rounds_executed,
-                    "quiescent": 1.0 if quiescent else 0.0,
-                    "passed": 1.0 if check.passed else 0.0,
-                }
-            )
+    for index, n in enumerate(sizes):
+        per_trial = rows[index * trials : (index + 1) * trials]
         result.add_row(
             n=n,
             ln_n=round(math.log(n), 2),

@@ -9,18 +9,107 @@ expansion of the whole network is therefore necessary.
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from typing import List, Sequence
 
 from repro.core.congest_counting import run_congest_counting
 from repro.core.parameters import CongestParameters
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, run_configs
 from repro.graphs.expansion import vertex_expansion_sampled
 from repro.graphs.generators import barbell_graph, cycle_graph
 from repro.graphs.hnd import hnd_random_regular_graph
 from repro.impossibility.construction import build_chained_instance, copies_isomorphic_to_base
 from repro.impossibility.experiment import run_indistinguishability_experiment
+from repro.runner import SweepConfig, sweep_task
 
-__all__ = ["run_experiment"]
+__all__ = ["run_experiment", "sweep_configs"]
+
+
+@sweep_task("e4.glued")
+def _glued(*, base_n: int, degree: int, copies: int, num_trials: int, seed: int) -> dict:
+    """One chained-copies construction: structure checks plus both runs."""
+    base = hnd_random_regular_graph(base_n, degree, seed=seed)
+    instance = build_chained_instance(base, copies, seed=seed)
+    structural_ok = copies_isomorphic_to_base(instance)
+    glued_expansion = vertex_expansion_sampled(instance.glued, seed=seed, num_samples=60)
+    outcome = run_indistinguishability_experiment(
+        base, copies, seed=seed, num_trials=num_trials
+    )
+    return {
+        "construction": f"{copies}x H({base_n},{degree}) glued",
+        "true_n": outcome.glued_n,
+        "ln_true_n": round(outcome.log_glued_n, 2),
+        "ln_hidden_base": round(outcome.log_base_n, 2),
+        "glued_expansion_upper_bound": round(glued_expansion, 3),
+        "copies_isomorphic": structural_ok,
+        "median_estimate_base": outcome.base_median_estimate,
+        "median_estimate_glued": outcome.glued_median_estimate,
+        "fraction_tracking_base_size": round(
+            outcome.glued_fraction_matching_base_size, 3
+        ),
+        "fraction_correct_for_true_size": round(
+            outcome.glued_fraction_correct_for_glued_size, 3
+        ),
+        "demonstrates_impossibility": outcome.demonstrates_impossibility(),
+    }
+
+
+@sweep_task("e4.control")
+def _control(*, kind: str, base_n: int, degree: int, seed: int) -> dict:
+    """One low-expansion negative control (benign Algorithm 2 run)."""
+    params = CongestParameters(d=degree)
+    graph = cycle_graph(base_n * 2) if kind == "cycle" else barbell_graph(base_n, 2)
+    expansion = vertex_expansion_sampled(graph, seed=seed, num_samples=60)
+    run = run_congest_counting(graph, params=params, seed=seed)
+    outcome = run.outcome
+    return {
+        "construction": f"control: {kind}({graph.n})",
+        "true_n": graph.n,
+        "ln_true_n": round(math.log(graph.n), 2),
+        "ln_hidden_base": None,
+        "glued_expansion_upper_bound": round(expansion, 3),
+        "copies_isomorphic": None,
+        "median_estimate_base": None,
+        "median_estimate_glued": outcome.median_estimate(),
+        "fraction_tracking_base_size": None,
+        "fraction_correct_for_true_size": round(
+            outcome.fraction_within_band(0.35, 1.6), 3
+        ),
+        "demonstrates_impossibility": None,
+    }
+
+
+def sweep_configs(
+    *,
+    base_n: int = 64,
+    degree: int = 8,
+    copy_counts: Sequence[int] = (4, 8),
+    num_trials: int = 2,
+    seed: int = 0,
+    include_low_expansion_controls: bool = True,
+) -> List[SweepConfig]:
+    """Glued constructions first, then the optional negative controls."""
+    configs = [
+        SweepConfig(
+            "e4.glued",
+            {
+                "base_n": base_n,
+                "degree": degree,
+                "copies": copies,
+                "num_trials": num_trials,
+                "seed": seed,
+            },
+        )
+        for copies in copy_counts
+    ]
+    if include_low_expansion_controls:
+        configs.extend(
+            SweepConfig(
+                "e4.control",
+                {"kind": kind, "base_n": base_n, "degree": degree, "seed": seed},
+            )
+            for kind in ("cycle", "barbell")
+        )
+    return configs
 
 
 def run_experiment(
@@ -31,8 +120,19 @@ def run_experiment(
     num_trials: int = 2,
     seed: int = 0,
     include_low_expansion_controls: bool = True,
+    runner=None,
 ) -> ExperimentResult:
     """The chained-copies construction plus low-expansion negative controls."""
+    configs = sweep_configs(
+        base_n=base_n,
+        degree=degree,
+        copy_counts=copy_counts,
+        num_trials=num_trials,
+        seed=seed,
+        include_low_expansion_controls=include_low_expansion_controls,
+    )
+    rows = run_configs(configs, runner)
+
     result = ExperimentResult(
         experiment="E4",
         claim=(
@@ -41,60 +141,10 @@ def run_experiment(
             "rather than the true size"
         ),
     )
-    base = hnd_random_regular_graph(base_n, degree, seed=seed)
-
-    for copies in copy_counts:
-        instance = build_chained_instance(base, copies, seed=seed)
-        structural_ok = copies_isomorphic_to_base(instance)
-        glued_expansion = vertex_expansion_sampled(
-            instance.glued, seed=seed, num_samples=60
-        )
-        outcome = run_indistinguishability_experiment(
-            base, copies, seed=seed, num_trials=num_trials
-        )
-        result.add_row(
-            construction=f"{copies}x H({base_n},{degree}) glued",
-            true_n=outcome.glued_n,
-            ln_true_n=round(outcome.log_glued_n, 2),
-            ln_hidden_base=round(outcome.log_base_n, 2),
-            glued_expansion_upper_bound=round(glued_expansion, 3),
-            copies_isomorphic=structural_ok,
-            median_estimate_base=outcome.base_median_estimate,
-            median_estimate_glued=outcome.glued_median_estimate,
-            fraction_tracking_base_size=round(
-                outcome.glued_fraction_matching_base_size, 3
-            ),
-            fraction_correct_for_true_size=round(
-                outcome.glued_fraction_correct_for_glued_size, 3
-            ),
-            demonstrates_impossibility=outcome.demonstrates_impossibility(),
-        )
+    for row in rows:
+        result.add_row(**row)
 
     if include_low_expansion_controls:
-        params = CongestParameters(d=degree)
-        controls = [
-            ("cycle", cycle_graph(base_n * 2)),
-            ("barbell", barbell_graph(base_n, 2)),
-        ]
-        for name, graph in controls:
-            expansion = vertex_expansion_sampled(graph, seed=seed, num_samples=60)
-            run = run_congest_counting(graph, params=params, seed=seed)
-            outcome = run.outcome
-            result.add_row(
-                construction=f"control: {name}({graph.n})",
-                true_n=graph.n,
-                ln_true_n=round(math.log(graph.n), 2),
-                ln_hidden_base=None,
-                glued_expansion_upper_bound=round(expansion, 3),
-                copies_isomorphic=None,
-                median_estimate_base=None,
-                median_estimate_glued=outcome.median_estimate(),
-                fraction_tracking_base_size=None,
-                fraction_correct_for_true_size=round(
-                    outcome.fraction_within_band(0.35, 1.6), 3
-                ),
-                demonstrates_impossibility=None,
-            )
         result.add_note(
             "Controls run Algorithm 2 (whose guarantees require expansion) on "
             "low-expansion topologies without any Byzantine nodes; the quality "

@@ -8,13 +8,45 @@ Claim: in an ``H(n, d)`` random graph, with high probability at least
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from typing import List, Sequence
 
-from repro.experiments.common import ExperimentResult, mean_or_none
+from repro.experiments.common import ExperimentResult, mean_or_none, run_configs
 from repro.graphs.hnd import hnd_random_regular_graph
 from repro.graphs.treelike import treelike_nodes, treelike_radius
+from repro.runner import SweepConfig, sweep_task
 
-__all__ = ["run_experiment"]
+__all__ = ["run_experiment", "sweep_configs"]
+
+
+@sweep_task("e5.trial")
+def _trial(*, n: int, d: int, radius: int, trial_seed: int) -> int:
+    """Count the tree-like nodes of one sampled ``H(n, d)`` graph."""
+    graph = hnd_random_regular_graph(n, d, seed=trial_seed)
+    return len(treelike_nodes(graph, degree=d, radius=radius))
+
+
+def sweep_configs(
+    *,
+    sizes: Sequence[int] = (256, 512, 1024, 2048),
+    degrees: Sequence[int] = (8, 12),
+    trials: int = 3,
+    seed: int = 0,
+) -> List[SweepConfig]:
+    """The (degree, size, trial) grid as a flat config list."""
+    return [
+        SweepConfig(
+            "e5.trial",
+            {
+                "n": n,
+                "d": d,
+                "radius": treelike_radius(n, d),
+                "trial_seed": seed + trial * 613 + n + d,
+            },
+        )
+        for d in degrees
+        for n in sizes
+        for trial in range(trials)
+    ]
 
 
 def run_experiment(
@@ -23,8 +55,12 @@ def run_experiment(
     degrees: Sequence[int] = (8, 12),
     trials: int = 3,
     seed: int = 0,
+    runner=None,
 ) -> ExperimentResult:
     """Measure the tree-like fraction against the ``n - O(n^0.8)`` bound."""
+    configs = sweep_configs(sizes=sizes, degrees=degrees, trials=trials, seed=seed)
+    counts_flat = run_configs(configs, runner)
+
     result = ExperimentResult(
         experiment="E5",
         claim=(
@@ -32,13 +68,12 @@ def run_experiment(
             "tree-like up to radius log n / (10 log d)"
         ),
     )
+    index = 0
     for d in degrees:
         for n in sizes:
             radius = treelike_radius(n, d)
-            counts = []
-            for trial in range(trials):
-                graph = hnd_random_regular_graph(n, d, seed=seed + trial * 613 + n + d)
-                counts.append(len(treelike_nodes(graph, degree=d, radius=radius)))
+            counts = counts_flat[index : index + trials]
+            index += trials
             mean_count = mean_or_none(counts)
             result.add_row(
                 n=n,

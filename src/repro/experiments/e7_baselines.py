@@ -10,7 +10,7 @@ algorithms keep theirs.
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, Optional, Sequence
+from typing import List, Callable, Dict, Optional, Sequence
 
 from repro.adversary.placement import random_placement
 from repro.adversary.strategies import BeaconFloodAdversary, ValueFakingAdversary
@@ -22,10 +22,11 @@ from repro.baselines import (
 )
 from repro.core.congest_counting import run_congest_counting
 from repro.core.parameters import CongestParameters
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, run_configs
 from repro.graphs.hnd import hnd_random_regular_graph
+from repro.runner import SweepConfig, sweep_task
 
-__all__ = ["run_experiment"]
+__all__ = ["run_experiment", "sweep_configs"]
 
 #: baseline name -> (runner, the ValueFakingAdversary mode that breaks it)
 _BASELINES: Dict[str, tuple] = {
@@ -36,6 +37,87 @@ _BASELINES: Dict[str, tuple] = {
 }
 
 
+@sweep_task("e7.baseline")
+def _baseline_cell(*, name: str, n: int, degree: int, num_byz: int, seed: int) -> dict:
+    """One (baseline, Byzantine count) cell attacked with its breaking mode."""
+    baseline_runner, attack_mode = _BASELINES[name]
+    graph = hnd_random_regular_graph(n, degree, seed=seed)
+    log_n = math.log(n)
+    byz = random_placement(graph, num_byz, seed=seed + num_byz) if num_byz else set()
+    adversary = ValueFakingAdversary(mode=attack_mode) if num_byz else None
+    outcome = baseline_runner(graph, byzantine=byz, adversary=adversary, seed=seed)
+    return {
+        "protocol": name,
+        "n": n,
+        "byzantine": num_byz,
+        "ln_n": round(log_n, 2),
+        "median_estimate": outcome.median_estimate(),
+        "median_relative_error": outcome.median_relative_error(),
+        "fraction_within_2x": round(outcome.fraction_within_factor(0.5, 2.0), 3),
+        "decided_fraction": round(outcome.decided_fraction(), 3),
+    }
+
+
+@sweep_task("e7.algorithm2")
+def _algorithm2_cell(*, n: int, degree: int, num_byz: int, seed: int) -> dict:
+    """Algorithm 2 under the beacon-flood attack for one Byzantine count."""
+    params = CongestParameters(d=degree)
+    graph = hnd_random_regular_graph(n, degree, seed=seed)
+    log_n = math.log(n)
+    byz = random_placement(graph, num_byz, seed=seed + num_byz) if num_byz else set()
+    adversary = BeaconFloodAdversary(params) if num_byz else None
+    max_rounds = params.rounds_through_phase(int(math.ceil(log_n)) + 1)
+    run = run_congest_counting(
+        graph,
+        byzantine=byz,
+        adversary=adversary,
+        params=params,
+        seed=seed,
+        max_rounds=max_rounds,
+    )
+    outcome = run.outcome
+    median = outcome.median_estimate()
+    error = abs(median - log_n) / log_n if median is not None else None
+    return {
+        "protocol": "algorithm2 (this paper)",
+        "n": n,
+        "byzantine": num_byz,
+        "ln_n": round(log_n, 2),
+        "median_estimate": median,
+        "median_relative_error": round(error, 3) if error is not None else None,
+        "fraction_within_2x": round(outcome.fraction_within_band(0.5, 2.0), 3),
+        "decided_fraction": round(outcome.decided_fraction(), 3),
+    }
+
+
+def sweep_configs(
+    *,
+    n: int = 256,
+    degree: int = 8,
+    byzantine_counts: Sequence[int] = (0, 1, 4),
+    seed: int = 0,
+    include_algorithm2: bool = True,
+) -> List[SweepConfig]:
+    """The baseline × Byzantine-count grid, then the Algorithm 2 rows."""
+    configs = [
+        SweepConfig(
+            "e7.baseline",
+            {"name": name, "n": n, "degree": degree, "num_byz": num_byz, "seed": seed},
+        )
+        for name in _BASELINES
+        for num_byz in byzantine_counts
+    ]
+    if include_algorithm2:
+        configs.extend(
+            SweepConfig(
+                "e7.algorithm2",
+                {"n": n, "degree": degree, "num_byz": num_byz, "seed": seed},
+            )
+            for num_byz in byzantine_counts
+        )
+    return configs
+
+
 def run_experiment(
     *,
     n: int = 256,
@@ -43,8 +125,18 @@ def run_experiment(
     byzantine_counts: Sequence[int] = (0, 1, 4),
     seed: int = 0,
     include_algorithm2: bool = True,
+    runner=None,
 ) -> ExperimentResult:
     """Compare every baseline (and Algorithm 2) under 0, 1, and several Byzantine nodes."""
+    configs = sweep_configs(
+        n=n,
+        degree=degree,
+        byzantine_counts=byzantine_counts,
+        seed=seed,
+        include_algorithm2=include_algorithm2,
+    )
+    rows = run_configs(configs, runner)
+
     result = ExperimentResult(
         experiment="E7",
         claim=(
@@ -53,53 +145,8 @@ def run_experiment(
             "paper's counting algorithm keeps a constant-factor estimate"
         ),
     )
-    graph = hnd_random_regular_graph(n, degree, seed=seed)
-    log_n = math.log(n)
-
-    for name, (runner, attack_mode) in _BASELINES.items():
-        for num_byz in byzantine_counts:
-            byz = random_placement(graph, num_byz, seed=seed + num_byz) if num_byz else set()
-            adversary = ValueFakingAdversary(mode=attack_mode) if num_byz else None
-            outcome = runner(graph, byzantine=byz, adversary=adversary, seed=seed)
-            result.add_row(
-                protocol=name,
-                n=n,
-                byzantine=num_byz,
-                ln_n=round(log_n, 2),
-                median_estimate=outcome.median_estimate(),
-                median_relative_error=outcome.median_relative_error(),
-                fraction_within_2x=round(outcome.fraction_within_factor(0.5, 2.0), 3),
-                decided_fraction=round(outcome.decided_fraction(), 3),
-            )
-
-    if include_algorithm2:
-        params = CongestParameters(d=degree)
-        for num_byz in byzantine_counts:
-            byz = random_placement(graph, num_byz, seed=seed + num_byz) if num_byz else set()
-            adversary = BeaconFloodAdversary(params) if num_byz else None
-            max_rounds = params.rounds_through_phase(int(math.ceil(log_n)) + 1)
-            run = run_congest_counting(
-                graph,
-                byzantine=byz,
-                adversary=adversary,
-                params=params,
-                seed=seed,
-                max_rounds=max_rounds,
-            )
-            outcome = run.outcome
-            estimates = outcome.estimates()
-            median = outcome.median_estimate()
-            error = abs(median - log_n) / log_n if median is not None else None
-            result.add_row(
-                protocol="algorithm2 (this paper)",
-                n=n,
-                byzantine=num_byz,
-                ln_n=round(log_n, 2),
-                median_estimate=median,
-                median_relative_error=round(error, 3) if error is not None else None,
-                fraction_within_2x=round(outcome.fraction_within_band(0.5, 2.0), 3),
-                decided_fraction=round(outcome.decided_fraction(), 3),
-            )
+    for row in rows:
+        result.add_row(**row)
     result.add_note(
         "Each baseline is attacked with the ValueFakingAdversary mode that "
         "targets its aggregation (max -> inflate, min -> deflate); Algorithm 2 "

@@ -9,17 +9,91 @@ decide), while with it enabled the overshoot is bounded (Remark 2).
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from typing import List, Sequence
 
 from repro.adversary.placement import spread_placement
 from repro.adversary.strategies import BeaconFloodAdversary
 from repro.core.congest_counting import run_congest_counting
 from repro.core.parameters import CongestParameters
-from repro.experiments.common import ExperimentResult, mean_or_none
+from repro.experiments.common import ExperimentResult, mean_or_none, run_configs
 from repro.graphs.hnd import hnd_random_regular_graph
 from repro.graphs.neighborhoods import ball_of_set
+from repro.runner import SweepConfig, sweep_task
 
-__all__ = ["run_experiment"]
+__all__ = ["run_experiment", "sweep_configs"]
+
+
+@sweep_task("e8.trial")
+def _trial(
+    *,
+    blacklist_enabled: bool,
+    n: int,
+    degree: int,
+    num_byzantine: int,
+    gamma: float,
+    budget: int,
+    trial_seed: int,
+) -> dict:
+    """One beacon-flood run with blacklisting on or off."""
+    params = CongestParameters(gamma=gamma, d=degree, blacklist_enabled=blacklist_enabled)
+    graph = hnd_random_regular_graph(n, degree, seed=trial_seed)
+    byz = spread_placement(graph, num_byzantine, seed=trial_seed)
+    adversary = BeaconFloodAdversary(params)
+    run = run_congest_counting(
+        graph,
+        byzantine=byz,
+        adversary=adversary,
+        params=params,
+        seed=trial_seed,
+        max_rounds=budget,
+    )
+    outcome = run.outcome
+    contaminated = ball_of_set(graph, byz, 1)
+    far = [u for u in outcome.records if u not in contaminated]
+    far_decided = (
+        sum(1 for u in far if outcome.records[u].decided) / len(far) if far else 0.0
+    )
+    return {
+        "decided": outcome.decided_fraction(),
+        "far_decided": far_decided,
+        "median": outcome.median_estimate(),
+        "max_est": outcome.estimate_range()[1],
+    }
+
+
+def _budget_for(n: int, gamma: float, degree: int, extra_phases: int) -> int:
+    params = CongestParameters(gamma=gamma, d=degree)
+    return params.rounds_through_phase(int(math.ceil(math.log(n))) + extra_phases)
+
+
+def sweep_configs(
+    *,
+    sizes: Sequence[int] = (128, 256),
+    degree: int = 8,
+    num_byzantine: int = 3,
+    gamma: float = 0.5,
+    trials: int = 1,
+    seed: int = 0,
+    extra_phases: int = 2,
+) -> List[SweepConfig]:
+    """The (blacklist on/off, size, trial) grid as a flat config list."""
+    return [
+        SweepConfig(
+            "e8.trial",
+            {
+                "blacklist_enabled": blacklist_enabled,
+                "n": n,
+                "degree": degree,
+                "num_byzantine": num_byzantine,
+                "gamma": gamma,
+                "budget": _budget_for(n, gamma, degree, extra_phases),
+                "trial_seed": seed + 977 * trial + n,
+            },
+        )
+        for blacklist_enabled in (True, False)
+        for n in sizes
+        for trial in range(trials)
+    ]
 
 
 def run_experiment(
@@ -31,8 +105,20 @@ def run_experiment(
     trials: int = 1,
     seed: int = 0,
     extra_phases: int = 2,
+    runner=None,
 ) -> ExperimentResult:
     """Run the beacon-flood attack with blacklisting enabled vs disabled."""
+    configs = sweep_configs(
+        sizes=sizes,
+        degree=degree,
+        num_byzantine=num_byzantine,
+        gamma=gamma,
+        trials=trials,
+        seed=seed,
+        extra_phases=extra_phases,
+    )
+    flat = run_configs(configs, runner)
+
     result = ExperimentResult(
         experiment="E8",
         claim=(
@@ -41,44 +127,12 @@ def run_experiment(
             "it, far-from-Byzantine nodes fail to decide within the round budget"
         ),
     )
+    index = 0
     for blacklist_enabled in (True, False):
-        params = CongestParameters(
-            gamma=gamma, d=degree, blacklist_enabled=blacklist_enabled
-        )
         for n in sizes:
-            budget = params.rounds_through_phase(
-                int(math.ceil(math.log(n))) + extra_phases
-            )
-            per_trial = []
-            for trial in range(trials):
-                trial_seed = seed + 977 * trial + n
-                graph = hnd_random_regular_graph(n, degree, seed=trial_seed)
-                byz = spread_placement(graph, num_byzantine, seed=trial_seed)
-                adversary = BeaconFloodAdversary(params)
-                run = run_congest_counting(
-                    graph,
-                    byzantine=byz,
-                    adversary=adversary,
-                    params=params,
-                    seed=trial_seed,
-                    max_rounds=budget,
-                )
-                outcome = run.outcome
-                contaminated = ball_of_set(graph, byz, 1)
-                far = [u for u in outcome.records if u not in contaminated]
-                far_decided = (
-                    sum(1 for u in far if outcome.records[u].decided) / len(far)
-                    if far
-                    else 0.0
-                )
-                per_trial.append(
-                    {
-                        "decided": outcome.decided_fraction(),
-                        "far_decided": far_decided,
-                        "median": outcome.median_estimate(),
-                        "max_est": outcome.estimate_range()[1],
-                    }
-                )
+            budget = _budget_for(n, gamma, degree, extra_phases)
+            per_trial = flat[index : index + trials]
+            index += trials
             result.add_row(
                 blacklist=blacklist_enabled,
                 n=n,

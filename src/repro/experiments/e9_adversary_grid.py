@@ -9,7 +9,7 @@ constant-factor band.
 from __future__ import annotations
 
 import math
-from typing import Dict, Sequence
+from typing import List, Dict, Sequence
 
 from repro.adversary.placement import clustered_placement, random_placement, spread_placement
 from repro.adversary.strategies import (
@@ -22,19 +22,161 @@ from repro.adversary.strategies import (
 from repro.core.congest_counting import run_congest_counting
 from repro.core.local_counting import run_local_counting
 from repro.core.parameters import CongestParameters, LocalParameters, byzantine_budget
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, run_configs
 from repro.graphs.expansion import good_set
 from repro.graphs.hnd import hnd_random_regular_graph
 from repro.graphs.neighborhoods import ball_of_set
+from repro.runner import SweepConfig, sweep_task
 from repro.simulator.byzantine import SilentAdversary
 
-__all__ = ["run_experiment"]
+__all__ = ["run_experiment", "sweep_configs"]
 
 _PLACEMENTS = {
     "random": random_placement,
     "clustered": clustered_placement,
     "spread": spread_placement,
 }
+
+_LOCAL_BEHAVIOURS = {
+    "silent": SilentAdversary,
+    "fake-topology": FakeTopologyAdversary,
+    "inconsistent": InconsistentTopologyAdversary,
+}
+
+_CONGEST_BEHAVIOURS = {
+    "silent": lambda params: SilentAdversary(),
+    "beacon-flood": BeaconFloodAdversary,
+    "path-tamper": PathTamperAdversary,
+    "continue-flood": ContinueFloodAdversary,
+}
+
+
+@sweep_task("e9.local")
+def _local_cell(
+    *, n: int, degree: int, gamma_local: float, placement: str, behaviour: str, seed: int
+) -> dict:
+    """One Algorithm 1 cell of the placement × behaviour grid."""
+    local_params = LocalParameters(gamma=gamma_local, max_degree=degree)
+    num_byz_local = byzantine_budget(n, 1.0 - gamma_local)
+    graph = hnd_random_regular_graph(n, degree, seed=seed + n)
+    byz = _PLACEMENTS[placement](graph, num_byz_local, seed=seed + 1)
+    evaluation = good_set(graph, byz, gamma_local)
+    run = run_local_counting(
+        graph,
+        byzantine=byz,
+        adversary=_LOCAL_BEHAVIOURS[behaviour](),
+        params=local_params,
+        seed=seed,
+        evaluation_set=evaluation,
+    )
+    outcome = run.outcome
+    return {
+        "algorithm": "algorithm1 (LOCAL)",
+        "placement": placement,
+        "behaviour": behaviour,
+        "byzantine": num_byz_local,
+        "eval_nodes": len(evaluation),
+        "decided_fraction": round(outcome.decided_fraction(), 3),
+        "fraction_in_band": round(outcome.fraction_within_band(0.35, 1.6), 3),
+        "median_estimate": outcome.median_estimate(),
+        "max_decision_round": outcome.max_decision_round(),
+    }
+
+
+@sweep_task("e9.congest")
+def _congest_cell(
+    *,
+    n: int,
+    degree: int,
+    gamma_congest: float,
+    congest_byzantine: int,
+    placement: str,
+    behaviour: str,
+    budget: int,
+    seed: int,
+) -> dict:
+    """One Algorithm 2 cell of the placement × behaviour grid."""
+    congest_params = CongestParameters(gamma=gamma_congest, d=degree)
+    log_n = math.log(n)
+    graph = hnd_random_regular_graph(n, degree, seed=seed + 2 * n)
+    byz = _PLACEMENTS[placement](graph, congest_byzantine, seed=seed + 2)
+    make_behaviour = _CONGEST_BEHAVIOURS[behaviour]
+    run = run_congest_counting(
+        graph,
+        byzantine=byz,
+        adversary=make_behaviour(congest_params),
+        params=congest_params,
+        seed=seed,
+        max_rounds=budget,
+    )
+    outcome = run.outcome
+    contaminated = ball_of_set(graph, byz, 1)
+    far = [u for u in outcome.records if u not in contaminated]
+    far_in_band = (
+        sum(1 for u in far if outcome.records[u].within(0.35 * log_n, 1.6 * log_n))
+        / len(far)
+        if far
+        else 0.0
+    )
+    return {
+        "algorithm": "algorithm2 (CONGEST)",
+        "placement": placement,
+        "behaviour": behaviour,
+        "byzantine": congest_byzantine,
+        "eval_nodes": len(far),
+        "decided_fraction": round(outcome.decided_fraction(), 3),
+        "fraction_in_band": round(far_in_band, 3),
+        "median_estimate": outcome.median_estimate(),
+        "max_decision_round": outcome.max_decision_round(),
+    }
+
+
+def sweep_configs(
+    *,
+    n: int = 256,
+    degree: int = 8,
+    gamma_local: float = 0.7,
+    gamma_congest: float = 0.5,
+    congest_byzantine: int = 3,
+    placements: Sequence[str] = ("random", "clustered", "spread"),
+    seed: int = 0,
+) -> List[SweepConfig]:
+    """Algorithm 1 grid cells first, then the Algorithm 2 grid cells."""
+    configs = [
+        SweepConfig(
+            "e9.local",
+            {
+                "n": n,
+                "degree": degree,
+                "gamma_local": gamma_local,
+                "placement": placement_name,
+                "behaviour": behaviour_name,
+                "seed": seed,
+            },
+        )
+        for placement_name in placements
+        for behaviour_name in _LOCAL_BEHAVIOURS
+    ]
+    congest_params = CongestParameters(gamma=gamma_congest, d=degree)
+    budget = congest_params.rounds_through_phase(int(math.ceil(math.log(n))) + 1)
+    configs.extend(
+        SweepConfig(
+            "e9.congest",
+            {
+                "n": n,
+                "degree": degree,
+                "gamma_congest": gamma_congest,
+                "congest_byzantine": congest_byzantine,
+                "placement": placement_name,
+                "behaviour": behaviour_name,
+                "budget": budget,
+                "seed": seed,
+            },
+        )
+        for placement_name in placements
+        for behaviour_name in _CONGEST_BEHAVIOURS
+    )
+    return configs
 
 
 def run_experiment(
@@ -46,8 +188,20 @@ def run_experiment(
     congest_byzantine: int = 3,
     placements: Sequence[str] = ("random", "clustered", "spread"),
     seed: int = 0,
+    runner=None,
 ) -> ExperimentResult:
     """Placement × behaviour grid for both algorithms at a fixed size."""
+    configs = sweep_configs(
+        n=n,
+        degree=degree,
+        gamma_local=gamma_local,
+        gamma_congest=gamma_congest,
+        congest_byzantine=congest_byzantine,
+        placements=placements,
+        seed=seed,
+    )
+    rows = run_configs(configs, runner)
+
     result = ExperimentResult(
         experiment="E9",
         claim=(
@@ -56,87 +210,8 @@ def run_experiment(
             "constant-factor band stays high across the placement x behaviour grid"
         ),
     )
-    log_n = math.log(n)
-
-    # -- Algorithm 1 grid -------------------------------------------------- #
-    local_params = LocalParameters(gamma=gamma_local, max_degree=degree)
-    local_behaviours = {
-        "silent": SilentAdversary,
-        "fake-topology": FakeTopologyAdversary,
-        "inconsistent": InconsistentTopologyAdversary,
-    }
-    num_byz_local = byzantine_budget(n, 1.0 - gamma_local)
-    for placement_name in placements:
-        for behaviour_name, behaviour_cls in local_behaviours.items():
-            graph = hnd_random_regular_graph(n, degree, seed=seed + n)
-            byz = _PLACEMENTS[placement_name](graph, num_byz_local, seed=seed + 1)
-            evaluation = good_set(graph, byz, gamma_local)
-            run = run_local_counting(
-                graph,
-                byzantine=byz,
-                adversary=behaviour_cls(),
-                params=local_params,
-                seed=seed,
-                evaluation_set=evaluation,
-            )
-            outcome = run.outcome
-            result.add_row(
-                algorithm="algorithm1 (LOCAL)",
-                placement=placement_name,
-                behaviour=behaviour_name,
-                byzantine=num_byz_local,
-                eval_nodes=len(evaluation),
-                decided_fraction=round(outcome.decided_fraction(), 3),
-                fraction_in_band=round(outcome.fraction_within_band(0.35, 1.6), 3),
-                median_estimate=outcome.median_estimate(),
-                max_decision_round=outcome.max_decision_round(),
-            )
-
-    # -- Algorithm 2 grid -------------------------------------------------- #
-    congest_params = CongestParameters(gamma=gamma_congest, d=degree)
-    congest_behaviours = {
-        "silent": lambda: SilentAdversary(),
-        "beacon-flood": lambda: BeaconFloodAdversary(congest_params),
-        "path-tamper": lambda: PathTamperAdversary(congest_params),
-        "continue-flood": lambda: ContinueFloodAdversary(congest_params),
-    }
-    budget = congest_params.rounds_through_phase(int(math.ceil(log_n)) + 1)
-    for placement_name in placements:
-        for behaviour_name, make_behaviour in congest_behaviours.items():
-            graph = hnd_random_regular_graph(n, degree, seed=seed + 2 * n)
-            byz = _PLACEMENTS[placement_name](graph, congest_byzantine, seed=seed + 2)
-            run = run_congest_counting(
-                graph,
-                byzantine=byz,
-                adversary=make_behaviour(),
-                params=congest_params,
-                seed=seed,
-                max_rounds=budget,
-            )
-            outcome = run.outcome
-            contaminated = ball_of_set(graph, byz, 1)
-            far = [u for u in outcome.records if u not in contaminated]
-            far_in_band = (
-                sum(
-                    1
-                    for u in far
-                    if outcome.records[u].within(0.35 * log_n, 1.6 * log_n)
-                )
-                / len(far)
-                if far
-                else 0.0
-            )
-            result.add_row(
-                algorithm="algorithm2 (CONGEST)",
-                placement=placement_name,
-                behaviour=behaviour_name,
-                byzantine=congest_byzantine,
-                eval_nodes=len(far),
-                decided_fraction=round(outcome.decided_fraction(), 3),
-                fraction_in_band=round(far_in_band, 3),
-                median_estimate=outcome.median_estimate(),
-                max_decision_round=outcome.max_decision_round(),
-            )
+    for row in rows:
+        result.add_row(**row)
     result.add_note(
         "Algorithm 1 rows evaluate the Lemma 1 Good set; Algorithm 2 rows "
         "evaluate honest nodes at distance >= 2 from every Byzantine node "

@@ -1,0 +1,27 @@
+"""Parallel sweep-runner subsystem.
+
+Experiments express their sweeps as lists of JSON-serializable
+:class:`SweepConfig` objects; :class:`SweepRunner` executes those lists over a
+``multiprocessing`` worker pool (serial for ``workers=1``), caches every
+result as a JSON artifact keyed by the config's content hash, and hands the
+rows back in config order for aggregation into an
+:class:`~repro.experiments.common.ExperimentResult`.  See RUNNER.md for the
+architecture and the artifact/cache layout.
+"""
+
+from repro.runner.artifacts import MISSING, ArtifactStore
+from repro.runner.config import SweepConfig, canonical_json
+from repro.runner.registry import registered_tasks, resolve_task, run_task, sweep_task
+from repro.runner.sweep import SweepRunner
+
+__all__ = [
+    "ArtifactStore",
+    "MISSING",
+    "SweepConfig",
+    "SweepRunner",
+    "canonical_json",
+    "registered_tasks",
+    "resolve_task",
+    "run_task",
+    "sweep_task",
+]

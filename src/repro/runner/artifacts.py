@@ -1,0 +1,77 @@
+"""On-disk artifact store for sweep results.
+
+Layout (see RUNNER.md)::
+
+    <root>/
+        <task name>/
+            <config hash>.json    # {"config": {...}, "result": ...}
+
+Each artifact records the full config alongside the result so a cache
+directory is self-describing; the filename is the config's content hash, so a
+re-run with identical parameters finds its artifact without any index.
+Writes go through a temp file + ``os.replace`` so a crashed run never leaves
+a truncated artifact behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, List, Optional, Union
+
+from repro.runner.config import SweepConfig
+
+__all__ = ["ArtifactStore", "MISSING"]
+
+#: Sentinel returned by :meth:`ArtifactStore.load` on a cache miss (``None``
+#: is a legitimate task result).
+MISSING = object()
+
+
+class ArtifactStore:
+    """Content-addressed JSON artifacts under a root directory."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+
+    def path_for(self, config: SweepConfig) -> Path:
+        """Artifact path of ``config`` (exists only after :meth:`store`)."""
+        return self.root / config.task / f"{config.key()}.json"
+
+    def load(self, config: SweepConfig) -> Any:
+        """The cached result of ``config``, or :data:`MISSING`.
+
+        Unreadable or corrupt artifacts count as misses: the runner will
+        recompute and overwrite them.
+        """
+        path = self.path_for(config)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except (OSError, ValueError):
+            return MISSING
+        if not isinstance(document, dict) or "result" not in document:
+            return MISSING
+        return document["result"]
+
+    def store(self, config: SweepConfig, result: Any) -> Path:
+        """Persist ``result`` for ``config`` and return the artifact path."""
+        path = self.path_for(config)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        document = {
+            "config": {"task": config.task, "params": config.params},
+            "result": result,
+        }
+        tmp = path.with_name(path.name + ".tmp")
+        with tmp.open("w", encoding="utf-8") as handle:
+            json.dump(document, handle, sort_keys=True)
+        os.replace(tmp, path)
+        return path
+
+    def stored_configs(self, task: Optional[str] = None) -> List[Path]:
+        """All artifact paths (optionally restricted to one task)."""
+        if not self.root.is_dir():
+            return []
+        pattern = f"{task}/*.json" if task else "*/*.json"
+        return sorted(self.root.glob(pattern))

@@ -1,0 +1,55 @@
+"""Sweep configurations: one JSON-serializable unit of experiment work.
+
+A :class:`SweepConfig` names a registered task (see
+:mod:`repro.runner.registry`) and the keyword arguments it should run with.
+Because both fields are restricted to JSON-compatible values, every config has
+a canonical serialization and therefore a stable content hash, which is what
+keys the on-disk artifact cache (:mod:`repro.runner.artifacts`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping
+
+__all__ = ["SweepConfig", "canonical_json"]
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON encoding (sorted keys, no whitespace).
+
+    Raises ``TypeError`` for values outside the JSON data model -- configs
+    must stay plain data so hashes are reproducible across processes.
+    """
+    return json.dumps(value, sort_keys=True, separators=(",", ":"), allow_nan=True)
+
+
+@dataclass(eq=False)
+class SweepConfig:
+    """One (task, params) cell of a sweep.
+
+    Attributes
+    ----------
+    task:
+        Name of a task registered with :func:`repro.runner.registry.sweep_task`.
+    params:
+        Keyword arguments for the task.  Values must be JSON-serializable
+        (numbers, strings, booleans, ``None``, lists, string-keyed dicts) so
+        the config can be hashed and shipped to worker processes.
+    """
+
+    task: str
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.params = dict(self.params)
+
+    def canonical(self) -> str:
+        """Canonical JSON form used for hashing and artifact headers."""
+        return canonical_json({"task": self.task, "params": self.params})
+
+    def key(self) -> str:
+        """Stable content hash of this config (hex, 20 chars)."""
+        return hashlib.sha256(self.canonical().encode("utf-8")).hexdigest()[:20]

@@ -1,0 +1,145 @@
+"""The parallel sweep runner.
+
+``SweepRunner`` fans a list of :class:`~repro.runner.config.SweepConfig` out
+over a ``multiprocessing`` pool (or runs them in-process for ``workers=1``),
+persists each result as a JSON artifact keyed by the config's content hash,
+and returns the results **in config order** regardless of completion order.
+
+Determinism contract
+--------------------
+Every task derives all randomness from the seeds inside its params, so a
+config's result is a pure function of the config.  The runner additionally
+normalizes every result through a JSON round-trip before returning it, so a
+row obtained fresh from a worker is the same Python object tree as the same
+row re-read from the artifact cache -- ``workers=1``, ``workers>1``, and
+cached re-runs all aggregate into byte-identical tables.
+"""
+
+from __future__ import annotations
+
+import importlib
+import json
+import multiprocessing
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.runner.artifacts import MISSING, ArtifactStore
+from repro.runner.config import SweepConfig
+from repro.runner.registry import resolve_task, run_task
+
+__all__ = ["SweepRunner"]
+
+#: Work item shipped to a worker: (position in the config list, task name,
+#: params, module that registers the task).  The module name lets a worker
+#: started with the ``spawn`` method re-register tasks that live outside
+#: ``repro.experiments`` (fork workers inherit the registry and ignore it).
+_WorkItem = Tuple[int, str, Dict[str, Any], Optional[str]]
+
+
+def _canonical_result(value: Any) -> Any:
+    """Normalize a task result through a JSON round-trip.
+
+    This is what makes cached and freshly computed results indistinguishable;
+    it also fails fast (``TypeError``) if a task returns something that could
+    not have been persisted.
+    """
+    return json.loads(json.dumps(value, allow_nan=True))
+
+
+def _execute(item: _WorkItem) -> Tuple[int, Any]:
+    """Worker entry point: run one config, tagging the result with its index."""
+    index, task, params, module = item
+    if module is not None:
+        try:
+            importlib.import_module(module)
+        except ImportError:
+            pass  # fork workers already hold the registration
+    return index, run_task(task, params)
+
+
+class SweepRunner:
+    """Execute a list of sweep configs, optionally in parallel and cached.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker processes.  ``1`` (the default) runs every config
+        in-process -- the serial path used by the test suite and by drivers
+        invoked without an explicit runner.
+    artifact_dir:
+        Root of the JSON artifact cache.  ``None`` disables persistence;
+        results are then recomputed on every call.
+    force:
+        When true, ignore existing artifacts (but still overwrite them with
+        the fresh results).
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int = 1,
+        artifact_dir: Optional[Union[str, Path]] = None,
+        force: bool = False,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.store = ArtifactStore(artifact_dir) if artifact_dir is not None else None
+        self.force = force
+        #: Cache hits / task executions of the most recent :meth:`run` call.
+        self.last_cached = 0
+        self.last_executed = 0
+
+    # ------------------------------------------------------------------ #
+    def run(self, configs: Sequence[SweepConfig]) -> List[Any]:
+        """Execute ``configs`` and return their results in config order."""
+        results: List[Any] = [None] * len(configs)
+        pending: List[_WorkItem] = []
+        for index, config in enumerate(configs):
+            cached = self.store.load(config) if self.store and not self.force else MISSING
+            if cached is not MISSING:
+                results[index] = _canonical_result(cached)
+            else:
+                # Resolving here (in the parent) both validates the task name
+                # early and captures the registering module for spawn workers.
+                module = getattr(resolve_task(config.task), "__module__", None)
+                pending.append((index, config.task, dict(config.params), module))
+        self.last_cached = len(configs) - len(pending)
+        self.last_executed = len(pending)
+
+        for index, value in self._execute_pending(pending):
+            value = _canonical_result(value)
+            if self.store is not None:
+                self.store.store(configs[index], value)
+            results[index] = value
+        return results
+
+    def _execute_pending(self, pending: List[_WorkItem]) -> List[Tuple[int, Any]]:
+        if not pending:
+            return []
+        if self.workers == 1 or len(pending) == 1:
+            return [_execute(item) for item in pending]
+        processes = min(self.workers, len(pending))
+        # Prefer fork where available: workers then inherit the full task
+        # registry outright.  Spawn platforms fall back to the module name
+        # shipped with each work item.
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:
+            context = multiprocessing.get_context()
+        with context.Pool(processes=processes) as pool:
+            # Unordered: completion order does not matter because every
+            # result carries its config index.
+            return list(pool.imap_unordered(_execute, pending))
+
+    # ------------------------------------------------------------------ #
+    def run_experiment(self, name: str, **kwargs: Any):
+        """Run experiment driver ``name`` ("e1".."e12") through this runner."""
+        from repro.experiments import ALL_EXPERIMENTS
+
+        key = name.lower()
+        if key not in ALL_EXPERIMENTS:
+            raise KeyError(
+                f"unknown experiment {name!r}; options: {sorted(ALL_EXPERIMENTS)}"
+            )
+        return ALL_EXPERIMENTS[key].run_experiment(runner=self, **kwargs)

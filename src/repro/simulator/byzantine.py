@@ -107,8 +107,12 @@ class Adversary(ABC):
     def broadcast_from(
         view: AdversaryView, byz_node: int, message: Message
     ) -> Dict[int, List[Message]]:
-        """Outbox fragment sending ``message`` to every neighbor of ``byz_node``."""
-        return {v: [message.clone()] for v in view.byzantine_neighbors(byz_node)}
+        """Outbox fragment sending ``message`` to every neighbor of ``byz_node``.
+
+        The instance is shared across targets; the engine stamps sender
+        identity on delivery envelopes, so no per-neighbor clones are needed.
+        """
+        return {v: [message] for v in view.byzantine_neighbors(byz_node)}
 
 
 class SilentAdversary(Adversary):

@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.simulator.byzantine import Adversary, AdversaryView, ByzantineOutbox, SilentAdversary
-from repro.simulator.messages import Message
+from repro.simulator.messages import DeliveredMessage, Message
 from repro.simulator.metrics import SimulationMetrics
 from repro.simulator.network import Network
 from repro.simulator.node import NodeContext, Outbox, Protocol
@@ -119,6 +119,17 @@ class SynchronousEngine:
         self._adversary_rng = random.Random(split_seed(seed, "adversary"))
         self.adversary.setup(graph, network.byzantine, self._adversary_rng)
         self.metrics = SimulationMetrics()
+        # Neighbor sets are immutable for the lifetime of a run; cache them
+        # lazily instead of rebuilding a set per node per round.
+        self._neighbor_sets: Dict[int, frozenset] = {}
+
+    def _neighbor_set(self, node: int) -> frozenset:
+        """Cached set of ``node``'s neighbors (outbox/adversary validation)."""
+        cached = self._neighbor_sets.get(node)
+        if cached is None:
+            cached = frozenset(self.network.graph.neighbors(node))
+            self._neighbor_sets[node] = cached
+        return cached
 
     # ------------------------------------------------------------------ #
     @property
@@ -131,7 +142,9 @@ class SynchronousEngine:
 
     def _validate_outbox(self, sender: int, outbox: Outbox) -> Outbox:
         """Drop messages addressed to non-neighbors (protocol bug guard)."""
-        valid_targets = set(self.network.graph.neighbors(sender))
+        if not outbox:
+            return outbox
+        valid_targets = self._neighbor_set(sender)
         cleaned: Outbox = {}
         for target, msgs in outbox.items():
             if target in valid_targets and msgs:
@@ -159,10 +172,14 @@ class SynchronousEngine:
         pending_inboxes = self._deliver(honest_outboxes, byz_outboxes)
         self._record_decisions(0)
 
+        # ``executed`` is the last fully executed round (round 0 ran above);
+        # the stop condition is always evaluated with it, whether the run ends
+        # by stopping early, by exhausting the round budget, or immediately
+        # when ``limit == 0``.
         completed = False
-        round_number = 0
+        executed = 0
         for round_number in range(1, limit + 1):
-            if stop(self._protocols, round_number - 1):
+            if stop(self._protocols, executed):
                 completed = True
                 break
             self.metrics.start_round()
@@ -181,8 +198,9 @@ class SynchronousEngine:
             )
             pending_inboxes = self._deliver(honest_outboxes, byz_outboxes)
             self._record_decisions(round_number)
+            executed = round_number
         else:
-            completed = stop(self._protocols, round_number)
+            completed = stop(self._protocols, executed)
 
         return RunResult(
             network=self.network,
@@ -218,7 +236,7 @@ class SynchronousEngine:
         for b, per_target in raw.items():
             if b not in self.network.byzantine:
                 continue
-            valid_targets = set(self.network.graph.neighbors(b))
+            valid_targets = self._neighbor_set(b)
             cleaned[b] = {
                 t: list(msgs)
                 for t, msgs in per_target.items()
@@ -233,22 +251,38 @@ class SynchronousEngine:
     ) -> Dict[int, List[Message]]:
         graph = self.network.graph
         inboxes: Dict[int, List[Message]] = {}
+        record_broadcast = self.metrics.record_broadcast
 
         def deliver_from(sender: int, outbox: Mapping[int, List[Message]]) -> None:
             sender_id = graph.node_id(sender)
+            # One envelope per distinct outbox message: a broadcast that puts
+            # the same Message object in every target's list is delivered as a
+            # single shared, sender-stamped envelope instead of one clone per
+            # edge, and is accounted once with its delivery count.  Delivered
+            # messages are read-only by contract.
+            envelopes: Dict[int, List] = {}
             for target, msgs in outbox.items():
-                bucket = inboxes.setdefault(target, [])
+                bucket = inboxes.get(target)
+                if bucket is None:
+                    bucket = inboxes[target] = []
                 for msg in msgs:
-                    stamped = msg.clone()
-                    stamped.sender = sender
-                    stamped.sender_id = sender_id
-                    bucket.append(stamped)
-                    self.metrics.record_send(sender, stamped)
+                    entry = envelopes.get(id(msg))
+                    if entry is None:
+                        entry = envelopes[id(msg)] = [
+                            DeliveredMessage(msg, sender, sender_id),
+                            0,
+                        ]
+                    entry[1] += 1
+                    bucket.append(entry[0])
+            for stamped, copies in envelopes.values():
+                record_broadcast(sender, stamped, copies)
 
         for sender, outbox in honest_outboxes.items():
-            deliver_from(sender, outbox)
+            if outbox:
+                deliver_from(sender, outbox)
         for sender, outbox in byz_outboxes.items():
-            deliver_from(sender, outbox)
+            if outbox:
+                deliver_from(sender, outbox)
         return inboxes
 
     def _record_decisions(self, round_number: int) -> None:

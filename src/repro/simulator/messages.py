@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Optional, Tuple
 
-__all__ = ["Message", "estimate_payload_bits"]
+__all__ = ["Message", "DeliveredMessage", "estimate_payload_bits"]
 
 
 def estimate_payload_bits(payload: Any) -> int:
@@ -123,3 +123,23 @@ class Message:
             sender=self.sender,
             sender_id=self.sender_id,
         )
+
+
+class DeliveredMessage(Message):
+    """Lightweight delivery envelope the engine hands to receiving protocols.
+
+    Wraps a sender's outbox message without copying anything: the payload (and
+    the size accounting derived from it) is shared with the original, and the
+    true sender identity is stamped on the envelope itself.  One envelope is
+    created per (sender, outbox message) pair and shared by every inbox it is
+    delivered to, so a degree-``d`` broadcast costs one envelope instead of
+    ``d`` clones.  Receivers must treat delivered messages as immutable.
+    """
+
+    def __init__(self, template: Message, sender: int, sender_id: int) -> None:
+        self.kind = template.kind
+        self.payload = template.payload
+        self.size_bits = template.size_bits
+        self.num_ids = template.num_ids
+        self.sender = sender
+        self.sender_id = sender_id

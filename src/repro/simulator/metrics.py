@@ -27,11 +27,19 @@ class NodeMessageStats:
 
     def record(self, message: Message) -> None:
         """Account one sent message."""
-        self.messages_sent += 1
-        self.bits_sent += message.size_bits
-        self.ids_sent += message.num_ids
-        self.max_message_bits = max(self.max_message_bits, message.size_bits)
-        self.max_message_ids = max(self.max_message_ids, message.num_ids)
+        self.record_many(message, 1)
+
+    def record_many(self, message: Message, copies: int) -> None:
+        """Account ``copies`` identical sent messages (a broadcast)."""
+        bits = message.size_bits
+        ids = message.num_ids
+        self.messages_sent += copies
+        self.bits_sent += bits * copies
+        self.ids_sent += ids * copies
+        if bits > self.max_message_bits:
+            self.max_message_bits = bits
+        if ids > self.max_message_ids:
+            self.max_message_ids = ids
 
     def sent_only_small_messages(
         self, n: int, *, c_bits: float = 64.0, max_ids: Optional[int] = None
@@ -63,12 +71,38 @@ class SimulationMetrics:
         return self.per_node[node]
 
     def record_send(self, node: int, message: Message) -> None:
-        """Account one message sent by ``node`` in the current round."""
-        self.total_messages += 1
-        self.total_bits += message.size_bits
-        if self.messages_per_round:
-            self.messages_per_round[-1] += 1
-        self.node_stats(node).record(message)
+        """Account one message sent by ``node`` in the current round.
+
+        Raises
+        ------
+        RuntimeError
+            If no round has been opened with :meth:`start_round` yet.  The
+            per-round counter would otherwise silently drop the message and
+            ``messages_per_round`` could under-report (experiments use its
+            last entry to detect quiescence).
+        """
+        self.record_broadcast(node, message, 1)
+
+    def record_broadcast(self, node: int, message: Message, copies: int) -> None:
+        """Account ``copies`` deliveries of one message sent by ``node``.
+
+        The engine calls this once per (sender, outbox message) pair with the
+        number of edges the message crossed; it is equivalent to ``copies``
+        individual :meth:`record_send` calls.  Raises ``RuntimeError`` before
+        the first :meth:`start_round` (see :meth:`record_send`).
+        """
+        if not self.messages_per_round:
+            raise RuntimeError(
+                "record_send called before start_round(); open a round first "
+                "so the per-round message count cannot under-report"
+            )
+        self.total_messages += copies
+        self.total_bits += message.size_bits * copies
+        self.messages_per_round[-1] += copies
+        stats = self.per_node.get(node)
+        if stats is None:
+            stats = self.per_node[node] = NodeMessageStats()
+        stats.record_many(message, copies)
 
     def start_round(self) -> None:
         """Open the accounting bucket of a new round."""

@@ -33,8 +33,13 @@ Outbox = Dict[int, List[Message]]
 
 
 def broadcast(neighbors: Sequence[int], message: Message) -> Outbox:
-    """Outbox that sends (a clone of) ``message`` to every neighbor."""
-    return {v: [message.clone()] for v in neighbors}
+    """Outbox that sends ``message`` to every neighbor.
+
+    The same instance is shared across all targets: the engine never mutates
+    outbox messages (delivery stamps sender identity on a separate envelope),
+    so a broadcast needs no per-neighbor clones.
+    """
+    return {v: [message] for v in neighbors}
 
 
 @dataclass

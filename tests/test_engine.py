@@ -171,6 +171,75 @@ class TestTermination:
         _, result = _run(graph, rounds_to_run=2)
         assert set(result.metrics.decision_rounds) == set(range(4))
 
+    def test_stop_round_argument_on_early_stop_path(self):
+        # Regression: the stop condition always receives the last *executed*
+        # round, on the break path as on the budget-exhaustion path.
+        seen = []
+
+        def stop(protocols, round_number):
+            seen.append(round_number)
+            return round_number >= 3
+
+        graph = cycle_graph(4)
+        network = Network(graph=graph)
+        engine = SynchronousEngine(
+            network,
+            lambda ctx: EchoProtocol(ctx, rounds_to_run=100),
+            seed=0,
+            max_rounds=50,
+            stop_condition=stop,
+        )
+        result = engine.run()
+        assert result.completed
+        # Called before rounds 1..4 with the previous round's number each time.
+        assert seen == [0, 1, 2, 3]
+        # Rounds 0..3 executed (round 0 is on_start).
+        assert result.rounds_executed == 4
+
+    def test_stop_round_argument_on_budget_exhaustion_path(self):
+        seen = []
+
+        def stop(protocols, round_number):
+            seen.append(round_number)
+            return False
+
+        graph = cycle_graph(4)
+        network = Network(graph=graph)
+        engine = SynchronousEngine(
+            network,
+            lambda ctx: EchoProtocol(ctx, rounds_to_run=100),
+            seed=0,
+            max_rounds=5,
+            stop_condition=stop,
+        )
+        result = engine.run()
+        assert not result.completed
+        # Five pre-round checks (rounds 1..5) plus the final post-loop check,
+        # which must see the last executed round (5), not a stale value.
+        assert seen == [0, 1, 2, 3, 4, 5]
+        assert result.rounds_executed == 6  # rounds 0..5
+
+    def test_zero_round_budget_evaluates_stop_for_round_zero(self):
+        seen = []
+
+        def stop(protocols, round_number):
+            seen.append(round_number)
+            return True
+
+        graph = cycle_graph(4)
+        network = Network(graph=graph)
+        engine = SynchronousEngine(
+            network,
+            lambda ctx: EchoProtocol(ctx, rounds_to_run=100),
+            seed=0,
+            stop_condition=stop,
+        )
+        result = engine.run(max_rounds=0)
+        # Only round 0 (on_start) ran; the single stop evaluation sees it.
+        assert seen == [0]
+        assert result.completed
+        assert result.rounds_executed == 1
+
 
 class TestAdversaryIntegration:
     def test_byzantine_nodes_have_no_protocol(self):

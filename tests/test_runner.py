@@ -1,0 +1,200 @@
+"""Tests for the parallel sweep-runner subsystem (src/repro/runner/)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import e3_benign, e12_scaling
+from repro.runner import (
+    MISSING,
+    ArtifactStore,
+    SweepConfig,
+    SweepRunner,
+    registered_tasks,
+    resolve_task,
+    run_task,
+    sweep_task,
+)
+
+
+@sweep_task("test.echo")
+def _echo_task(*, value, scale=1):
+    """Trivial task used by the unit tests (fork workers inherit it)."""
+    if isinstance(value, (int, float)):
+        return value * scale
+    return value
+
+
+class TestSweepConfig:
+    def test_key_is_stable_and_param_order_independent(self):
+        a = SweepConfig("t", {"x": 1, "y": 2})
+        b = SweepConfig("t", {"y": 2, "x": 1})
+        assert a.key() == b.key()
+        assert a.key() == SweepConfig("t", {"x": 1, "y": 2}).key()
+
+    def test_key_differs_across_params_and_task(self):
+        base = SweepConfig("t", {"x": 1})
+        assert base.key() != SweepConfig("t", {"x": 2}).key()
+        assert base.key() != SweepConfig("u", {"x": 1}).key()
+
+    def test_non_json_params_rejected_at_hash_time(self):
+        with pytest.raises(TypeError):
+            SweepConfig("t", {"x": object()}).key()
+
+
+class TestRegistry:
+    def test_registered_task_resolves(self):
+        assert resolve_task("test.echo") is _echo_task
+        assert run_task("test.echo", {"value": 3, "scale": 2}) == 6
+
+    def test_unknown_task_raises_with_options(self):
+        with pytest.raises(KeyError, match="unknown sweep task"):
+            resolve_task("no.such.task")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            sweep_task("test.echo")(lambda: None)
+
+    def test_experiment_tasks_resolve_lazily(self):
+        # Resolving an experiment task by name alone must work (this is what
+        # freshly spawned worker processes rely on).
+        assert callable(resolve_task("e3.trial"))
+        assert "e12.local" in registered_tasks()
+
+
+class TestArtifactStore:
+    def test_store_and_load_roundtrip(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        config = SweepConfig("test.echo", {"value": 5})
+        assert store.load(config) is MISSING
+        path = store.store(config, {"answer": 5})
+        assert path.exists()
+        assert path.parent.name == "test.echo"
+        assert path.stem == config.key()
+        assert store.load(config) == {"answer": 5}
+
+    def test_artifact_records_config(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        config = SweepConfig("test.echo", {"value": 7})
+        path = store.store(config, 7)
+        document = json.loads(path.read_text())
+        assert document["config"] == {"task": "test.echo", "params": {"value": 7}}
+
+    def test_corrupt_artifact_is_a_miss(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        config = SweepConfig("test.echo", {"value": 1})
+        path = store.store(config, 1)
+        path.write_text("{not json")
+        assert store.load(config) is MISSING
+
+    def test_none_result_is_not_a_miss(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        config = SweepConfig("test.echo", {"value": None})
+        store.store(config, None)
+        assert store.load(config) is None
+
+
+class TestSweepRunner:
+    def test_results_in_config_order(self):
+        configs = [SweepConfig("test.echo", {"value": v}) for v in (3, 1, 2)]
+        assert SweepRunner().run(configs) == [3, 1, 2]
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SweepRunner(workers=0)
+
+    def test_results_canonicalized_like_json(self):
+        # Tuples come back as lists whether computed fresh or read from an
+        # artifact -- the runner normalizes both paths identically.
+        configs = [SweepConfig("test.echo", {"value": [1, 2]})]
+        assert SweepRunner().run(configs) == [[1, 2]]
+
+    def test_artifact_cache_hit_on_rerun(self, tmp_path):
+        configs = [SweepConfig("test.echo", {"value": v}) for v in range(4)]
+        runner = SweepRunner(artifact_dir=tmp_path)
+        first = runner.run(configs)
+        assert (runner.last_cached, runner.last_executed) == (0, 4)
+        second = runner.run(configs)
+        assert (runner.last_cached, runner.last_executed) == (4, 0)
+        assert first == second
+
+    def test_force_recomputes_despite_cache(self, tmp_path):
+        configs = [SweepConfig("test.echo", {"value": 1})]
+        SweepRunner(artifact_dir=tmp_path).run(configs)
+        forced = SweepRunner(artifact_dir=tmp_path, force=True)
+        assert forced.run(configs) == [1]
+        assert (forced.last_cached, forced.last_executed) == (0, 1)
+
+    def test_parallel_matches_serial(self):
+        configs = [
+            SweepConfig("test.echo", {"value": v, "scale": 3}) for v in range(6)
+        ]
+        assert SweepRunner(workers=3).run(configs) == SweepRunner().run(configs)
+
+    def test_run_experiment_by_name(self):
+        result = SweepRunner().run_experiment("e3", sizes=(64,), trials=1)
+        assert result.experiment == "E3"
+        with pytest.raises(KeyError):
+            SweepRunner().run_experiment("e99")
+
+
+class TestWorkerEquivalence:
+    """workers=1 and workers>1 sweeps must produce identical tables."""
+
+    @staticmethod
+    def _rendered(result):
+        return result.render()
+
+    def test_e3_parallel_table_identical(self):
+        kwargs = dict(sizes=(64, 128), trials=2, seed=0)
+        serial = e3_benign.run_experiment(runner=SweepRunner(workers=1), **kwargs)
+        parallel = e3_benign.run_experiment(runner=SweepRunner(workers=4), **kwargs)
+        assert serial.rows == parallel.rows
+        assert self._rendered(serial) == self._rendered(parallel)
+
+    def test_e12_parallel_table_identical(self):
+        kwargs = dict(
+            local_sizes=(64, 128), congest_sizes=(64,), congest_byzantine_counts=(1, 2)
+        )
+        serial = e12_scaling.run_experiment(runner=SweepRunner(workers=1), **kwargs)
+        parallel = e12_scaling.run_experiment(runner=SweepRunner(workers=4), **kwargs)
+        assert serial.rows == parallel.rows
+        assert serial.notes == parallel.notes
+        assert self._rendered(serial) == self._rendered(parallel)
+
+    def test_e3_cached_rerun_table_identical(self, tmp_path):
+        kwargs = dict(sizes=(64,), trials=1, seed=0)
+        fresh = e3_benign.run_experiment(
+            runner=SweepRunner(workers=2, artifact_dir=tmp_path), **kwargs
+        )
+        rerun_runner = SweepRunner(workers=1, artifact_dir=tmp_path)
+        cached = e3_benign.run_experiment(runner=rerun_runner, **kwargs)
+        assert rerun_runner.last_executed == 0
+        assert fresh.rows == cached.rows
+
+
+class TestCliSweep:
+    def test_sweep_unknown_experiment(self, capsys):
+        assert main(["sweep", "e99"]) == 2
+
+    def test_sweep_command_runs_with_artifacts(self, capsys, monkeypatch, tmp_path):
+        import repro.experiments.e5_treelike as e5
+
+        original = e5.run_experiment
+        monkeypatch.setattr(
+            e5,
+            "run_experiment",
+            lambda **kw: original(sizes=(256,), degrees=(8,), trials=1, **kw),
+        )
+        code = main(
+            ["sweep", "e5", "--workers", "2", "--artifact-dir", str(tmp_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Lemma 2" in out
+        assert "executed -> artifacts in" in out
+        # Second invocation is served from the artifact cache.
+        assert main(["sweep", "e5", "--artifact-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "1 cached, 0 executed" in out

@@ -96,11 +96,13 @@ class TestNodeContextAndBroadcast:
         )
         assert ctx.degree == 3
 
-    def test_broadcast_clones_per_neighbor(self):
+    def test_broadcast_shares_one_instance(self):
+        # The engine stamps sender identity on delivery envelopes, so a
+        # broadcast shares a single message object across all targets.
         m = Message.make("k", 1)
         out = broadcast((1, 2), m)
         assert set(out) == {1, 2}
-        assert out[1][0] is not out[2][0]
+        assert out[1][0] is m and out[2][0] is m
 
 
 class TestNetwork:
@@ -171,3 +173,29 @@ class TestMetrics:
         metrics.record_send(2, Message(kind="k", size_bits=70, num_ids=0))
         assert metrics.max_message_bits_over([0, 2]) == 70
         assert metrics.max_message_bits_over([0]) == 7
+
+    def test_record_send_before_start_round_raises(self):
+        # Regression: a send recorded before any round was opened used to be
+        # silently dropped from messages_per_round (under-reporting).
+        metrics = SimulationMetrics()
+        with pytest.raises(RuntimeError, match="start_round"):
+            metrics.record_send(0, Message(kind="k", size_bits=1, num_ids=0))
+        with pytest.raises(RuntimeError):
+            metrics.record_broadcast(0, Message(kind="k", size_bits=1, num_ids=0), 3)
+        assert metrics.total_messages == 0
+        assert metrics.messages_per_round == []
+
+    def test_record_broadcast_equals_repeated_record_send(self):
+        message = Message(kind="k", size_bits=10, num_ids=2)
+        broadcasted = SimulationMetrics()
+        broadcasted.start_round()
+        broadcasted.record_broadcast(0, message, 3)
+        repeated = SimulationMetrics()
+        repeated.start_round()
+        for _ in range(3):
+            repeated.record_send(0, message)
+        assert broadcasted.total_messages == repeated.total_messages == 3
+        assert broadcasted.total_bits == repeated.total_bits == 30
+        assert broadcasted.messages_per_round == repeated.messages_per_round == [3]
+        assert broadcasted.per_node[0].ids_sent == repeated.per_node[0].ids_sent == 6
+        assert broadcasted.per_node[0].max_message_bits == 10
