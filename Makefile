@@ -1,31 +1,32 @@
 # One-word entry points for the verify / benchmark / demo workflows.
 #
-#   make test        - tier-1 test suite (the verify command of ROADMAP.md)
-#   make bench-smoke - E3 + E12 at reduced sizes through the parallel runner
-#   make sweep-demo  - cached parallel sweep of E3 (re-run it to see the
-#                      artifact cache short-circuit the work)
+#   make test          - tier-1 test suite (the verify command of ROADMAP.md)
+#   make bench         - pinned perf scenarios -> BENCH_<date>.json
+#   make bench-compare - same, plus a diff against the previous BENCH file
+#                        (exits nonzero on a >10% wall-clock regression)
+#   make bench-smoke   - reduced bench suite, no file written (~sub-minute)
+#   make sweep-demo    - cached parallel sweep of E3 (re-run it to see the
+#                        artifact cache short-circuit the work)
 
 PYTHON ?= python
 WORKERS ?= 4
 ARTIFACT_DIR ?= .sweep-artifacts
+BENCH_DIR ?= .
+BENCH_REPEATS ?= 3
 
-.PHONY: test bench-smoke sweep-demo clean-artifacts
+.PHONY: test bench bench-compare bench-smoke sweep-demo clean-artifacts
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 
+bench:
+	PYTHONPATH=src $(PYTHON) -m repro.cli bench --repeats $(BENCH_REPEATS) --output-dir $(BENCH_DIR)
+
+bench-compare:
+	PYTHONPATH=src $(PYTHON) -m repro.cli bench --repeats $(BENCH_REPEATS) --output-dir $(BENCH_DIR) --compare
+
 bench-smoke:
-	PYTHONPATH=src $(PYTHON) -c "\
-	from repro.experiments import e3_benign, e12_scaling; \
-	from repro.runner import SweepRunner; \
-	import time; \
-	runner = SweepRunner(workers=$(WORKERS)); \
-	t0 = time.perf_counter(); \
-	print(e3_benign.run_experiment(sizes=(64, 128), trials=1, runner=runner).render()); \
-	print(); \
-	print(e12_scaling.run_experiment(local_sizes=(64, 128), congest_sizes=(64,), congest_byzantine_counts=(1, 2), runner=runner).render()); \
-	print(); \
-	print(f'bench-smoke wall-clock: {time.perf_counter() - t0:.2f}s ($(WORKERS) workers)')"
+	PYTHONPATH=src $(PYTHON) -m repro.cli bench --scenarios smoke --repeats 1 --no-write
 
 sweep-demo:
 	PYTHONPATH=src $(PYTHON) -m repro.cli sweep e3 --workers $(WORKERS) --artifact-dir $(ARTIFACT_DIR)

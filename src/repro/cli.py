@@ -21,6 +21,14 @@ Three sub-commands:
     run as a JSON artifact (see RUNNER.md), e.g.::
 
         repro-byzantine-counting sweep e12 --workers 8 --artifact-dir .sweeps
+
+``bench``
+    Run the pinned performance scenarios (E2/E3/E12-style workloads at
+    several n), write the measurements to ``BENCH_<date>.json``, and
+    optionally diff against the previous trajectory file, failing on a >10%
+    wall-clock regression (see RUNNER.md, "Performance")::
+
+        repro-byzantine-counting bench --compare
 """
 
 from __future__ import annotations
@@ -151,6 +159,55 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument(
         "--force", action="store_true", help="recompute even when artifacts exist"
     )
+
+    bench_parser = sub.add_parser(
+        "bench", help="run the pinned perf scenarios and record BENCH_<date>.json"
+    )
+    bench_parser.add_argument(
+        "--scenarios",
+        choices=("full", "smoke"),
+        default="full",
+        help="scenario suite: 'full' (trajectory) or 'smoke' (sub-minute)",
+    )
+    bench_parser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        help="worker processes (keep 1 for the least noisy wall-clocks)",
+    )
+    bench_parser.add_argument(
+        "--repeats",
+        type=_positive_int,
+        default=3,
+        help="runs per scenario; the minimum wall-clock is recorded",
+    )
+    bench_parser.add_argument(
+        "--output-dir",
+        default=".",
+        help="directory holding the BENCH_<date>.json trajectory",
+    )
+    bench_parser.add_argument(
+        "--no-write",
+        action="store_true",
+        help="measure and print only; do not write a BENCH file",
+    )
+    bench_parser.add_argument(
+        "--compare",
+        action="store_true",
+        help="diff against the most recent previous BENCH file in --output-dir",
+    )
+    bench_parser.add_argument(
+        "--compare-to",
+        default=None,
+        metavar="PATH",
+        help="diff against a specific BENCH json file",
+    )
+    bench_parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="relative wall-clock regression tolerance (default 0.10 = 10%%)",
+    )
     return parser
 
 
@@ -237,6 +294,48 @@ def _command_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_bench(args: argparse.Namespace) -> int:
+    from repro.runner import bench
+
+    scenarios = bench.SMOKE_SCENARIOS if args.scenarios == "smoke" else bench.SCENARIOS
+    report = bench.run_bench(
+        scenarios, workers=args.workers, repeats=args.repeats
+    )
+    print(bench.render_report(report))
+
+    # Resolve (and read) the comparison baseline *before* writing the new
+    # file: a same-day re-run overwrites BENCH_<date>.json, which would
+    # otherwise silently destroy the baseline and skip the regression gate.
+    previous_path = None
+    previous = None
+    if args.compare_to is not None:
+        previous_path = args.compare_to
+        previous = bench.load_report(previous_path)
+    elif args.compare:
+        previous_path = bench.find_previous_report(args.output_dir)
+        if previous_path is not None:
+            previous = bench.load_report(previous_path)
+
+    if not args.no_write:
+        path = bench.write_report(report, args.output_dir)
+        print(f"[bench] wrote {path}")
+
+    if args.compare and previous is None and args.compare_to is None:
+        print(f"[bench] no previous BENCH_*.json in {args.output_dir} to compare against")
+        return 0
+    if previous is None:
+        return 0
+    rows = bench.compare_reports(report, previous, threshold=args.threshold)
+    print()
+    print(f"[bench] comparison against {previous_path} (threshold {args.threshold:.0%}):")
+    print(bench.render_comparison(rows))
+    if bench.comparison_failed(rows):
+        print("[bench] FAIL: wall-clock regression or result drift detected")
+        return 1
+    print("[bench] ok: no regression beyond threshold")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     parser = build_parser()
@@ -247,6 +346,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_experiment(args)
     if args.command == "sweep":
         return _command_sweep(args)
+    if args.command == "bench":
+        return _command_bench(args)
     parser.print_help()
     return 2
 

@@ -22,6 +22,7 @@ from repro.simulator.messages import Message
 __all__ = [
     "BeaconPayload",
     "make_beacon_message",
+    "forward_beacon_message",
     "parse_beacon",
     "make_continue_message",
     "is_continue",
@@ -67,8 +68,20 @@ def make_beacon_message(origin: int, path: Tuple[int, ...] = ()) -> Message:
     )
 
 
-#: Sentinel marking a message whose beacon parse has not been cached yet.
-_UNPARSED = object()
+def forward_beacon_message(payload: BeaconPayload) -> Message:
+    """Wrap an already-validated payload in a fresh beacon message.
+
+    The forwarding hot path of Algorithm 2 extends a parsed payload and sends
+    it on; reusing the payload object (instead of re-building it through
+    :func:`make_beacon_message`) keeps the per-hop allocation down to the
+    message itself.
+    """
+    return Message(
+        kind=BEACON_KIND,
+        payload=payload,
+        size_bits=16,
+        num_ids=1 + len(payload.path),
+    )
 
 
 def parse_beacon(message: Message) -> Optional[BeaconPayload]:
@@ -77,29 +90,31 @@ def parse_beacon(message: Message) -> Optional[BeaconPayload]:
     Byzantine nodes may send arbitrary payloads; honest nodes simply discard
     anything that does not look like a beacon.
 
-    The verdict is cached on the message object: the engine delivers one
-    shared envelope to every receiver of a broadcast, so a beacon is validated
-    once per edge-disjoint message instead of once per receiving neighbor.
-    Messages are immutable after sending, which makes the cache sound.
+    The verdict is cached on the *payload* object: the engine delivers one
+    shared envelope per broadcast and every forwarding hop reuses the parsed
+    payload, so a beacon is validated once per payload instance instead of
+    once per receiving neighbor.  The cache is sound because the verdict only
+    depends on attributes a ``BeaconPayload`` cannot change after
+    construction (the dataclass is frozen and a valid path is a tuple of
+    ints, which is immutable; an invalid path can never become a tuple).
     """
-    cached = getattr(message, "_parsed_beacon", _UNPARSED)
-    if cached is not _UNPARSED:
-        return cached
-    result: Optional[BeaconPayload] = None
-    if message.kind == BEACON_KIND:
-        payload = message.payload
-        if (
-            isinstance(payload, BeaconPayload)
-            and isinstance(payload.path, tuple)
+    if message.kind != BEACON_KIND:
+        return None
+    payload = message.payload
+    if not isinstance(payload, BeaconPayload):
+        return None
+    ok = getattr(payload, "_beacon_ok", None)
+    if ok is None:
+        ok = (
+            isinstance(payload.path, tuple)
             and all(isinstance(x, int) for x in payload.path)
             and isinstance(payload.origin, int)
-        ):
-            result = payload
-    try:
-        message._parsed_beacon = result
-    except AttributeError:  # exotic read-only message objects in tests
-        pass
-    return result
+        )
+        try:
+            object.__setattr__(payload, "_beacon_ok", ok)
+        except AttributeError:  # pragma: no cover - exotic payload subclasses
+            pass
+    return payload if ok else None
 
 
 def make_continue_message() -> Message:

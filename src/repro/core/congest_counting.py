@@ -48,8 +48,9 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.simulator.byzantine import Adversary
 from repro.core.beacon import (
+    CONTINUE_KIND,
     BeaconPayload,
-    is_continue,
+    forward_beacon_message,
     make_beacon_message,
     make_continue_message,
     parse_beacon,
@@ -61,7 +62,7 @@ from repro.graphs.graph import Graph
 from repro.simulator.engine import RunResult, SynchronousEngine
 from repro.simulator.messages import Message
 from repro.simulator.network import Network
-from repro.simulator.node import NodeContext, Outbox, Protocol
+from repro.simulator.node import Broadcast, NodeContext, Outbox, Protocol
 
 __all__ = [
     "PhaseSchedule",
@@ -102,12 +103,34 @@ class PhaseSchedule:
         # consecutive rounds almost always fall in the same phase, so this
         # makes `locate` O(1) on the per-round hot path.
         self._current_span: Optional[Tuple[int, int, int, int]] = None
+        # All protocol instances of a run share one schedule and ask about the
+        # same round in sequence, so the last (round, position) pair is a
+        # near-perfect cache.
+        self._last_position: Optional[Tuple[int, SchedulePosition]] = None
+
+    def _append_next_phase(self) -> None:
+        """Append one phase to the table (the only place the table grows)."""
+        self._phase_starts.append((self._next_phase, self._next_round))
+        self._next_round += self.params.phase_length(self._next_phase)
+        self._next_phase += 1
 
     def _extend_through(self, round_number: int) -> None:
-        while not self._phase_starts or self._phase_end(self._phase_starts[-1]) < round_number:
-            self._phase_starts.append((self._next_phase, self._next_round))
-            self._next_round += self.params.phase_length(self._next_phase)
-            self._next_phase += 1
+        """Ensure the phase table covers ``round_number``.
+
+        Extends *geometrically*: every extension at least doubles the covered
+        round horizon, so a sequence of monotonically growing lookups costs
+        amortized O(1) per phase instead of re-entering the loop once per
+        phase (deep phases previously paid quadratic schedule growth).
+        """
+        if self._phase_starts:
+            covered = self._phase_end(self._phase_starts[-1])
+            if covered >= round_number:
+                return
+            target = max(round_number, 2 * covered)
+        else:
+            target = round_number
+        while not self._phase_starts or self._phase_end(self._phase_starts[-1]) < target:
+            self._append_next_phase()
 
     def _phase_end(self, entry: Tuple[int, int]) -> int:
         phase, start = entry
@@ -115,6 +138,9 @@ class PhaseSchedule:
 
     def locate(self, round_number: int) -> SchedulePosition:
         """Return the position of ``round_number`` (which must be >= 1)."""
+        last = self._last_position
+        if last is not None and last[0] == round_number:
+            return last[1]
         if round_number < 1:
             raise ValueError("Algorithm 2 rounds are numbered from 1")
         span = self._current_span
@@ -124,7 +150,9 @@ class PhaseSchedule:
         offset = round_number - start
         iteration = offset // rpi + 1
         step = offset % rpi + 1
-        return SchedulePosition(phase=phase, iteration=iteration, step=step)
+        position = SchedulePosition(phase=phase, iteration=iteration, step=step)
+        self._last_position = (round_number, position)
+        return position
 
     def _locate_span(self, round_number: int) -> Tuple[int, int, int, int]:
         self._extend_through(round_number)
@@ -142,13 +170,13 @@ class PhaseSchedule:
         raise AssertionError("unreachable: schedule did not cover the round")
 
     def phase_start_round(self, phase: int) -> int:
-        """First global round of ``phase``."""
-        if phase < self.params.first_phase:
+        """First global round of ``phase`` (O(1) from the phase table)."""
+        first = self.params.first_phase
+        if phase < first:
             raise ValueError("phase precedes the first phase")
-        round_guess = 1
-        for p in range(self.params.first_phase, phase):
-            round_guess += self.params.phase_length(p)
-        return round_guess
+        while self._next_phase <= phase:
+            self._append_next_phase()
+        return self._phase_starts[phase - first][1]
 
     def end_of_phase_round(self, phase: int) -> int:
         """Last global round of ``phase``."""
@@ -167,9 +195,19 @@ class CongestCountingProtocol(Protocol):
         self._participating = True
         self._blacklist = PhaseBlacklist()
         self._current_phase: Optional[int] = None
-        # Per-iteration state.
+        # Per-iteration state, reset at every iteration start instead of
+        # reallocated: the continue message is identical every time it is
+        # sent (the engine never mutates outbox messages), and the per-phase
+        # schedule constants below are derived once per phase in
+        # ``_start_phase`` rather than once per round.
         self._shortest_path: Optional[Tuple[int, ...]] = None
         self._continue_seen = False
+        self._continue_message = make_continue_message()
+        self._rounds_per_iteration = 0
+        self._beacon_window_end = 0
+        self._forward_step_limit = 0
+        self._continue_forward_limit = 0
+        self._trusted_suffix = 0
 
     # -- Protocol interface --------------------------------------------- #
     @property
@@ -213,6 +251,12 @@ class CongestCountingProtocol(Protocol):
     def _start_phase(self, phase: int) -> None:
         self._current_phase = phase
         self._blacklist.reset()
+        params = self.params
+        self._rounds_per_iteration = params.rounds_per_iteration(phase)
+        self._beacon_window_end = phase + 2
+        self._forward_step_limit = phase + 1
+        self._continue_forward_limit = 2 * phase + 4
+        self._trusted_suffix = params.trusted_suffix_length(phase)
 
     def _start_iteration(self, ctx: NodeContext, phase: int) -> Outbox:
         """Line 4-11: reset iteration state and possibly emit a beacon."""
@@ -225,7 +269,7 @@ class CongestCountingProtocol(Protocol):
             # Line 7: the active node's own shortest path is just itself.
             self._shortest_path = (ctx.node_id,)
             beacon = make_beacon_message(origin=ctx.node_id, path=())
-            return {v: [beacon] for v in ctx.neighbors}
+            return Broadcast(beacon, ctx.neighbors)
         return {}
 
     def _handle_beacons(
@@ -245,16 +289,13 @@ class CongestCountingProtocol(Protocol):
         extended = payload.extended(message.sender_id)
 
         outbox: Outbox = {}
-        phase = position.phase
         # Line 17-19: forward while still within the first i rounds.
-        if position.step <= phase + 1:
-            forwarded = make_beacon_message(origin=extended.origin, path=extended.path)
-            outbox = {v: [forwarded] for v in ctx.neighbors}
+        if position.step <= self._forward_step_limit:
+            outbox = Broadcast(forward_beacon_message(extended), ctx.neighbors)
 
         # Lines 20-25: accept into shortestPath if the far prefix is clean.
-        suffix = self.params.trusted_suffix_length(phase)
         if self.params.blacklist_enabled:
-            blocked = self._blacklist.blocks_path(extended.path, suffix)
+            blocked = self._blacklist.blocks_path(extended.path, self._trusted_suffix)
         else:
             blocked = False
         if not blocked and self._shortest_path is None:
@@ -267,27 +308,25 @@ class CongestCountingProtocol(Protocol):
         if self._participating and self._shortest_path is None and not self._decided:
             self._decide(phase, ctx.round)
         if self.params.blacklist_enabled and self._shortest_path is not None:
-            suffix = self.params.trusted_suffix_length(phase)
-            self._blacklist.add_path(self._shortest_path, suffix)
+            self._blacklist.add_path(self._shortest_path, self._trusted_suffix)
         if self._participating and not self._decided:
-            cont = make_continue_message()
-            return {v: [cont] for v in ctx.neighbors}
+            return Broadcast(self._continue_message, ctx.neighbors)
         return {}
 
     def _handle_continues(
         self, ctx: NodeContext, inbox: List[Message], position: SchedulePosition
     ) -> Outbox:
         """Lines 36-40: forward continue messages and remember having seen one."""
-        continues = [m for m in inbox if is_continue(m)]
-        if not continues:
+        for message in inbox:
+            if message.kind == CONTINUE_KIND:
+                break
+        else:
             return {}
         self._continue_seen = True
-        phase = position.phase
         # Forward (one copy, Line 37) while the window still has room for the
         # message to be useful.
-        if position.step <= 2 * phase + 4:
-            cont = make_continue_message()
-            return {v: [cont] for v in ctx.neighbors}
+        if position.step <= self._continue_forward_limit:
+            return Broadcast(self._continue_message, ctx.neighbors)
         return {}
 
     def _end_of_iteration(self) -> None:
@@ -311,20 +350,21 @@ class CongestCountingProtocol(Protocol):
             self._start_phase(phase)
 
         outbox: Outbox = {}
-        beacon_window_end = phase + 2
-        if position.step == 1:
+        step = position.step
+        if step == 1:
             outbox = self._start_iteration(ctx, phase)
             # Beacons cannot have been received yet this iteration, but stray
             # continue messages from the previous iteration's last round are
             # impossible because forwarding stops one round earlier.
-        elif position.step <= beacon_window_end:
-            outbox = self._handle_beacons(ctx, inbox, position)
-        elif position.step == beacon_window_end + 1:
+        elif step <= self._beacon_window_end:
+            if inbox:
+                outbox = self._handle_beacons(ctx, inbox, position)
+        elif step == self._beacon_window_end + 1:
             outbox = self._decision_point(ctx, position)
-        else:
+        elif inbox:
             outbox = self._handle_continues(ctx, inbox, position)
 
-        if position.step == self.params.rounds_per_iteration(phase):
+        if step == self._rounds_per_iteration:
             self._end_of_iteration()
         return outbox
 

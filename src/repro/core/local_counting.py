@@ -55,6 +55,7 @@ from __future__ import annotations
 
 import itertools
 import math
+from collections import deque
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
@@ -65,7 +66,7 @@ from repro.graphs.graph import Graph
 from repro.simulator.engine import RunResult, SynchronousEngine
 from repro.simulator.messages import Message
 from repro.simulator.network import Network
-from repro.simulator.node import NodeContext, Outbox, Protocol
+from repro.simulator.node import Broadcast, NodeContext, Outbox, Protocol
 
 __all__ = ["LocalView", "LocalCountingProtocol", "LocalCountingRun", "run_local_counting"]
 
@@ -79,20 +80,107 @@ class LocalView:
 
     Tracks the vertices seen so far and, for the *settled* subset of them,
     their complete incident-edge sets (as first announced).
+
+    Every derived structure the per-round expansion check needs -- BFS
+    distances/layers from the owner, the interior set, and the interior's
+    out-boundary -- is maintained *incrementally* by :meth:`integrate` and
+    tagged with an epoch counter that only advances when adjacency or
+    settlement actually changed.  Candidate generation therefore reuses
+    cached frozensets across rounds instead of re-running a BFS and an
+    interior scan per round, which dominated large-n runs.
     """
 
     def __init__(self, own_id: int, neighbor_ids: Iterable[int]) -> None:
         self.own_id = own_id
         self.vertices: Set[int] = {own_id} | set(neighbor_ids)
         self.edge_sets: Dict[int, FrozenSet[int]] = {own_id: frozenset(neighbor_ids)}
-        # Symmetric adjacency over all known vertices, maintained
-        # *incrementally* by ``integrate`` (the expansion check reads it every
-        # round; rebuilding it from scratch dominated large-n runs).
+        # Symmetric adjacency over all known vertices.
         self._adj: Dict[int, Set[int]] = {v: set() for v in self.vertices}
         own_adj = self._adj[own_id]
         for v in self.edge_sets[own_id]:
             own_adj.add(v)
             self._adj[v].add(own_id)
+        # BFS distances from the owner over the view graph; ``_layers[d]`` is
+        # the set of vertices at distance exactly d.  Vertices the owner
+        # cannot reach (possible under fabricated claims) have no entry.
+        self._dist: Dict[int, int] = {own_id: 0}
+        self._layers: List[Set[int]] = [{own_id}]
+        if own_adj:
+            self._layers.append(set(own_adj))
+            for v in own_adj:
+                self._dist[v] = 1
+        # Interior tracking: ``_missing[v]`` counts the claimed neighbors of
+        # the settled vertex v that are not settled yet; ``_waiting[w]`` lists
+        # the settled vertices whose interior membership is blocked on w.
+        # ``_interior_out`` is Out(interior) in the view graph, kept in sync
+        # with both interior growth and adjacency growth.
+        self._missing: Dict[int, int] = {}
+        self._waiting: Dict[int, List[int]] = {}
+        self._interior: Set[int] = set()
+        self._interior_out: Set[int] = set()
+        self._settle(own_id, self.edge_sets[own_id])
+        # Epoch counter: bumped whenever any derived structure changed; the
+        # cached candidate frozensets below are rebuilt only when stale.
+        self._epoch = 1
+        self._prefix_cache_epoch = 0
+        self._prefix_cache: List[FrozenSet[int]] = []
+
+    # -- incremental maintenance ---------------------------------------- #
+    def _settle(self, node_id: int, edge_set: FrozenSet[int]) -> None:
+        """Register a newly settled vertex with the interior tracker."""
+        settled = self.edge_sets
+        waiting = self._waiting
+        missing = 0
+        for w in edge_set:
+            if w not in settled:
+                missing += 1
+                waiting.setdefault(w, []).append(node_id)
+        if missing:
+            self._missing[node_id] = missing
+        else:
+            self._add_interior(node_id)
+        blocked = waiting.pop(node_id, None)
+        if blocked:
+            missing_of = self._missing
+            for v in blocked:
+                left = missing_of[v] - 1
+                if left:
+                    missing_of[v] = left
+                else:
+                    del missing_of[v]
+                    self._add_interior(v)
+
+    def _add_interior(self, v: int) -> None:
+        interior = self._interior
+        interior.add(v)
+        out = self._interior_out
+        out.discard(v)
+        for w in self._adj[v]:
+            if w not in interior:
+                out.add(w)
+
+    def _relax_distances(self, queue: "deque[int]") -> None:
+        """Propagate BFS-distance decreases caused by new edges."""
+        dist = self._dist
+        adj = self._adj
+        while queue:
+            u = queue.popleft()
+            du1 = dist[u] + 1
+            for w in adj[u]:
+                dw = dist.get(w)
+                if dw is None or dw > du1:
+                    self._set_dist(w, du1)
+                    queue.append(w)
+
+    def _set_dist(self, v: int, d: int) -> None:
+        old = self._dist.get(v)
+        layers = self._layers
+        if old is not None:
+            layers[old].discard(v)
+        self._dist[v] = d
+        while len(layers) <= d:
+            layers.append(set())
+        layers[d].add(v)
 
     # -- mutation ------------------------------------------------------- #
     def integrate(
@@ -111,46 +199,82 @@ class LocalView:
         new_edge_sets: List[Tuple[int, Tuple[int, ...]]] = []
         new_vertices: List[int] = []
         adj = self._adj
+        vertices = self.vertices
+        interior = self._interior
+        interior_out = self._interior_out
+        relax: "deque[int]" = deque()
+        dist = self._dist
         for node_id, edge_ids in reported_edges:
             edge_set = frozenset(edge_ids)
-            if len(edge_set) > max_degree or node_id in edge_set:
-                inconsistent = True
-                continue
             # Identifiers are integers in the model; anything else is
             # malformed Byzantine data and counts as an inconsistency
             # rather than contaminating the view.
-            if not isinstance(node_id, int) or not all(
-                isinstance(v, int) for v in edge_set
-            ):
+            if not isinstance(node_id, int):
                 inconsistent = True
                 continue
             existing = self.edge_sets.get(node_id)
             if existing is not None:
-                if existing != edge_set:
+                # Re-announcements of an already-settled edge set are the
+                # common case (every delta arrives once per neighbor); they
+                # are deduplicated here, skipping the degree/self-loop checks
+                # the stored set already passed.  The element type check must
+                # still run: a numeric non-int claim (e.g. float ids) compares
+                # equal to the settled ints but is malformed Byzantine data.
+                if existing != edge_set or not all(
+                    map(int.__instancecheck__, edge_set)
+                ):
                     # Conflicting incident-edge claims for a node we already
                     # know about (Line 18 of Algorithm 1).
                     inconsistent = True
                 continue
+            if len(edge_set) > max_degree or node_id in edge_set:
+                inconsistent = True
+                continue
+            if not all(map(int.__instancecheck__, edge_set)):
+                inconsistent = True
+                continue
             self.edge_sets[node_id] = edge_set
             new_edge_sets.append((node_id, tuple(sorted(edge_set))))
-            if node_id not in self.vertices:
-                self.vertices.add(node_id)
+            if node_id not in vertices:
+                vertices.add(node_id)
                 new_vertices.append(node_id)
             node_adj = adj.setdefault(node_id, set())
+            dn = dist.get(node_id)
             for v in edge_set:
-                if v not in self.vertices:
-                    self.vertices.add(v)
+                if v not in vertices:
+                    vertices.add(v)
                     new_vertices.append(v)
+                if v in node_adj:
+                    continue
                 node_adj.add(v)
                 adj.setdefault(v, set()).add(node_id)
+                # A fresh edge can attach a non-interior vertex to the
+                # interior (claims about interior vertices arrive late).
+                if v in interior:
+                    interior_out.add(node_id)
+                # BFS distances: relax whichever endpoint the new edge
+                # brought closer to the owner.
+                dv = dist.get(v)
+                if dn is not None and (dv is None or dv > dn + 1):
+                    self._set_dist(v, dn + 1)
+                    relax.append(v)
+                elif dv is not None and (dn is None or dn > dv + 1):
+                    dn = dv + 1
+                    self._set_dist(node_id, dn)
+                    relax.append(node_id)
+            self._settle(node_id, edge_set)
         for node_id in reported_vertices:
             if not isinstance(node_id, int):
                 inconsistent = True
                 continue
-            if node_id not in self.vertices:
-                self.vertices.add(node_id)
+            if node_id not in vertices:
+                vertices.add(node_id)
                 new_vertices.append(node_id)
                 adj.setdefault(node_id, set())
+        if relax:
+            self._relax_distances(relax)
+        if new_edge_sets or new_vertices:
+            self._epoch += 1
         return inconsistent, new_edge_sets, new_vertices
 
     # -- structure queries ---------------------------------------------- #
@@ -162,28 +286,34 @@ class LocalView:
         """
         return self._adj
 
-    def layer_prefixes(self, adj: Dict[int, Set[int]]) -> List[Set[int]]:
-        """BFS-layer prefixes ``B̂(u, 0) ⊆ B̂(u, 1) ⊆ ...`` from the owner."""
-        dist = {self.own_id: 0}
-        frontier = [self.own_id]
-        layers: List[Set[int]] = [{self.own_id}]
-        while frontier:
-            nxt: List[int] = []
-            for u in frontier:
-                for v in adj.get(u, ()):
-                    if v not in dist:
-                        dist[v] = dist[u] + 1
-                        nxt.append(v)
-            if not nxt:
+    def layer_prefixes(self, adj: Optional[Dict[int, Set[int]]] = None) -> List[FrozenSet[int]]:
+        """BFS-layer prefixes ``B̂(u, 0) ⊆ B̂(u, 1) ⊆ ...`` from the owner.
+
+        The prefixes are served from an epoch-tagged cache that is rebuilt
+        only when :meth:`integrate` actually changed the view; the ``adj``
+        argument is retained for backwards compatibility and ignored (the
+        prefixes always describe this view's own adjacency).
+        """
+        if self._prefix_cache_epoch != self._epoch:
+            prefixes: List[FrozenSet[int]] = []
+            running: Set[int] = set()
+            for layer in self._layers:
+                if not layer:
+                    break
+                running |= layer
+                prefixes.append(frozenset(running))
+            self._prefix_cache = prefixes
+            self._prefix_cache_epoch = self._epoch
+        return self._prefix_cache
+
+    def layer_sizes(self) -> List[int]:
+        """Sizes of the (contiguous, nonempty) BFS layers from the owner."""
+        sizes: List[int] = []
+        for layer in self._layers:
+            if not layer:
                 break
-            layers.append(set(nxt))
-            frontier = nxt
-        prefixes: List[Set[int]] = []
-        running: Set[int] = set()
-        for layer in layers:
-            running |= layer
-            prefixes.append(set(running))
-        return prefixes
+            sizes.append(len(layer))
+        return sizes
 
     def interior_set(self) -> Set[int]:
         """Settled vertices all of whose claimed neighbors are settled.
@@ -191,14 +321,29 @@ class LocalView:
         Once the honest part of the network has been fully explored, every
         honest vertex is interior, so the interior set contains the honest
         region ``R`` of Lemma 5; its out-boundary is then exactly the layer of
-        vertices the adversary is still expanding.
+        vertices the adversary is still expanding.  Maintained incrementally
+        by :meth:`integrate`; a copy is returned.
         """
-        settled = set(self.edge_sets)
-        return {
-            v
-            for v, edges in self.edge_sets.items()
-            if all(w in settled for w in edges)
-        }
+        return set(self._interior)
+
+    def expansion_check_candidates(self) -> List[Tuple[int, int]]:
+        """``(|S|, |Out(S)|)`` for every subset the practical check inspects.
+
+        Lists every BFS-layer prefix (whose out-boundary in the view graph is
+        exactly the next BFS layer) followed by the interior set (whose
+        out-boundary is maintained incrementally).  All counts refer to live
+        incremental state, so producing them is O(view depth) per round.
+        """
+        candidates: List[Tuple[int, int]] = []
+        sizes = self.layer_sizes()
+        prefix = 0
+        last = len(sizes) - 1
+        for j, layer_size in enumerate(sizes):
+            prefix += layer_size
+            candidates.append((prefix, sizes[j + 1] if j < last else 0))
+        if self._interior:
+            candidates.append((len(self._interior), len(self._interior_out)))
+        return candidates
 
     @staticmethod
     def expansion_of(adj: Dict[int, Set[int]], subset: Set[int]) -> float:
@@ -226,12 +371,21 @@ class LocalCountingProtocol(Protocol):
         self._decided = False
         self._estimate: Optional[float] = None
         self._decision_round: Optional[int] = None
+        # The delta broadcast is accumulated together with its exact
+        # ``estimate_payload_bits`` size and id count, so building the message
+        # never re-walks the payload (the per-round walk showed up in
+        # profiles; deltas carry Θ(Δ^i) identifiers).
+        self._pending_edges: List[Tuple[int, Tuple[int, ...]]] = []
+        self._pending_vertices: List[int] = []
+        self._pending_edge_bits = 0
+        self._pending_edge_ids = 0
+        self._pending_vertex_bits = 0
         # The initial delta is exactly B̂(u, 1): the node's own edge set and
         # its neighbor vertices (Line 1 of Algorithm 1).
-        self._pending_edges: List[Tuple[int, Tuple[int, ...]]] = [
-            (ctx.node_id, tuple(sorted(ctx.neighbor_ids.values())))
-        ]
-        self._pending_vertices: List[int] = sorted(ctx.neighbor_ids.values())
+        self._queue_delta(
+            [(ctx.node_id, tuple(sorted(ctx.neighbor_ids.values())))],
+            sorted(ctx.neighbor_ids.values()),
+        )
 
     # -- Protocol interface --------------------------------------------- #
     @property
@@ -253,21 +407,61 @@ class LocalCountingProtocol(Protocol):
         return self._decided
 
     # -- helpers ---------------------------------------------------------- #
+    def _queue_delta(
+        self,
+        new_edges: Sequence[Tuple[int, Tuple[int, ...]]],
+        new_vertices: Sequence[int],
+    ) -> None:
+        """Append to the pending delta, accumulating its exact size accounting.
+
+        The running sums reproduce ``estimate_payload_bits`` over the final
+        ``TopologyDelta`` payload term by term (each integer costs
+        ``max(1, bit_length)`` bits, containers add 2 framing bits per
+        element); ``tests/test_perf_equivalence.py`` locks the equivalence
+        down.
+        """
+        edge_bits = 0
+        edge_ids = 0
+        for node_id, edges in new_edges:
+            inner = 0
+            for v in edges:
+                b = v.bit_length()
+                inner += (b if b else 1) + 2
+            if not inner:
+                inner = 1
+            b = node_id.bit_length()
+            edge_bits += (b if b else 1) + 2 + inner + 2 + 2
+            edge_ids += 1 + len(edges)
+        vertex_bits = 0
+        for v in new_vertices:
+            b = v.bit_length()
+            vertex_bits += (b if b else 1) + 2
+        self._pending_edges.extend(new_edges)
+        self._pending_vertices.extend(new_vertices)
+        self._pending_edge_bits += edge_bits
+        self._pending_edge_ids += edge_ids
+        self._pending_vertex_bits += vertex_bits
+
     def _delta_message(self) -> Message:
         payload: TopologyDelta = (
             tuple(self._pending_edges),
             tuple(self._pending_vertices),
         )
-        num_ids = sum(1 + len(edges) for _, edges in self._pending_edges) + len(
-            self._pending_vertices
+        num_ids = self._pending_edge_ids + len(self._pending_vertices)
+        # ``size_bits`` follows the documented accounting
+        # (``estimate_payload_bits`` over the payload), assembled from the
+        # accumulators of ``_queue_delta`` instead of a second payload walk.
+        edge_sum = self._pending_edge_bits
+        vertex_sum = self._pending_vertex_bits
+        size_bits = (edge_sum if edge_sum else 1) + 2 + (vertex_sum if vertex_sum else 1) + 2
+        message = Message(
+            kind="topology", payload=payload, size_bits=size_bits, num_ids=num_ids
         )
-        # Route construction through ``Message.make`` so ``size_bits`` follows
-        # the documented accounting (``estimate_payload_bits`` over the
-        # payload) instead of a flat per-entry constant; the identifier count
-        # is still reported separately via ``num_ids``.
-        message = Message.make("topology", payload, num_ids=num_ids)
         self._pending_edges = []
         self._pending_vertices = []
+        self._pending_edge_bits = 0
+        self._pending_edge_ids = 0
+        self._pending_vertex_bits = 0
         return message
 
     def _decide(self, round_number: int) -> None:
@@ -277,30 +471,37 @@ class LocalCountingProtocol(Protocol):
 
     def _expansion_check_fails(self, newly_added: int, round_number: int) -> bool:
         """Line 9-13: does some checked subset of the view fail to expand?"""
-        adj = self.view.adjacency()
-        total = len(adj)
-        candidates: List[Set[int]] = []
+        view = self.view
+        total = view.size()
+        alpha_prime = self.params.alpha_prime
 
-        # (1) BFS-layer prefixes of the view (the sets of Lemma 3).
-        candidates.extend(self.view.layer_prefixes(adj))
-
-        # (2) The interior set (the practical stand-in for Lemma 5's R).
-        interior = self.view.interior_set()
-        if interior:
-            candidates.append(interior)
-
-        # (3) Optional exhaustive check for tiny views (test cross-validation).
+        # (3) Optional exhaustive check for tiny views (test cross-validation):
+        # materializes the actual subsets, so it takes the slow path.
         if self.params.exhaustive_subset_check and total <= 16:
+            adj = view.adjacency()
+            candidates: List[Set[int]] = list(view.layer_prefixes())
+            interior = view.interior_set()
+            if interior:
+                candidates.append(interior)
             vertices = list(adj.keys())
             for size in range(1, total):
                 for combo in itertools.combinations(vertices, size):
                     candidates.append(set(combo))
-
-        for subset in candidates:
-            if not subset or len(subset) >= total:
-                continue
-            if self.view.expansion_of(adj, subset) < self.params.alpha_prime:
-                return True
+            for subset in candidates:
+                if not subset or len(subset) >= total:
+                    continue
+                if view.expansion_of(adj, subset) < alpha_prime:
+                    return True
+        else:
+            # (1) BFS-layer prefixes (the sets of Lemma 3) and (2) the
+            # interior set (the practical stand-in for Lemma 5's R), both
+            # read off the view's incremental counters: ``|Out(S)|/|S|``
+            # without touching a single edge.
+            for size, out_size in view.expansion_check_candidates():
+                if size >= total:
+                    continue
+                if out_size / size < alpha_prime:
+                    return True
 
         # (4) The view stopped growing entirely: Out(B̂(u, i)) = ∅, which is
         # the situation that forces the decision at diam(G) + 1 in Lemma 5.
@@ -310,8 +511,7 @@ class LocalCountingProtocol(Protocol):
 
     # -- engine callbacks ------------------------------------------------ #
     def on_start(self, ctx: NodeContext) -> Outbox:
-        message = self._delta_message()
-        return {v: [message] for v in ctx.neighbors}
+        return Broadcast(self._delta_message(), ctx.neighbors)
 
     def on_round(self, ctx: NodeContext, inbox: List[Message]) -> Outbox:
         if self._decided:
@@ -348,8 +548,7 @@ class LocalCountingProtocol(Protocol):
                 inconsistent = True
                 continue
             inconsistent = inconsistent or bad
-            self._pending_edges.extend(new_edges)
-            self._pending_vertices.extend(new_vertices)
+            self._queue_delta(new_edges, new_vertices)
             newly_added += len(new_vertices)
 
         if inconsistent or mute_neighbor:
@@ -360,8 +559,7 @@ class LocalCountingProtocol(Protocol):
             self._decide(round_number)
             return {}
 
-        message = self._delta_message()
-        return {v: [message] for v in ctx.neighbors}
+        return Broadcast(self._delta_message(), ctx.neighbors)
 
 
 @dataclass

@@ -55,19 +55,42 @@ class ArtifactStore:
             return MISSING
         return document["result"]
 
-    def store(self, config: SweepConfig, result: Any) -> Path:
-        """Persist ``result`` for ``config`` and return the artifact path."""
+    def store(
+        self, config: SweepConfig, result: Any, *, meta: Optional[dict] = None
+    ) -> Path:
+        """Persist ``result`` for ``config`` and return the artifact path.
+
+        ``meta`` (execution metadata such as per-task wall-clock seconds and
+        the worker pid) is stored alongside the result but never affects the
+        config hash or the value :meth:`load` returns -- cached re-reads stay
+        indistinguishable from fresh computations.
+        """
         path = self.path_for(config)
         path.parent.mkdir(parents=True, exist_ok=True)
         document = {
             "config": {"task": config.task, "params": config.params},
             "result": result,
         }
+        if meta is not None:
+            document["meta"] = meta
         tmp = path.with_name(path.name + ".tmp")
         with tmp.open("w", encoding="utf-8") as handle:
             json.dump(document, handle, sort_keys=True)
         os.replace(tmp, path)
         return path
+
+    def load_meta(self, config: SweepConfig) -> Optional[dict]:
+        """Execution metadata stored with ``config``'s artifact, if any."""
+        path = self.path_for(config)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(document, dict):
+            return None
+        meta = document.get("meta")
+        return meta if isinstance(meta, dict) else None
 
     def stored_configs(self, task: Optional[str] = None) -> List[Path]:
         """All artifact paths (optionally restricted to one task)."""

@@ -1,0 +1,345 @@
+"""Persistent performance-benchmark harness (``bench`` CLI subcommand).
+
+The harness runs a *pinned* list of scenario configs -- Algorithm 1 and
+Algorithm 2 workloads mirroring the E2 (Byzantine beacon flood), E3 (benign
+CONGEST) and E12 (scaling) experiment drivers at several ``n`` -- through the
+parallel sweep runner, collects each task's wall-clock from the runner's
+per-task execution metadata, and records wall-clock + rounds + messages into
+a ``BENCH_<date>.json`` trajectory file.  A comparison mode diffs a fresh run
+against the previous file and fails on a >10% wall-clock regression (or on
+any change in the deterministic rounds/messages counters, which would mean
+the optimization changed semantics).
+
+See RUNNER.md ("Performance") for the JSON schema and how to read a diff.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import sys
+from dataclasses import dataclass
+from datetime import date, datetime, timezone
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.runner.config import SweepConfig
+from repro.runner.registry import sweep_task
+from repro.runner.sweep import SweepRunner
+
+__all__ = [
+    "BenchScenario",
+    "SCENARIOS",
+    "SMOKE_SCENARIOS",
+    "run_bench",
+    "write_report",
+    "find_previous_report",
+    "load_report",
+    "compare_reports",
+    "render_report",
+    "render_comparison",
+]
+
+BENCH_SCHEMA_VERSION = 1
+BENCH_PREFIX = "BENCH_"
+
+
+# --------------------------------------------------------------------------- #
+# Bench tasks (registered sweep tasks so they ride the runner/artifact layer)
+# --------------------------------------------------------------------------- #
+@sweep_task("bench.local")
+def _bench_local(*, n: int, degree: int, seed: int) -> Dict[str, Any]:
+    """One Algorithm 1 run (benign), parameterized like the E12 local sweep."""
+    from repro.core.local_counting import run_local_counting
+    from repro.core.parameters import LocalParameters
+    from repro.graphs.hnd import hnd_random_regular_graph
+
+    graph = hnd_random_regular_graph(n, degree, seed=seed + n)
+    run = run_local_counting(graph, params=LocalParameters(max_degree=degree), seed=seed)
+    outcome = run.outcome
+    return {
+        "rounds": outcome.max_decision_round(over_evaluation_set=False)
+        or outcome.rounds_executed,
+        "messages": outcome.total_messages,
+        "bits": outcome.total_bits,
+        "decided_fraction": outcome.decided_fraction(over_evaluation_set=False),
+    }
+
+
+@sweep_task("bench.congest")
+def _bench_congest(
+    *, n: int, degree: int, num_byz: int, behaviour: str, seed: int
+) -> Dict[str, Any]:
+    """One Algorithm 2 run, parameterized like the E2/E3 congest sweeps."""
+    from repro.adversary.placement import spread_placement
+    from repro.adversary.strategies import BeaconFloodAdversary
+    from repro.core.congest_counting import run_congest_counting
+    from repro.core.parameters import CongestParameters
+    from repro.graphs.hnd import hnd_random_regular_graph
+    from repro.simulator.byzantine import SilentAdversary
+
+    params = CongestParameters(d=degree)
+    graph = hnd_random_regular_graph(n, degree, seed=seed + n + num_byz)
+    byz = spread_placement(graph, num_byz, seed=seed + num_byz) if num_byz else set()
+    if behaviour == "beacon-flood":
+        adversary = BeaconFloodAdversary(params)
+    elif behaviour == "silent":
+        adversary = SilentAdversary()
+    else:
+        raise ValueError(f"unknown bench behaviour {behaviour!r}")
+    budget = params.rounds_through_phase(int(math.ceil(math.log(n))) + 1)
+    run = run_congest_counting(
+        graph,
+        byzantine=byz,
+        adversary=adversary,
+        params=params,
+        seed=seed,
+        max_rounds=budget,
+    )
+    outcome = run.outcome
+    return {
+        "rounds": outcome.max_decision_round(over_evaluation_set=False)
+        or outcome.rounds_executed,
+        "messages": outcome.total_messages,
+        "bits": outcome.total_bits,
+        "decided_fraction": outcome.decided_fraction(over_evaluation_set=False),
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Pinned scenarios
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class BenchScenario:
+    """One named, pinned benchmark configuration."""
+
+    name: str
+    task: str
+    params: Dict[str, Any]
+
+    def config(self) -> SweepConfig:
+        return SweepConfig(self.task, dict(self.params))
+
+
+#: The full trajectory suite: E12-style Algorithm 1 runs, E3-style benign
+#: Algorithm 2 runs, and E2-style Byzantine beacon-flood runs, at several n.
+#: These parameterizations are pinned -- changing them breaks comparability
+#: of the BENCH_*.json trajectory, so add new scenarios instead.
+SCENARIOS: Tuple[BenchScenario, ...] = (
+    BenchScenario("e12-local-n256", "bench.local", {"n": 256, "degree": 8, "seed": 0}),
+    BenchScenario("e12-local-n512", "bench.local", {"n": 512, "degree": 8, "seed": 0}),
+    BenchScenario(
+        "e3-congest-n128",
+        "bench.congest",
+        {"n": 128, "degree": 8, "num_byz": 0, "behaviour": "silent", "seed": 0},
+    ),
+    BenchScenario(
+        "e3-congest-n256",
+        "bench.congest",
+        {"n": 256, "degree": 8, "num_byz": 0, "behaviour": "silent", "seed": 0},
+    ),
+    BenchScenario(
+        "e2-congest-n128",
+        "bench.congest",
+        {"n": 128, "degree": 8, "num_byz": 4, "behaviour": "beacon-flood", "seed": 0},
+    ),
+    BenchScenario(
+        "e2-congest-n256",
+        "bench.congest",
+        {"n": 256, "degree": 8, "num_byz": 5, "behaviour": "beacon-flood", "seed": 0},
+    ),
+)
+
+#: Reduced suite for ``make bench-smoke`` (sub-minute end to end).
+SMOKE_SCENARIOS: Tuple[BenchScenario, ...] = (
+    BenchScenario("e12-local-n128", "bench.local", {"n": 128, "degree": 8, "seed": 0}),
+    BenchScenario(
+        "e3-congest-n64",
+        "bench.congest",
+        {"n": 64, "degree": 8, "num_byz": 0, "behaviour": "silent", "seed": 0},
+    ),
+    BenchScenario(
+        "e2-congest-n64",
+        "bench.congest",
+        {"n": 64, "degree": 8, "num_byz": 3, "behaviour": "beacon-flood", "seed": 0},
+    ),
+)
+
+
+# --------------------------------------------------------------------------- #
+# Harness
+# --------------------------------------------------------------------------- #
+def run_bench(
+    scenarios: Optional[Sequence[BenchScenario]] = None,
+    *,
+    workers: int = 1,
+    repeats: int = 3,
+    artifact_dir: Optional[Union[str, Path]] = None,
+) -> Dict[str, Any]:
+    """Execute the scenarios ``repeats`` times each and build a report dict.
+
+    Wall-clocks come from the sweep runner's per-task execution metadata
+    (the runner times every task it executes); the recorded figure is the
+    minimum over the repeats, which is the stablest point estimate on a
+    shared machine.  The deterministic counters (rounds/messages/bits) must
+    agree across repeats -- a mismatch raises, because it would mean a task
+    is not the pure function of its config the runner contract requires.
+    """
+    chosen = list(scenarios if scenarios is not None else SCENARIOS)
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    configs = [scenario.config() for scenario in chosen for _ in range(repeats)]
+    runner = SweepRunner(workers=workers, artifact_dir=artifact_dir, force=True)
+    results = runner.run(configs)
+    metas = runner.last_metas
+
+    rows: List[Dict[str, Any]] = []
+    for i, scenario in enumerate(chosen):
+        base = i * repeats
+        repeat_results = results[base : base + repeats]
+        for other in repeat_results[1:]:
+            if other != repeat_results[0]:
+                raise RuntimeError(
+                    f"bench scenario {scenario.name!r} is not deterministic "
+                    f"across repeats: {repeat_results[0]!r} != {other!r}"
+                )
+        walls = [
+            meta["wall_clock_s"]
+            for meta in metas[base : base + repeats]
+            if meta is not None
+        ]
+        rows.append(
+            {
+                "name": scenario.name,
+                "task": scenario.task,
+                "params": dict(scenario.params),
+                "wall_clock_s": round(min(walls), 4),
+                "wall_clock_all": [round(w, 4) for w in walls],
+                "result": repeat_results[0],
+            }
+        )
+    return {
+        "schema": BENCH_SCHEMA_VERSION,
+        "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "python": sys.version.split()[0],
+        "workers": workers,
+        "repeats": repeats,
+        "scenarios": rows,
+    }
+
+
+def write_report(
+    report: Dict[str, Any], directory: Union[str, Path], *, filename: Optional[str] = None
+) -> Path:
+    """Write ``report`` as ``BENCH_<date>.json`` in ``directory``."""
+    root = Path(directory)
+    root.mkdir(parents=True, exist_ok=True)
+    name = filename if filename is not None else f"{BENCH_PREFIX}{date.today().isoformat()}.json"
+    path = root / name
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_report(path: Union[str, Path]) -> Dict[str, Any]:
+    """Read a BENCH json file."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def find_previous_report(
+    directory: Union[str, Path], *, exclude: Optional[Union[str, Path]] = None
+) -> Optional[Path]:
+    """Latest ``BENCH_*.json`` in ``directory`` (dates sort lexicographically)."""
+    root = Path(directory)
+    excluded = Path(exclude).resolve() if exclude is not None else None
+    candidates = [
+        path
+        for path in sorted(root.glob(f"{BENCH_PREFIX}*.json"))
+        if excluded is None or path.resolve() != excluded
+    ]
+    return candidates[-1] if candidates else None
+
+
+def compare_reports(
+    current: Dict[str, Any], previous: Dict[str, Any], *, threshold: float = 0.10
+) -> List[Dict[str, Any]]:
+    """Per-scenario diff of two reports, most recent first argument.
+
+    Each row carries a ``status``:
+
+    - ``ok``          within ±threshold of the previous wall-clock
+    - ``faster``      improved by more than the threshold
+    - ``regression``  slower by more than the threshold (a failure)
+    - ``result-drift`` rounds/messages changed (a failure: determinism broke)
+    - ``new``         scenario absent from the previous report
+    """
+    previous_by_name = {row["name"]: row for row in previous.get("scenarios", [])}
+    rows: List[Dict[str, Any]] = []
+    for row in current.get("scenarios", []):
+        name = row["name"]
+        prev = previous_by_name.get(name)
+        if prev is None:
+            rows.append(
+                {
+                    "scenario": name,
+                    "previous_s": None,
+                    "current_s": row["wall_clock_s"],
+                    "ratio": None,
+                    "status": "new",
+                }
+            )
+            continue
+        ratio = row["wall_clock_s"] / prev["wall_clock_s"] if prev["wall_clock_s"] else None
+        if prev.get("result") != row.get("result"):
+            status = "result-drift"
+        elif ratio is not None and ratio > 1.0 + threshold:
+            status = "regression"
+        elif ratio is not None and ratio < 1.0 - threshold:
+            status = "faster"
+        else:
+            status = "ok"
+        rows.append(
+            {
+                "scenario": name,
+                "previous_s": prev["wall_clock_s"],
+                "current_s": row["wall_clock_s"],
+                "ratio": round(ratio, 3) if ratio is not None else None,
+                "status": status,
+            }
+        )
+    return rows
+
+
+def comparison_failed(rows: Sequence[Dict[str, Any]]) -> bool:
+    """Whether any diff row is a failure (regression or determinism drift)."""
+    return any(row["status"] in ("regression", "result-drift") for row in rows)
+
+
+def render_report(report: Dict[str, Any]) -> str:
+    """Human-readable table of one bench report."""
+    from repro.analysis.tables import render_table
+
+    rows = [
+        {
+            "scenario": row["name"],
+            "wall_clock_s": row["wall_clock_s"],
+            "rounds": row["result"].get("rounds"),
+            "messages": row["result"].get("messages"),
+            "bits": row["result"].get("bits"),
+        }
+        for row in report["scenarios"]
+    ]
+    header = (
+        f"bench ({report['repeats']} repeats, {report['workers']} workers, "
+        f"created {report['created']})"
+    )
+    return header + "\n" + render_table(rows)
+
+
+def render_comparison(rows: Sequence[Dict[str, Any]]) -> str:
+    """Human-readable table of a comparison diff."""
+    from repro.analysis.tables import render_table
+
+    return render_table(list(rows))

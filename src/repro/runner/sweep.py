@@ -20,6 +20,9 @@ from __future__ import annotations
 import importlib
 import json
 import multiprocessing
+import os
+import sys
+import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -35,6 +38,10 @@ __all__ = ["SweepRunner"]
 #: ``repro.experiments`` (fork workers inherit the registry and ignore it).
 _WorkItem = Tuple[int, str, Dict[str, Any], Optional[str]]
 
+#: Per-task execution metadata produced by workers and persisted alongside
+#: each artifact: {"wall_clock_s": float, "worker": pid}.
+TaskMeta = Dict[str, Any]
+
 
 def _canonical_result(value: Any) -> Any:
     """Normalize a task result through a JSON round-trip.
@@ -46,15 +53,22 @@ def _canonical_result(value: Any) -> Any:
     return json.loads(json.dumps(value, allow_nan=True))
 
 
-def _execute(item: _WorkItem) -> Tuple[int, Any]:
-    """Worker entry point: run one config, tagging the result with its index."""
+def _execute(item: _WorkItem) -> Tuple[int, Any, TaskMeta]:
+    """Worker entry point: run one config, tagging the result with its index
+    and with execution metadata (wall-clock seconds, worker pid)."""
     index, task, params, module = item
     if module is not None:
         try:
             importlib.import_module(module)
         except ImportError:
             pass  # fork workers already hold the registration
-    return index, run_task(task, params)
+    start = time.perf_counter()
+    result = run_task(task, params)
+    meta: TaskMeta = {
+        "wall_clock_s": time.perf_counter() - start,
+        "worker": os.getpid(),
+    }
+    return index, result, meta
 
 
 class SweepRunner:
@@ -80,20 +94,29 @@ class SweepRunner:
         workers: int = 1,
         artifact_dir: Optional[Union[str, Path]] = None,
         force: bool = False,
+        progress: Optional[bool] = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = workers
         self.store = ArtifactStore(artifact_dir) if artifact_dir is not None else None
         self.force = force
+        #: Progress reporting: ``None`` (default) shows a sweep-level progress
+        #: line on stderr when ``workers > 1`` and stderr is a terminal;
+        #: ``True``/``False`` force it on/off.
+        self.progress = progress
         #: Cache hits / task executions of the most recent :meth:`run` call.
         self.last_cached = 0
         self.last_executed = 0
+        #: Per-config execution metadata of the most recent :meth:`run` call,
+        #: in config order (``None`` for cache hits, which did not execute).
+        self.last_metas: List[Optional[TaskMeta]] = []
 
     # ------------------------------------------------------------------ #
     def run(self, configs: Sequence[SweepConfig]) -> List[Any]:
         """Execute ``configs`` and return their results in config order."""
         results: List[Any] = [None] * len(configs)
+        metas: List[Optional[TaskMeta]] = [None] * len(configs)
         pending: List[_WorkItem] = []
         for index, config in enumerate(configs):
             cached = self.store.load(config) if self.store and not self.force else MISSING
@@ -107,14 +130,28 @@ class SweepRunner:
         self.last_cached = len(configs) - len(pending)
         self.last_executed = len(pending)
 
-        for index, value in self._execute_pending(pending):
+        for index, value, meta in self._execute_pending(pending):
             value = _canonical_result(value)
             if self.store is not None:
-                self.store.store(configs[index], value)
+                self.store.store(configs[index], value, meta=meta)
             results[index] = value
+            metas[index] = meta
+        self.last_metas = metas
         return results
 
-    def _execute_pending(self, pending: List[_WorkItem]) -> List[Tuple[int, Any]]:
+    def _show_progress(self, pending_count: int) -> bool:
+        if self.progress is not None:
+            return self.progress and pending_count > 1
+        return (
+            self.workers > 1
+            and pending_count > 1
+            and hasattr(sys.stderr, "isatty")
+            and sys.stderr.isatty()
+        )
+
+    def _execute_pending(
+        self, pending: List[_WorkItem]
+    ) -> List[Tuple[int, Any, TaskMeta]]:
         if not pending:
             return []
         if self.workers == 1 or len(pending) == 1:
@@ -127,10 +164,27 @@ class SweepRunner:
             context = multiprocessing.get_context("fork")
         except ValueError:
             context = multiprocessing.get_context()
+        show_progress = self._show_progress(len(pending))
+        total = len(pending)
+        started = time.perf_counter()
+        completed: List[Tuple[int, Any, TaskMeta]] = []
         with context.Pool(processes=processes) as pool:
             # Unordered: completion order does not matter because every
             # result carries its config index.
-            return list(pool.imap_unordered(_execute, pending))
+            for item in pool.imap_unordered(_execute, pending):
+                completed.append(item)
+                if show_progress:
+                    done = len(completed)
+                    elapsed = time.perf_counter() - started
+                    eta = elapsed / done * (total - done)
+                    sys.stderr.write(
+                        f"\r[sweep] {done}/{total} tasks, ETA {eta:6.1f}s"
+                    )
+                    sys.stderr.flush()
+        if show_progress:
+            sys.stderr.write("\n")
+            sys.stderr.flush()
+        return completed
 
     # ------------------------------------------------------------------ #
     def run_experiment(self, name: str, **kwargs: Any):

@@ -15,7 +15,7 @@ The engine implements the model of Section 2 of the paper:
 """
 
 from repro.simulator.messages import Message, estimate_payload_bits
-from repro.simulator.node import NodeContext, Protocol, Outbox, broadcast
+from repro.simulator.node import Broadcast, NodeContext, Protocol, Outbox, broadcast
 from repro.simulator.network import Network
 from repro.simulator.byzantine import Adversary, AdversaryView, ByzantineOutbox, SilentAdversary
 from repro.simulator.engine import SynchronousEngine, RunResult

@@ -26,7 +26,7 @@ from repro.simulator.byzantine import Adversary, AdversaryView, ByzantineOutbox,
 from repro.simulator.messages import DeliveredMessage, Message
 from repro.simulator.metrics import SimulationMetrics
 from repro.simulator.network import Network
-from repro.simulator.node import NodeContext, Outbox, Protocol
+from repro.simulator.node import Broadcast, NodeContext, Outbox, Protocol
 from repro.simulator.rng import split_seed
 
 __all__ = ["SynchronousEngine", "RunResult"]
@@ -144,8 +144,17 @@ class SynchronousEngine:
         """Drop messages addressed to non-neighbors (protocol bug guard)."""
         if not outbox:
             return outbox
+        if isinstance(outbox, Broadcast):
+            # The common fast path: a broadcast built straight from
+            # ``ctx.neighbors`` is valid by construction (the tuple is the
+            # engine's own); anything else is filtered per target.
+            if outbox.targets is self._contexts[sender].neighbors:
+                return outbox
+            valid_targets = self._neighbor_set(sender)
+            targets = tuple(t for t in outbox.targets if t in valid_targets)
+            return Broadcast(outbox.message, targets) if targets else {}
         valid_targets = self._neighbor_set(sender)
-        cleaned: Outbox = {}
+        cleaned: Dict[int, List[Message]] = {}
         for target, msgs in outbox.items():
             if target in valid_targets and msgs:
                 cleaned[target] = list(msgs)
@@ -260,6 +269,18 @@ class SynchronousEngine:
             # single shared, sender-stamped envelope instead of one clone per
             # edge, and is accounted once with its delivery count.  Delivered
             # messages are read-only by contract.
+            if isinstance(outbox, Broadcast):
+                targets = outbox.targets
+                if not targets:
+                    return
+                stamped = DeliveredMessage(outbox.message, sender, sender_id)
+                for target in targets:
+                    bucket = inboxes.get(target)
+                    if bucket is None:
+                        bucket = inboxes[target] = []
+                    bucket.append(stamped)
+                record_broadcast(sender, stamped, len(targets))
+                return
             envelopes: Dict[int, List] = {}
             for target, msgs in outbox.items():
                 bucket = inboxes.get(target)

@@ -20,16 +20,59 @@ from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
+from collections.abc import Mapping
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.simulator.messages import Message
 
-__all__ = ["NodeContext", "Protocol", "Outbox", "broadcast"]
+__all__ = ["NodeContext", "Protocol", "Outbox", "Broadcast", "broadcast"]
+
+
+class Broadcast(Mapping):
+    """Outbox that sends one message to every listed neighbor.
+
+    Behaves like the equivalent ``{target: [message] for target in targets}``
+    mapping (so adversaries inspecting honest outboxes see the documented
+    shape), but carries just the message and the target tuple.  The engine
+    recognizes the type and delivers a broadcast with a single shared
+    envelope instead of per-target dictionaries and lists -- both counting
+    algorithms broadcast on every send, so this is the delivery hot path.
+
+    Construct it with ``ctx.neighbors`` as the target tuple; the engine then
+    skips per-target validation entirely (the tuple is its own).
+    """
+
+    __slots__ = ("message", "targets")
+
+    def __init__(self, message: Message, targets: Tuple[int, ...]) -> None:
+        self.message = message
+        self.targets = targets
+
+    def __getitem__(self, target: int) -> List[Message]:
+        if target in self.targets:
+            return [self.message]
+        raise KeyError(target)
+
+    def __iter__(self):
+        return iter(self.targets)
+
+    def __len__(self) -> int:
+        return len(self.targets)
+
+    def __bool__(self) -> bool:
+        # Mapping truthiness would route through __len__; outbox emptiness is
+        # checked several times per delivery, so answer it directly.
+        return bool(self.targets)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Broadcast({self.message!r}, targets={self.targets!r})"
+
 
 #: An outbox maps the neighbor *index* (engine-level port) to the messages to
-#: deliver to that neighbor at the end of the round.
-Outbox = Dict[int, List[Message]]
+#: deliver to that neighbor at the end of the round.  ``Broadcast`` is the
+#: compact equivalent for the send-to-all case.
+Outbox = Union[Dict[int, List[Message]], Broadcast]
 
 
 def broadcast(neighbors: Sequence[int], message: Message) -> Outbox:
@@ -39,7 +82,7 @@ def broadcast(neighbors: Sequence[int], message: Message) -> Outbox:
     outbox messages (delivery stamps sender identity on a separate envelope),
     so a broadcast needs no per-neighbor clones.
     """
-    return {v: [message] for v in neighbors}
+    return Broadcast(message, tuple(neighbors))
 
 
 @dataclass

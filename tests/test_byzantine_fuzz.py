@@ -57,6 +57,18 @@ class TestIntegrateFuzz:
         bad, _, _ = self._view().integrate([(103, (103, 104))], [], max_degree=4)
         assert bad
 
+    def test_float_ids_equal_to_settled_edge_set_flagged(self):
+        # frozenset({1.0, 2.0}) == frozenset({1, 2}), so the duplicate-claim
+        # fast path must still type-check elements: numeric non-int ids are
+        # malformed Byzantine data even when they compare equal to the
+        # settled ints.
+        view = self._view()
+        view.integrate([(3, (1, 2))], [], max_degree=4)
+        bad, new_edges, new_vertices = view.integrate(
+            [(3, (1.0, 2.0))], [], max_degree=4
+        )
+        assert bad and new_edges == [] and new_vertices == []
+
     def test_malformed_reports_do_not_contaminate_view(self):
         view = self._view()
         view.integrate([("evil", (1, 2)), (103, ("x",))], ["ghost"], max_degree=4)

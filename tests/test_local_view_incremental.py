@@ -1,0 +1,196 @@
+"""Property tests: incremental ``LocalView`` state == from-scratch recomputation.
+
+The incremental refactor maintains BFS layers, layer prefixes, the interior
+set, and the interior's out-boundary inside ``integrate``.  These tests drive
+randomized ``integrate`` sequences -- including Byzantine-malformed payloads
+-- and assert after every step that the incremental structures equal the
+quantities recomputed from scratch off the adjacency (the pre-refactor
+definitions).
+"""
+
+import random
+
+from repro.core.local_counting import LocalView
+
+
+# --------------------------------------------------------------------------- #
+# From-scratch reference implementations (the pre-refactor per-round logic)
+# --------------------------------------------------------------------------- #
+def scratch_layer_prefixes(view):
+    adj = view.adjacency()
+    dist = {view.own_id: 0}
+    frontier = [view.own_id]
+    layers = [{view.own_id}]
+    while frontier:
+        nxt = []
+        for u in frontier:
+            for v in adj.get(u, ()):
+                if v not in dist:
+                    dist[v] = dist[u] + 1
+                    nxt.append(v)
+        if not nxt:
+            break
+        layers.append(set(nxt))
+        frontier = nxt
+    prefixes = []
+    running = set()
+    for layer in layers:
+        running |= layer
+        prefixes.append(set(running))
+    return prefixes
+
+
+def scratch_interior(view):
+    settled = set(view.edge_sets)
+    return {
+        v for v, edges in view.edge_sets.items() if all(w in settled for w in edges)
+    }
+
+
+def out_boundary(adj, subset):
+    out = set()
+    for u in subset:
+        for v in adj.get(u, ()):
+            if v not in subset:
+                out.add(v)
+    return out
+
+
+def assert_matches_scratch(view):
+    adj = view.adjacency()
+    prefixes = scratch_layer_prefixes(view)
+    incremental = [set(p) for p in view.layer_prefixes()]
+    assert incremental == prefixes
+
+    interior = scratch_interior(view)
+    assert view.interior_set() == interior
+
+    # The (size, out-size) candidate pairs must equal the pre-refactor
+    # expansion quantities: Out(prefix_j) via the adjacency, then the
+    # interior with its out-boundary.
+    expected = [(len(p), len(out_boundary(adj, p))) for p in prefixes]
+    if interior:
+        expected.append((len(interior), len(out_boundary(adj, interior))))
+    assert view.expansion_check_candidates() == expected
+
+    # Layer sizes are the prefix-size deltas.
+    sizes = view.layer_sizes()
+    assert sizes[0] == 1
+    assert [sum(sizes[: j + 1]) for j in range(len(sizes))] == [
+        len(p) for p in prefixes
+    ]
+
+
+# --------------------------------------------------------------------------- #
+# Randomized integrate sequences
+# --------------------------------------------------------------------------- #
+MAX_DEGREE = 5
+
+
+def random_edge_entry(rng, view, fresh_base):
+    """A (node_id, edge_ids) claim: sometimes honest, sometimes malformed."""
+    known = sorted(view.vertices)
+    roll = rng.random()
+    if roll < 0.55:
+        # Well-formed claim about a known-but-unsettled or fresh vertex.
+        if rng.random() < 0.7 and known:
+            node_id = rng.choice(known)
+        else:
+            node_id = fresh_base + rng.randrange(1000)
+        pool = known + [fresh_base + rng.randrange(1000) for _ in range(4)]
+        edges = tuple(
+            sorted({v for v in rng.sample(pool, k=min(len(pool), rng.randrange(1, MAX_DEGREE + 1))) if v != node_id})
+        )
+        return (node_id, edges)
+    if roll < 0.65 and view.edge_sets:
+        # Exact duplicate of an already-settled claim.
+        node_id = rng.choice(sorted(view.edge_sets))
+        return (node_id, tuple(sorted(view.edge_sets[node_id])))
+    if roll < 0.75 and view.edge_sets:
+        # Conflicting claim about a settled vertex.
+        node_id = rng.choice(sorted(view.edge_sets))
+        return (node_id, tuple(sorted(set(rng.sample(range(5000, 6000), k=2)))))
+    # Malformed claims.
+    bad = rng.randrange(4)
+    if bad == 0:
+        return ("evil", (1, 2))
+    if bad == 1:
+        node_id = fresh_base + rng.randrange(1000)
+        return (node_id, ("x", node_id + 1))
+    if bad == 2:
+        node_id = fresh_base + rng.randrange(1000)
+        return (node_id, tuple(range(7000, 7000 + MAX_DEGREE + 3)))  # degree bound
+    node_id = fresh_base + rng.randrange(1000)
+    return (node_id, (node_id, node_id + 1))  # self-loop
+
+
+def random_vertices(rng, fresh_base):
+    out = []
+    for _ in range(rng.randrange(3)):
+        if rng.random() < 0.8:
+            out.append(fresh_base + rng.randrange(1000))
+        else:
+            out.append("ghost")
+    return out
+
+
+class TestIncrementalMatchesScratch:
+    def test_initial_state(self):
+        view = LocalView(100, [101, 102, 103])
+        assert_matches_scratch(view)
+        view = LocalView(7, [])  # isolated owner: immediately interior
+        assert_matches_scratch(view)
+        assert view.interior_set() == {7}
+
+    def test_randomized_integrate_sequences(self):
+        for seed in range(25):
+            rng = random.Random(seed)
+            degree = rng.randrange(2, MAX_DEGREE + 1)
+            neighbors = [101 + i for i in range(degree)]
+            view = LocalView(100, neighbors)
+            for step in range(20):
+                entries = [
+                    random_edge_entry(rng, view, fresh_base=2000 + 100 * step)
+                    for _ in range(rng.randrange(1, 4))
+                ]
+                vertices = random_vertices(rng, fresh_base=2000 + 100 * step)
+                view.integrate(entries, vertices, max_degree=MAX_DEGREE)
+                assert_matches_scratch(view)
+
+    def test_malformed_only_sequences_do_not_corrupt(self):
+        rng = random.Random(99)
+        view = LocalView(100, [101, 102])
+        for _ in range(10):
+            bad, new_edges, new_vertices = view.integrate(
+                [("evil", (1, 2)), (3, ("a",)), (4, (4, 5))],
+                ["ghost", None],
+                max_degree=4,
+            )
+            assert bad and new_edges == [] and new_vertices == []
+            assert_matches_scratch(view)
+        assert all(isinstance(v, int) for v in view.vertices)
+
+    def test_distance_decreasing_shortcut_edge(self):
+        # A late claim creating a shortcut must pull BFS layers inward.
+        view = LocalView(0, [1])
+        view.integrate([(1, (0, 2))], [], max_degree=4)
+        view.integrate([(2, (1, 3))], [], max_degree=4)
+        view.integrate([(3, (2, 4))], [], max_degree=4)
+        assert_matches_scratch(view)
+        assert len(view.layer_sizes()) == 5  # path 0-1-2-3-4
+        # Now vertex 4 claims an edge straight back to... a new vertex 5 that
+        # is also claimed adjacent to 1, shortening 5's would-be distance.
+        view.integrate([(4, (3, 5))], [], max_degree=4)
+        assert_matches_scratch(view)
+        view.integrate([(5, (1, 4))], [], max_degree=4)
+        assert_matches_scratch(view)
+
+    def test_disconnected_claims_stay_out_of_layers(self):
+        # A claim about vertices unreachable from the owner contributes to the
+        # vertex count (and interior bookkeeping) but not to BFS layers.
+        view = LocalView(0, [1])
+        view.integrate([(50, (51, 52))], [60], max_degree=4)
+        assert_matches_scratch(view)
+        reachable = set().union(*[set(p) for p in view.layer_prefixes()])
+        assert 50 not in reachable and 60 not in reachable
+        assert 50 in view.vertices and 60 in view.vertices
