@@ -7,6 +7,9 @@
 #   make bench-smoke   - reduced bench suite, no file written (~sub-minute)
 #   make sweep-demo    - cached parallel sweep of E3 (re-run it to see the
 #                        artifact cache short-circuit the work)
+#   make scenario-demo - run the committed declarative scenario spec
+#                        (examples/scenario_e2_small.json) end to end
+#                        (sub-minute; a prerequisite of `make test`)
 
 PYTHON ?= python
 WORKERS ?= 4
@@ -14,10 +17,13 @@ ARTIFACT_DIR ?= .sweep-artifacts
 BENCH_DIR ?= .
 BENCH_REPEATS ?= 3
 
-.PHONY: test bench bench-compare bench-smoke sweep-demo clean-artifacts
+.PHONY: test bench bench-compare bench-smoke sweep-demo scenario-demo clean-artifacts
 
-test:
+test: scenario-demo
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+scenario-demo:
+	PYTHONPATH=src $(PYTHON) -m repro.cli scenario run examples/scenario_e2_small.json
 
 bench:
 	PYTHONPATH=src $(PYTHON) -m repro.cli bench --repeats $(BENCH_REPEATS) --output-dir $(BENCH_DIR)

@@ -1,6 +1,6 @@
 """Command-line entry point: ``repro-byzantine-counting``.
 
-Three sub-commands:
+Sub-commands:
 
 ``run``
     Execute one counting algorithm on a generated topology and print the
@@ -22,6 +22,15 @@ Three sub-commands:
 
         repro-byzantine-counting sweep e12 --workers 8 --artifact-dir .sweeps
 
+``scenario``
+    The declarative scenario API (see SCENARIOS.md).  ``scenario run`` executes
+    a JSON spec -- either a single scenario or a suite with a table layout --
+    through the sweep runner; ``scenario list`` enumerates the registered
+    graph families, adversary behaviours, placements, and protocols::
+
+        repro-byzantine-counting scenario run examples/scenario_e2_small.json
+        repro-byzantine-counting scenario list
+
 ``bench``
     Run the pinned performance scenarios (E2/E3/E12-style workloads at
     several n), write the measurements to ``BENCH_<date>.json``, and
@@ -34,69 +43,24 @@ Three sub-commands:
 from __future__ import annotations
 
 import argparse
-import math
+import json
 import sys
 from typing import List, Optional
 
-from repro.adversary.placement import (
-    clustered_placement,
-    cut_placement,
-    random_placement,
-    spread_placement,
-)
-from repro.adversary.strategies import (
-    BeaconFloodAdversary,
-    ContinueFloodAdversary,
-    FakeTopologyAdversary,
-    InconsistentTopologyAdversary,
-    PathTamperAdversary,
-)
 from repro.analysis.tables import render_table
-from repro.core.congest_counting import run_congest_counting
-from repro.core.local_counting import run_local_counting
-from repro.core.parameters import CongestParameters, LocalParameters
-from repro.graphs.expanders import hypercube_graph, margulis_torus_graph
-from repro.graphs.generators import barbell_graph, cycle_graph, small_world_graph
-from repro.graphs.hnd import configuration_model_graph, hnd_random_regular_graph
-from repro.simulator.byzantine import SilentAdversary
+from repro.scenarios import (
+    ADVERSARIES,
+    GRAPHS,
+    PLACEMENTS,
+    PROTOCOLS,
+    ComponentSpec,
+    Scenario,
+    ScenarioSuite,
+    all_registries,
+    materialize,
+)
 
 __all__ = ["main", "build_parser"]
-
-_PLACEMENTS = {
-    "random": random_placement,
-    "clustered": clustered_placement,
-    "cut": cut_placement,
-    "spread": spread_placement,
-}
-
-_ADVERSARIES = {
-    "silent": lambda params: SilentAdversary(),
-    "fake-topology": lambda params: FakeTopologyAdversary(),
-    "inconsistent": lambda params: InconsistentTopologyAdversary(),
-    "beacon-flood": lambda params: BeaconFloodAdversary(params),
-    "path-tamper": lambda params: PathTamperAdversary(params),
-    "continue-flood": lambda params: ContinueFloodAdversary(params),
-}
-
-
-def _build_graph(args: argparse.Namespace):
-    if args.topology == "hnd":
-        return hnd_random_regular_graph(args.n, args.degree, seed=args.seed)
-    if args.topology == "configuration":
-        return configuration_model_graph(args.n, args.degree, seed=args.seed)
-    if args.topology == "margulis":
-        side = max(2, int(round(math.sqrt(args.n))))
-        return margulis_torus_graph(side)
-    if args.topology == "hypercube":
-        dim = max(1, int(round(math.log2(args.n))))
-        return hypercube_graph(dim)
-    if args.topology == "cycle":
-        return cycle_graph(args.n)
-    if args.topology == "barbell":
-        return barbell_graph(args.n // 2, 2)
-    if args.topology == "small-world":
-        return small_world_graph(args.n, k=4, rewire_probability=0.1, seed=args.seed)
-    raise ValueError(f"unknown topology {args.topology!r}")
 
 
 def _positive_int(value: str) -> int:
@@ -106,34 +70,32 @@ def _positive_int(value: str) -> int:
     return parsed
 
 
+def _registry_epilog() -> str:
+    """One line per registry for ``--help`` (the composable scenario axes)."""
+    lines = ["registered scenario components (see SCENARIOS.md):"]
+    for axis, registry in all_registries().items():
+        lines.append(f"  {axis + 's':<12} {', '.join(registry.names())}")
+    return "\n".join(lines)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
         prog="repro-byzantine-counting",
         description="Byzantine-resilient counting in networks (ICDCS 2022) reproduction",
+        epilog=_registry_epilog(),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
     run_parser = sub.add_parser("run", help="run one counting algorithm")
-    run_parser.add_argument("--algorithm", choices=("local", "congest"), default="congest")
-    run_parser.add_argument(
-        "--topology",
-        choices=(
-            "hnd",
-            "configuration",
-            "margulis",
-            "hypercube",
-            "cycle",
-            "barbell",
-            "small-world",
-        ),
-        default="hnd",
-    )
+    run_parser.add_argument("--algorithm", choices=PROTOCOLS.names(), default="congest")
+    run_parser.add_argument("--topology", choices=GRAPHS.names(), default="hnd")
     run_parser.add_argument("--n", type=int, default=256, help="number of nodes")
     run_parser.add_argument("--degree", type=int, default=8, help="degree d of H(n, d)")
     run_parser.add_argument("--byzantine", type=int, default=0, help="number of Byzantine nodes")
-    run_parser.add_argument("--placement", choices=sorted(_PLACEMENTS), default="random")
-    run_parser.add_argument("--adversary", choices=sorted(_ADVERSARIES), default="silent")
+    run_parser.add_argument("--placement", choices=PLACEMENTS.names(), default="random")
+    run_parser.add_argument("--adversary", choices=ADVERSARIES.names(), default="silent")
     run_parser.add_argument("--gamma", type=float, default=0.5)
     run_parser.add_argument("--seed", type=int, default=0)
     run_parser.add_argument("--max-rounds", type=int, default=None)
@@ -158,6 +120,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_parser.add_argument(
         "--force", action="store_true", help="recompute even when artifacts exist"
+    )
+
+    scenario_parser = sub.add_parser(
+        "scenario", help="declarative scenario specs (see SCENARIOS.md)"
+    )
+    scenario_sub = scenario_parser.add_subparsers(dest="scenario_command", required=True)
+    scenario_run = scenario_sub.add_parser(
+        "run", help="run a scenario (or suite) JSON spec through the sweep runner"
+    )
+    scenario_run.add_argument("spec", help="path to a scenario or suite JSON file")
+    scenario_run.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        help="worker processes (1 = serial)",
+    )
+    scenario_run.add_argument(
+        "--artifact-dir",
+        default=None,
+        help="JSON artifact cache directory (makes re-runs resumable)",
+    )
+    scenario_run.add_argument(
+        "--force", action="store_true", help="recompute even when artifacts exist"
+    )
+    scenario_sub.add_parser(
+        "list", help="list the registered components of every scenario axis"
     )
 
     bench_parser = sub.add_parser(
@@ -211,38 +199,38 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _command_run(args: argparse.Namespace) -> int:
-    graph = _build_graph(args)
-    byzantine = (
-        _PLACEMENTS[args.placement](graph, args.byzantine, seed=args.seed)
-        if args.byzantine > 0
-        else set()
-    )
+def _cli_scenario(args: argparse.Namespace) -> Scenario:
+    """The declarative scenario equivalent of the ``run`` subcommand's flags."""
+    graph_params = {"n": args.n}
+    if args.topology in ("hnd", "configuration"):
+        graph_params["degree"] = args.degree
+    protocol_params = {}
     if args.algorithm == "local":
-        params = LocalParameters(gamma=max(args.gamma, 0.05), max_degree=max(2, graph.max_degree()))
-        adversary = _ADVERSARIES[args.adversary](None)
-        run = run_local_counting(
-            graph,
-            byzantine=byzantine,
-            adversary=adversary,
-            params=params,
-            seed=args.seed,
-            max_rounds=args.max_rounds,
-        )
+        # Algorithm 1's analysis needs gamma bounded away from 0.
+        protocol_params["gamma"] = max(args.gamma, 0.05)
     else:
-        params = CongestParameters(gamma=args.gamma, d=max(3, graph.max_degree()))
-        adversary = _ADVERSARIES[args.adversary](params)
-        run = run_congest_counting(
-            graph,
-            byzantine=byzantine,
-            adversary=adversary,
-            params=params,
-            seed=args.seed,
-            max_rounds=args.max_rounds,
+        protocol_params["gamma"] = args.gamma
+    if args.max_rounds is not None:
+        protocol_params["max_rounds"] = args.max_rounds
+    return Scenario(
+        name=f"cli-{args.algorithm}",
+        graph=ComponentSpec(args.topology, graph_params),
+        adversary=ComponentSpec(args.adversary),
+        placement=ComponentSpec(args.placement, {"count": args.byzantine}),
+        protocol=ComponentSpec(args.algorithm, protocol_params),
+        seeds=(args.seed,),
+    )
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    cell = materialize(_cli_scenario(args), args.seed)
+    summary = cell.run.outcome.summary()
+    print(
+        render_table(
+            [summary], title=f"{args.algorithm} counting on {cell.graph.name}"
         )
-    summary = run.outcome.summary()
-    print(render_table([summary], title=f"{args.algorithm} counting on {graph.name}"))
-    histogram = run.outcome.estimate_histogram()
+    )
+    histogram = cell.run.outcome.estimate_histogram()
     if histogram:
         print()
         print(
@@ -291,6 +279,58 @@ def _command_sweep(args: argparse.Namespace) -> int:
                 f"{runner.last_executed} executed -> artifacts in {runner.store.root}"
             )
         print()
+    return 0
+
+
+def _command_scenario_run(args: argparse.Namespace) -> int:
+    from repro.runner import SweepRunner
+
+    runner = SweepRunner(
+        workers=args.workers, artifact_dir=args.artifact_dir, force=args.force
+    )
+    try:
+        with open(args.spec, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+        if isinstance(document, dict) and "rows" in document:
+            suite = ScenarioSuite.from_dict(document)
+            result = suite.run(runner)
+            print(result.render())
+        else:
+            scenario = Scenario.from_dict(document)
+            rows = runner.run(scenario.compile())
+            print(
+                render_table(
+                    [
+                        {"seed": seed, **metrics}
+                        for seed, metrics in zip(scenario.seeds, rows)
+                    ],
+                    title=scenario.name or "scenario",
+                )
+            )
+    except (OSError, TypeError, ValueError, KeyError) as exc:
+        # Spec authoring errors (unreadable file, malformed JSON, unknown
+        # components or fields) get a one-line diagnosis, not a traceback.
+        print(f"invalid scenario spec {args.spec}: {exc}")
+        return 2
+    if runner.store is not None:
+        print(
+            f"[scenario] {runner.last_cached} cached, {runner.last_executed} "
+            f"executed -> artifacts in {runner.store.root}"
+        )
+    return 0
+
+
+def _command_scenario_list(args: argparse.Namespace) -> int:
+    for axis, registry in all_registries().items():
+        rows = []
+        for entry in registry.entries():
+            row = {"name": entry.name, "description": entry.description}
+            if "targets" in entry.tags:
+                row["targets"] = ", ".join(entry.tags["targets"])
+            rows.append(row)
+        print(render_table(rows, title=f"{axis} registry ({registry.kind})"))
+        print()
+    print("Compose one component per axis into a Scenario spec; see SCENARIOS.md.")
     return 0
 
 
@@ -346,6 +386,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_experiment(args)
     if args.command == "sweep":
         return _command_sweep(args)
+    if args.command == "scenario":
+        if args.scenario_command == "run":
+            return _command_scenario_run(args)
+        return _command_scenario_list(args)
     if args.command == "bench":
         return _command_bench(args)
     parser.print_help()

@@ -3,6 +3,11 @@
 Claim: Algorithm 1's decision rounds track ``diam(G) + 1 = Θ(log n)`` and
 Algorithm 2's rounds track ``O(B(n)·log² n)``; least-squares fits against
 those models should explain the measurements well (high R²).
+
+The sweep is expressed as declarative scenarios (one per measured cell); the
+least-squares fits are cross-cell aggregation, so this driver keeps custom
+aggregation code over the generic ``scenario.run`` metrics instead of a fully
+declarative suite table.
 """
 
 from __future__ import annotations
@@ -10,75 +15,63 @@ from __future__ import annotations
 import math
 from typing import List, Sequence
 
-from repro.adversary.strategies import BeaconFloodAdversary
-from repro.adversary.placement import spread_placement
 from repro.analysis.complexity import fit_blog2_model, fit_log_model
-from repro.core.congest_counting import run_congest_counting
-from repro.core.local_counting import run_local_counting
-from repro.core.parameters import CongestParameters, LocalParameters
+from repro.core.parameters import CongestParameters
 from repro.experiments.common import ExperimentResult, run_configs
-from repro.graphs.hnd import hnd_random_regular_graph
-from repro.runner import SweepConfig, sweep_task
+from repro.runner import SweepConfig
+from repro.scenarios import ComponentSpec, Scenario
 
-__all__ = ["run_experiment", "sweep_configs"]
-
-
-@sweep_task("e12.local")
-def _local_rounds(*, n: int, degree: int, seed: int) -> int:
-    """Measured rounds of one Algorithm 1 run (benign)."""
-    local_params = LocalParameters(max_degree=degree)
-    graph = hnd_random_regular_graph(n, degree, seed=seed + n)
-    run = run_local_counting(graph, params=local_params, seed=seed)
-    return run.outcome.max_decision_round() or run.outcome.rounds_executed
+__all__ = ["run_experiment", "scenarios", "sweep_configs"]
 
 
-@sweep_task("e12.congest")
-def _congest_rounds(*, n: int, degree: int, num_byz: int, budget: int, seed: int) -> int:
-    """Measured rounds of one Algorithm 2 run under beacon flooding."""
-    congest_params = CongestParameters(d=degree)
-    graph = hnd_random_regular_graph(n, degree, seed=seed + n + num_byz)
-    byz = spread_placement(graph, num_byz, seed=seed + num_byz)
-    run = run_congest_counting(
-        graph,
-        byzantine=byz,
-        adversary=BeaconFloodAdversary(congest_params),
-        params=congest_params,
-        seed=seed,
-        max_rounds=budget,
-    )
-    return run.outcome.max_decision_round() or run.outcome.rounds_executed
-
-
-def sweep_configs(
+def scenarios(
     *,
     local_sizes: Sequence[int] = (64, 128, 256, 512),
     congest_sizes: Sequence[int] = (64, 128, 256),
     degree: int = 8,
     congest_byzantine_counts: Sequence[int] = (1, 2, 3),
     seed: int = 0,
-) -> List[SweepConfig]:
-    """Algorithm 1 configs (per size), then Algorithm 2 configs (size × B)."""
-    configs = [
-        SweepConfig("e12.local", {"n": n, "degree": degree, "seed": seed})
+) -> List[Scenario]:
+    """Algorithm 1 scenarios (per size), then Algorithm 2 (size × B)."""
+    cells = [
+        Scenario(
+            name=f"e12-local-n{n}",
+            graph=ComponentSpec("hnd", {"n": n, "degree": degree}, seed_offset=n),
+            adversary=ComponentSpec("silent"),
+            placement=ComponentSpec("random", {"count": 0}),
+            protocol=ComponentSpec("local", {"max_degree": degree}),
+            seeds=(seed,),
+        )
         for n in local_sizes
     ]
     congest_params = CongestParameters(d=degree)
     for n in congest_sizes:
         budget = congest_params.rounds_through_phase(int(math.ceil(math.log(n))) + 1)
-        configs.extend(
-            SweepConfig(
-                "e12.congest",
-                {
-                    "n": n,
-                    "degree": degree,
-                    "num_byz": num_byz,
-                    "budget": budget,
-                    "seed": seed,
-                },
+        cells.extend(
+            Scenario(
+                name=f"e12-congest-n{n}-b{num_byz}",
+                graph=ComponentSpec(
+                    "hnd", {"n": n, "degree": degree}, seed_offset=n + num_byz
+                ),
+                adversary=ComponentSpec("beacon-flood"),
+                placement=ComponentSpec(
+                    "spread", {"count": num_byz}, seed_offset=num_byz
+                ),
+                protocol=ComponentSpec(
+                    "congest", {"d": degree, "max_rounds": budget}
+                ),
+                seeds=(seed,),
             )
             for num_byz in congest_byzantine_counts
         )
-    return configs
+    return cells
+
+
+def sweep_configs(**kwargs: object) -> List[SweepConfig]:
+    """Algorithm 1 configs (per size), then Algorithm 2 configs (size × B)."""
+    return [
+        config for scenario in scenarios(**kwargs) for config in scenario.compile()
+    ]
 
 
 def run_experiment(
@@ -108,7 +101,7 @@ def run_experiment(
         ),
     )
     # -- Algorithm 1: rounds vs log n -------------------------------------- #
-    local_rounds = list(flat[: len(local_sizes)])
+    local_rounds = [metrics["rounds"] for metrics in flat[: len(local_sizes)]]
     for n, rounds in zip(local_sizes, local_rounds):
         result.add_row(
             algorithm="algorithm1",
@@ -129,7 +122,7 @@ def run_experiment(
     index = len(local_sizes)
     for n in congest_sizes:
         for num_byz in congest_byzantine_counts:
-            rounds = flat[index]
+            rounds = flat[index]["rounds"]
             index += 1
             sizes_used.append(n)
             byz_used.append(num_byz)

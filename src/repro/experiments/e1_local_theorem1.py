@@ -3,71 +3,26 @@
 Claim: on bounded-degree expanders with up to ``n^(1-γ)`` adversarially placed
 Byzantine nodes, Algorithm 1 finishes in ``O(log n)`` rounds and all nodes of
 the ``Good`` set decide a constant-factor estimate of ``log n``.
+
+Expressed declaratively as a :class:`~repro.scenarios.suite.ScenarioSuite`:
+one ``local``-protocol scenario per size, evaluated over the Lemma 1 ``Good``
+set with the Theorem 1 check.
 """
 
 from __future__ import annotations
 
 import math
-from typing import List, Iterable, Optional, Sequence
+from typing import List, Sequence
 
-from repro.adversary.placement import clustered_placement, random_placement, spread_placement
-from repro.adversary.strategies import FakeTopologyAdversary, InconsistentTopologyAdversary
-from repro.analysis.accuracy import theorem1_check
-from repro.core.local_counting import run_local_counting
-from repro.core.parameters import LocalParameters, byzantine_budget
-from repro.experiments.common import ExperimentResult, mean_or_none, run_configs
-from repro.graphs.expansion import good_set
-from repro.graphs.hnd import hnd_random_regular_graph
-from repro.runner import SweepConfig, sweep_task
-from repro.simulator.byzantine import SilentAdversary
+from repro.core.parameters import byzantine_budget
+from repro.experiments.common import ExperimentResult
+from repro.runner import SweepConfig
+from repro.scenarios import ComponentSpec, Scenario, ScenarioSuite, SuiteRow
 
-__all__ = ["run_experiment", "sweep_configs"]
-
-_BEHAVIOURS = {
-    "silent": SilentAdversary,
-    "fake-topology": FakeTopologyAdversary,
-    "inconsistent": InconsistentTopologyAdversary,
-}
-
-_PLACEMENTS = {
-    "random": random_placement,
-    "clustered": clustered_placement,
-    "spread": spread_placement,
-}
+__all__ = ["run_experiment", "scenario_suite", "sweep_configs"]
 
 
-@sweep_task("e1.trial")
-def _trial(
-    *, n: int, gamma: float, degree: int, behaviour: str, placement: str, trial_seed: int
-) -> dict:
-    """One (size, seed) cell of the sweep: run Algorithm 1 and summarize."""
-    params = LocalParameters(gamma=gamma, max_degree=degree)
-    num_byz = byzantine_budget(n, 1.0 - gamma)
-    graph = hnd_random_regular_graph(n, degree, seed=trial_seed)
-    byz = _PLACEMENTS[placement](graph, num_byz, seed=trial_seed)
-    adversary = _BEHAVIOURS[behaviour]()
-    evaluation = good_set(graph, byz, gamma)
-    run = run_local_counting(
-        graph,
-        byzantine=byz,
-        adversary=adversary,
-        params=params,
-        seed=trial_seed,
-        evaluation_set=evaluation,
-    )
-    check = theorem1_check(run.outcome)
-    return {
-        "good": len(evaluation),
-        "decided": run.outcome.decided_fraction(),
-        "in_band": run.outcome.fraction_within_band(0.35, 1.6),
-        "min_est": run.outcome.estimate_range()[0],
-        "max_est": run.outcome.estimate_range()[1],
-        "rounds": run.outcome.max_decision_round(),
-        "passed": 1.0 if check.passed else 0.0,
-    }
-
-
-def sweep_configs(
+def scenario_suite(
     *,
     sizes: Sequence[int] = (64, 128, 256, 512),
     gamma: float = 0.7,
@@ -76,40 +31,66 @@ def sweep_configs(
     placement: str = "random",
     trials: int = 2,
     seed: int = 0,
-) -> List[SweepConfig]:
-    """The experiment's sweep as a flat config list (trials nested per size)."""
-    if behaviour not in _BEHAVIOURS:
-        raise ValueError(f"unknown behaviour {behaviour!r}; options: {sorted(_BEHAVIOURS)}")
-    if placement not in _PLACEMENTS:
-        raise ValueError(f"unknown placement {placement!r}; options: {sorted(_PLACEMENTS)}")
-    return [
-        SweepConfig(
-            "e1.trial",
-            {
-                "n": n,
-                "gamma": gamma,
-                "degree": degree,
-                "behaviour": behaviour,
-                "placement": placement,
-                "trial_seed": seed + 7919 * trial + n,
+) -> ScenarioSuite:
+    """The experiment as declarative data: one scenario (and row) per size."""
+    rows: List[SuiteRow] = []
+    for n in sizes:
+        num_byz = byzantine_budget(n, 1.0 - gamma)
+        scenario = Scenario(
+            name=f"e1-n{n}",
+            graph=ComponentSpec("hnd", {"n": n, "degree": degree}),
+            adversary=ComponentSpec(behaviour),
+            placement=ComponentSpec(placement, {"count": num_byz}),
+            protocol=ComponentSpec("local", {"gamma": gamma, "max_degree": degree}),
+            params={
+                "evaluation": {"kind": "good", "gamma": gamma},
+                "check": {"name": "theorem1"},
             },
+            seeds=tuple(seed + 7919 * trial + n for trial in range(trials)),
         )
-        for n in sizes
-        for trial in range(trials)
-    ]
+        rows.append(
+            SuiteRow(
+                scenario=scenario,
+                static={
+                    "n": n,
+                    "ln_n": round(math.log(n), 2),
+                    "byzantine": num_byz,
+                    "behaviour": behaviour,
+                    "placement": placement,
+                },
+                columns={
+                    "good_set": "eval_nodes",
+                    "decided_fraction": "decided_fraction",
+                    "fraction_in_band": "fraction_in_band",
+                    "min_estimate": "min_estimate",
+                    "max_estimate": "max_estimate",
+                    "max_decision_round": "max_decision_round",
+                    "theorem1_pass_rate": "check_passed",
+                },
+            )
+        )
+    return ScenarioSuite(
+        experiment="E1",
+        claim=(
+            "Theorem 1: deterministic LOCAL counting decides a constant-factor "
+            "estimate of log n in O(log n) rounds for n - o(n) good nodes under "
+            "n^(1-gamma) Byzantine nodes"
+        ),
+        rows=rows,
+        notes=[
+            "max_decision_round should grow logarithmically with n "
+            "(compare against the ln_n column); fraction_in_band is computed over "
+            "the Lemma 1 Good set with the constant-factor band [0.35, 1.6]·ln n."
+        ],
+    )
 
 
-def run_experiment(
-    *,
-    sizes: Sequence[int] = (64, 128, 256, 512),
-    gamma: float = 0.7,
-    degree: int = 8,
-    behaviour: str = "fake-topology",
-    placement: str = "random",
-    trials: int = 2,
-    seed: int = 0,
-    runner=None,
-) -> ExperimentResult:
+def sweep_configs(**kwargs: object) -> List[SweepConfig]:
+    """The experiment's sweep as a flat config list (trials nested per size)."""
+    return scenario_suite(**kwargs).compile()
+
+
+def run_experiment(*, runner=None, **kwargs: object) -> ExperimentResult:
     """Sweep network sizes and measure Theorem 1's quantities.
 
     Each row reports, averaged over ``trials`` seeds: the number of Byzantine
@@ -118,45 +99,4 @@ def run_experiment(
     constant-factor band, the estimate range, and the latest decision round
     (to be compared against ``O(log n)``).
     """
-    configs = sweep_configs(
-        sizes=sizes,
-        gamma=gamma,
-        degree=degree,
-        behaviour=behaviour,
-        placement=placement,
-        trials=trials,
-        seed=seed,
-    )
-    rows = run_configs(configs, runner)
-
-    result = ExperimentResult(
-        experiment="E1",
-        claim=(
-            "Theorem 1: deterministic LOCAL counting decides a constant-factor "
-            "estimate of log n in O(log n) rounds for n - o(n) good nodes under "
-            "n^(1-gamma) Byzantine nodes"
-        ),
-    )
-    for index, n in enumerate(sizes):
-        num_byz = byzantine_budget(n, 1.0 - gamma)
-        per_trial = rows[index * trials : (index + 1) * trials]
-        result.add_row(
-            n=n,
-            ln_n=round(math.log(n), 2),
-            byzantine=num_byz,
-            behaviour=behaviour,
-            placement=placement,
-            good_set=mean_or_none([t["good"] for t in per_trial]),
-            decided_fraction=mean_or_none([t["decided"] for t in per_trial]),
-            fraction_in_band=mean_or_none([t["in_band"] for t in per_trial]),
-            min_estimate=mean_or_none([t["min_est"] for t in per_trial]),
-            max_estimate=mean_or_none([t["max_est"] for t in per_trial]),
-            max_decision_round=mean_or_none([t["rounds"] for t in per_trial]),
-            theorem1_pass_rate=mean_or_none([t["passed"] for t in per_trial]),
-        )
-    result.add_note(
-        "max_decision_round should grow logarithmically with n "
-        "(compare against the ln_n column); fraction_in_band is computed over "
-        "the Lemma 1 Good set with the constant-factor band [0.35, 1.6]·ln n."
-    )
-    return result
+    return scenario_suite(**kwargs).run(runner)

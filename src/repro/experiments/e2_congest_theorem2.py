@@ -4,85 +4,28 @@ Claim: on ``H(n, d)`` random regular graphs with ``B(n) = n^(1/2-ξ)``
 adversarially placed Byzantine nodes, Algorithm 2 lets ``(1-β)n`` nodes decide
 a constant-factor estimate of ``log n`` within ``O(B(n)·log² n)`` rounds while
 most good nodes send only ``O(log n)``-bit messages.
+
+The sweep is expressed as a :class:`~repro.scenarios.suite.ScenarioSuite`:
+one declarative scenario per network size, compiled to generic
+``scenario.run`` sweep configs.  ``examples/scenario_e2_small.json`` is the
+committed JSON form of the small configuration -- the golden table
+regenerates from that spec alone.
 """
 
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
-from repro.adversary.placement import random_placement, spread_placement
-from repro.adversary.strategies import BeaconFloodAdversary, PathTamperAdversary
-from repro.analysis.accuracy import theorem2_check
-from repro.core.congest_counting import run_congest_counting
 from repro.core.parameters import CongestParameters
-from repro.experiments.common import ExperimentResult, mean_or_none, run_configs
-from repro.graphs.hnd import hnd_random_regular_graph
-from repro.graphs.neighborhoods import ball_of_set
-from repro.runner import SweepConfig, sweep_task
-from repro.simulator.byzantine import SilentAdversary
+from repro.experiments.common import ExperimentResult
+from repro.runner import SweepConfig
+from repro.scenarios import ComponentSpec, Scenario, ScenarioSuite, SuiteRow
 
-__all__ = ["run_experiment", "sweep_configs"]
-
-_BEHAVIOURS = {
-    "silent": SilentAdversary,
-    "beacon-flood": BeaconFloodAdversary,
-    "path-tamper": PathTamperAdversary,
-}
-
-_PLACEMENTS = {"random": random_placement, "spread": spread_placement}
+__all__ = ["run_experiment", "scenario_suite", "sweep_configs"]
 
 
-@sweep_task("e2.trial")
-def _trial(
-    *,
-    n: int,
-    degree: int,
-    num_byz: int,
-    behaviour: str,
-    placement: str,
-    gamma: float,
-    round_budget: int,
-    trial_seed: int,
-) -> dict:
-    """One (size, seed) cell: run Algorithm 2 under attack and summarize."""
-    params = CongestParameters(gamma=gamma, d=degree)
-    graph = hnd_random_regular_graph(n, degree, seed=trial_seed)
-    byz = _PLACEMENTS[placement](graph, num_byz, seed=trial_seed)
-    behaviour_cls = _BEHAVIOURS[behaviour]
-    adversary = behaviour_cls() if behaviour == "silent" else behaviour_cls(params)
-    # GoodTL stand-in at small scale: honest nodes at distance >= 2
-    # from every Byzantine node -- the set Theorem 2's (1-beta)n
-    # guarantee is really about (nodes adjacent to a Byzantine flooder
-    # can legitimately be kept undecided forever).
-    contaminated = ball_of_set(graph, byz, 1)
-    evaluation = {u for u in range(graph.n) if u not in contaminated and u not in byz}
-    run = run_congest_counting(
-        graph,
-        byzantine=byz,
-        adversary=adversary,
-        params=params,
-        seed=trial_seed,
-        max_rounds=round_budget,
-        evaluation_set=evaluation,
-    )
-    outcome = run.outcome
-    far_in_band = outcome.fraction_within_band(0.35, 1.6)
-    check = theorem2_check(
-        outcome, beta=0.25, num_byzantine=num_byz, round_budget=round_budget
-    )
-    return {
-        "decided": outcome.decided_fraction(over_evaluation_set=False),
-        "in_band": outcome.fraction_within_band(0.35, 1.6, over_evaluation_set=False),
-        "far_in_band": far_in_band,
-        "median": outcome.median_estimate(),
-        "rounds": outcome.max_decision_round(),
-        "small": outcome.small_message_fraction,
-        "passed": 1.0 if check.passed else 0.0,
-    }
-
-
-def sweep_configs(
+def scenario_suite(
     *,
     sizes: Sequence[int] = (128, 256, 512),
     degree: int = 8,
@@ -93,104 +36,85 @@ def sweep_configs(
     trials: int = 1,
     seed: int = 0,
     max_phase_slack: int = 1,
-) -> List[SweepConfig]:
-    """The experiment's sweep as a flat config list (trials nested per size)."""
-    if behaviour not in _BEHAVIOURS:
-        raise ValueError(f"unknown behaviour {behaviour!r}; options: {sorted(_BEHAVIOURS)}")
-    if placement not in _PLACEMENTS:
-        raise ValueError(f"unknown placement {placement!r}; options: {sorted(_PLACEMENTS)}")
+) -> ScenarioSuite:
+    """The experiment as declarative data: one scenario (and row) per size."""
     params = CongestParameters(gamma=gamma, d=degree)
-    configs: List[SweepConfig] = []
+    rows: List[SuiteRow] = []
     for n in sizes:
         num_byz = max(1, int(math.floor(n ** byzantine_exponent)))
         round_budget = params.rounds_through_phase(
             int(math.ceil(math.log(n))) + max_phase_slack
         )
-        for trial in range(trials):
-            configs.append(
-                SweepConfig(
-                    "e2.trial",
-                    {
-                        "n": n,
-                        "degree": degree,
-                        "num_byz": num_byz,
-                        "behaviour": behaviour,
-                        "placement": placement,
-                        "gamma": gamma,
-                        "round_budget": round_budget,
-                        "trial_seed": seed + 104729 * trial + n,
-                    },
-                )
+        scenario = Scenario(
+            name=f"e2-n{n}",
+            graph=ComponentSpec("hnd", {"n": n, "degree": degree}),
+            adversary=ComponentSpec(behaviour),
+            placement=ComponentSpec(placement, {"count": num_byz}),
+            protocol=ComponentSpec(
+                "congest", {"gamma": gamma, "d": degree, "max_rounds": round_budget}
+            ),
+            # GoodTL stand-in at small scale: honest nodes at distance >= 2
+            # from every Byzantine node -- the set Theorem 2's (1-beta)n
+            # guarantee is really about (nodes adjacent to a Byzantine
+            # flooder can legitimately be kept undecided forever).
+            params={
+                "evaluation": {"kind": "far", "radius": 1},
+                "check": {"name": "theorem2", "beta": 0.25},
+            },
+            seeds=tuple(seed + 104729 * trial + n for trial in range(trials)),
+        )
+        rows.append(
+            SuiteRow(
+                scenario=scenario,
+                static={
+                    "n": n,
+                    "ln_n": round(math.log(n), 2),
+                    "byzantine": num_byz,
+                    "behaviour": behaviour,
+                    "round_budget": round_budget,
+                },
+                columns={
+                    "decided_fraction": "decided_fraction_all",
+                    "fraction_in_band": "fraction_in_band_all",
+                    "goodtl_fraction_in_band": "fraction_in_band",
+                    "median_estimate": "median_estimate",
+                    "max_decision_round": "max_decision_round",
+                    "small_message_fraction": "small_message_fraction",
+                    "theorem2_pass_rate": "check_passed",
+                },
             )
-    return configs
-
-
-def run_experiment(
-    *,
-    sizes: Sequence[int] = (128, 256, 512),
-    degree: int = 8,
-    byzantine_exponent: float = 0.3,
-    behaviour: str = "beacon-flood",
-    placement: str = "spread",
-    gamma: float = 0.5,
-    trials: int = 1,
-    seed: int = 0,
-    max_phase_slack: int = 1,
-    runner=None,
-) -> ExperimentResult:
-    """Sweep network sizes under Byzantine beacon attacks.
-
-    ``byzantine_exponent`` defaults to 0.3 rather than the maximal 1/2-ξ: the
-    theorem tolerates *up to* ``n^(1/2-ξ)`` Byzantine nodes, but at simulable
-    sizes a budget that large makes the excluded neighborhood ``B(Byz, ·)`` a
-    constant fraction of the network (β would not be small); the benchmark
-    also reports the fraction over nodes at distance ≥ 2 from every Byzantine
-    node, the small-scale stand-in for GoodTL.
-    """
-    configs = sweep_configs(
-        sizes=sizes,
-        degree=degree,
-        byzantine_exponent=byzantine_exponent,
-        behaviour=behaviour,
-        placement=placement,
-        gamma=gamma,
-        trials=trials,
-        seed=seed,
-        max_phase_slack=max_phase_slack,
-    )
-    rows = run_configs(configs, runner)
-
-    result = ExperimentResult(
+        )
+    return ScenarioSuite(
         experiment="E2",
         claim=(
             "Theorem 2: randomized CONGEST counting decides a constant-factor "
             "estimate of log n for (1-beta)n nodes in O(B(n) log^2 n) rounds "
             "using small messages, under B(n) Byzantine nodes"
         ),
+        rows=rows,
+        notes=[
+            "decided_fraction and fraction_in_band are over ALL honest nodes; "
+            "goodtl_fraction_in_band and the theorem2 check evaluate only nodes at "
+            "distance >= 2 from every Byzantine node (the small-scale stand-in for "
+            "the paper's GoodTL set); max_decision_round should stay within the "
+            "O(B log^2 n) round_budget column."
+        ],
     )
-    for index, n in enumerate(sizes):
-        num_byz = configs[index * trials].params["num_byz"]
-        round_budget = configs[index * trials].params["round_budget"]
-        per_trial = rows[index * trials : (index + 1) * trials]
-        result.add_row(
-            n=n,
-            ln_n=round(math.log(n), 2),
-            byzantine=num_byz,
-            behaviour=behaviour,
-            round_budget=round_budget,
-            decided_fraction=mean_or_none([t["decided"] for t in per_trial]),
-            fraction_in_band=mean_or_none([t["in_band"] for t in per_trial]),
-            goodtl_fraction_in_band=mean_or_none([t["far_in_band"] for t in per_trial]),
-            median_estimate=mean_or_none([t["median"] for t in per_trial]),
-            max_decision_round=mean_or_none([t["rounds"] for t in per_trial]),
-            small_message_fraction=mean_or_none([t["small"] for t in per_trial]),
-            theorem2_pass_rate=mean_or_none([t["passed"] for t in per_trial]),
-        )
-    result.add_note(
-        "decided_fraction and fraction_in_band are over ALL honest nodes; "
-        "goodtl_fraction_in_band and the theorem2 check evaluate only nodes at "
-        "distance >= 2 from every Byzantine node (the small-scale stand-in for "
-        "the paper's GoodTL set); max_decision_round should stay within the "
-        "O(B log^2 n) round_budget column."
-    )
-    return result
+
+
+def sweep_configs(**kwargs: object) -> List[SweepConfig]:
+    """The experiment's sweep as a flat config list (trials nested per size)."""
+    return scenario_suite(**kwargs).compile()
+
+
+def run_experiment(*, runner=None, **kwargs: object) -> ExperimentResult:
+    """Sweep network sizes under Byzantine beacon attacks.
+
+    The ``byzantine_exponent`` defaults to 0.3 rather than the maximal 1/2-ξ:
+    the theorem tolerates *up to* ``n^(1/2-ξ)`` Byzantine nodes, but at
+    simulable sizes a budget that large makes the excluded neighborhood
+    ``B(Byz, ·)`` a constant fraction of the network (β would not be small);
+    the benchmark also reports the fraction over nodes at distance ≥ 2 from
+    every Byzantine node, the small-scale stand-in for GoodTL.
+    """
+    return scenario_suite(**kwargs).run(runner)

@@ -3,110 +3,87 @@
 Claim: with no Byzantine nodes, Algorithm 2 terminates (the network goes
 quiescent), and Ω(n) nodes decide the same value, bounded above by ``⌈ln n⌉``,
 within ``O(log n)`` phases (``O(log² n)`` rounds at these scales).
+
+Expressed declaratively as a :class:`~repro.scenarios.suite.ScenarioSuite`:
+one benign ``congest`` scenario per size with a zero-count placement and the
+Corollary 1 check.
 """
 
 from __future__ import annotations
 
 import math
-from collections import Counter
 from typing import List, Sequence
 
-from repro.analysis.accuracy import corollary1_check
-from repro.core.congest_counting import run_congest_counting
-from repro.core.parameters import CongestParameters
-from repro.experiments.common import ExperimentResult, mean_or_none, run_configs
-from repro.graphs.hnd import hnd_random_regular_graph
-from repro.runner import SweepConfig, sweep_task
+from repro.experiments.common import ExperimentResult
+from repro.runner import SweepConfig
+from repro.scenarios import ComponentSpec, Scenario, ScenarioSuite, SuiteRow
 
-__all__ = ["run_experiment", "sweep_configs"]
+__all__ = ["run_experiment", "scenario_suite", "sweep_configs"]
 
 
-@sweep_task("e3.trial")
-def _trial(*, n: int, degree: int, trial_seed: int) -> dict:
-    """One benign run of Algorithm 2: agreement, quiescence, Corollary 1."""
-    params = CongestParameters(d=degree)
-    graph = hnd_random_regular_graph(n, degree, seed=trial_seed)
-    run = run_congest_counting(
-        graph,
-        params=params,
-        seed=trial_seed,
-        stop_when_all_decided=False,
-    )
-    outcome = run.outcome
-    histogram = Counter(outcome.estimates())
-    modal_value, modal_count = histogram.most_common(1)[0] if histogram else (None, 0)
-    check = corollary1_check(outcome)
-    quiescent = (
-        run.result.metrics.messages_per_round[-1] == 0
-        if run.result.metrics.messages_per_round
-        else False
-    )
-    return {
-        "decided": outcome.decided_fraction(),
-        "modal_value": modal_value,
-        "modal_fraction": modal_count / max(1, len(outcome.records)),
-        "max_est": outcome.estimate_range()[1],
-        "rounds": run.outcome.rounds_executed,
-        "quiescent": 1.0 if quiescent else 0.0,
-        "passed": 1.0 if check.passed else 0.0,
-    }
-
-
-def sweep_configs(
+def scenario_suite(
     *,
     sizes: Sequence[int] = (64, 128, 256, 512),
     degree: int = 8,
     trials: int = 2,
     seed: int = 0,
-) -> List[SweepConfig]:
-    """The experiment's sweep as a flat config list (trials nested per size)."""
-    return [
-        SweepConfig(
-            "e3.trial",
-            {"n": n, "degree": degree, "trial_seed": seed + 31 * trial + n},
+) -> ScenarioSuite:
+    """The experiment as declarative data: one benign scenario per size."""
+    rows: List[SuiteRow] = []
+    for n in sizes:
+        scenario = Scenario(
+            name=f"e3-n{n}",
+            graph=ComponentSpec("hnd", {"n": n, "degree": degree}),
+            adversary=ComponentSpec("silent"),
+            placement=ComponentSpec("random", {"count": 0}),
+            # Corollary 1 mode: run past the last decision until the network
+            # goes quiescent (no messages at all in a round).
+            protocol=ComponentSpec(
+                "congest", {"d": degree, "stop_when_all_decided": False}
+            ),
+            params={"check": {"name": "corollary1"}},
+            seeds=tuple(seed + 31 * trial + n for trial in range(trials)),
         )
-        for n in sizes
-        for trial in range(trials)
-    ]
-
-
-def run_experiment(
-    *,
-    sizes: Sequence[int] = (64, 128, 256, 512),
-    degree: int = 8,
-    trials: int = 2,
-    seed: int = 0,
-    runner=None,
-) -> ExperimentResult:
-    """Benign-case sweep: decision values, modal agreement, quiescence."""
-    configs = sweep_configs(sizes=sizes, degree=degree, trials=trials, seed=seed)
-    rows = run_configs(configs, runner)
-
-    result = ExperimentResult(
+        rows.append(
+            SuiteRow(
+                scenario=scenario,
+                static={
+                    "n": n,
+                    "ln_n": round(math.log(n), 2),
+                    "ceil_ln_n": math.ceil(math.log(n)),
+                },
+                columns={
+                    "decided_fraction": "decided_fraction",
+                    "modal_estimate": "modal_estimate",
+                    "modal_fraction": "modal_fraction",
+                    "max_estimate": "max_estimate",
+                    "rounds_to_quiescence": "rounds_executed",
+                    "quiescent_rate": "quiescent",
+                    "corollary1_pass_rate": "check_passed",
+                },
+            )
+        )
+    return ScenarioSuite(
         experiment="E3",
         claim=(
             "Corollary 1: with all nodes good the algorithm terminates and "
             "Omega(n) nodes decide a common value bounded by ceil(ln n)"
         ),
+        rows=rows,
+        notes=[
+            "modal_fraction is the fraction of nodes agreeing on the most common "
+            "estimate (Corollary 1's Omega(n)); max_estimate must not exceed "
+            "ceil_ln_n + 1 (Remark 2); quiescent_rate = 1 means the network "
+            "stopped sending messages entirely (termination)."
+        ],
     )
-    for index, n in enumerate(sizes):
-        per_trial = rows[index * trials : (index + 1) * trials]
-        result.add_row(
-            n=n,
-            ln_n=round(math.log(n), 2),
-            ceil_ln_n=math.ceil(math.log(n)),
-            decided_fraction=mean_or_none([t["decided"] for t in per_trial]),
-            modal_estimate=mean_or_none([t["modal_value"] for t in per_trial]),
-            modal_fraction=mean_or_none([t["modal_fraction"] for t in per_trial]),
-            max_estimate=mean_or_none([t["max_est"] for t in per_trial]),
-            rounds_to_quiescence=mean_or_none([t["rounds"] for t in per_trial]),
-            quiescent_rate=mean_or_none([t["quiescent"] for t in per_trial]),
-            corollary1_pass_rate=mean_or_none([t["passed"] for t in per_trial]),
-        )
-    result.add_note(
-        "modal_fraction is the fraction of nodes agreeing on the most common "
-        "estimate (Corollary 1's Omega(n)); max_estimate must not exceed "
-        "ceil_ln_n + 1 (Remark 2); quiescent_rate = 1 means the network "
-        "stopped sending messages entirely (termination)."
-    )
-    return result
+
+
+def sweep_configs(**kwargs: object) -> List[SweepConfig]:
+    """The experiment's sweep as a flat config list (trials nested per size)."""
+    return scenario_suite(**kwargs).compile()
+
+
+def run_experiment(*, runner=None, **kwargs: object) -> ExperimentResult:
+    """Benign-case sweep: decision values, modal agreement, quiescence."""
+    return scenario_suite(**kwargs).run(runner)

@@ -10,21 +10,15 @@ from __future__ import annotations
 import math
 from typing import List, Sequence
 
-from repro.adversary.placement import clustered_placement, random_placement, spread_placement
 from repro.core.parameters import byzantine_budget
 from repro.experiments.common import ExperimentResult, mean_or_none, run_configs
 from repro.graphs.expansion import good_set, vertex_expansion_sampled
 from repro.graphs.hnd import hnd_random_regular_graph
 from repro.graphs.neighborhoods import induced_subgraph
 from repro.runner import SweepConfig, sweep_task
+from repro.scenarios import place_byzantine
 
 __all__ = ["run_experiment", "sweep_configs"]
-
-_PLACEMENTS = {
-    "random": random_placement,
-    "clustered": clustered_placement,
-    "spread": spread_placement,
-}
 
 
 @sweep_task("e6.trial")
@@ -33,7 +27,7 @@ def _trial(
 ) -> dict:
     """|Good| and the sampled expansion of its induced subgraph for one seed."""
     graph = hnd_random_regular_graph(n, degree, seed=trial_seed)
-    byz = _PLACEMENTS[placement](graph, num_byz, seed=trial_seed)
+    byz = place_byzantine(placement, graph, num_byz, seed=trial_seed)
     good = good_set(graph, byz, gamma)
     expansion = None
     if len(good) >= 2:

@@ -4,134 +4,59 @@ Claim: Theorems 1 and 2 hold for *any* placement and behaviour of the
 Byzantine nodes; this experiment sweeps a placement × behaviour grid for both
 algorithms and reports the fraction of evaluation-set nodes achieving the
 constant-factor band.
+
+Each grid cell is one declarative :class:`~repro.scenarios.spec.Scenario`
+(the per-component seed spreading of the historical driver is carried by the
+spec's ``seed_offset`` fields), so the whole grid is a
+:class:`~repro.scenarios.suite.ScenarioSuite`.
 """
 
 from __future__ import annotations
 
 import math
-from typing import List, Dict, Sequence
+from typing import List, Sequence
 
-from repro.adversary.placement import clustered_placement, random_placement, spread_placement
-from repro.adversary.strategies import (
-    BeaconFloodAdversary,
-    ContinueFloodAdversary,
-    FakeTopologyAdversary,
-    InconsistentTopologyAdversary,
-    PathTamperAdversary,
+from repro.core.parameters import CongestParameters, byzantine_budget
+from repro.experiments.common import ExperimentResult
+from repro.runner import SweepConfig
+from repro.scenarios import ComponentSpec, Scenario, ScenarioSuite, SuiteRow
+
+__all__ = ["run_experiment", "scenario_suite", "sweep_configs"]
+
+#: Behaviours each algorithm's grid half sweeps (in display order).
+LOCAL_BEHAVIOURS: Sequence[str] = ("silent", "fake-topology", "inconsistent")
+CONGEST_BEHAVIOURS: Sequence[str] = (
+    "silent",
+    "beacon-flood",
+    "path-tamper",
+    "continue-flood",
 )
-from repro.core.congest_counting import run_congest_counting
-from repro.core.local_counting import run_local_counting
-from repro.core.parameters import CongestParameters, LocalParameters, byzantine_budget
-from repro.experiments.common import ExperimentResult, run_configs
-from repro.graphs.expansion import good_set
-from repro.graphs.hnd import hnd_random_regular_graph
-from repro.graphs.neighborhoods import ball_of_set
-from repro.runner import SweepConfig, sweep_task
-from repro.simulator.byzantine import SilentAdversary
 
-__all__ = ["run_experiment", "sweep_configs"]
-
-_PLACEMENTS = {
-    "random": random_placement,
-    "clustered": clustered_placement,
-    "spread": spread_placement,
+#: Column reductions shared by every grid row (single seed, E9's rounding).
+_GRID_COLUMNS_LOCAL = {
+    "eval_nodes": {"metric": "eval_nodes", "reduce": "first"},
+    "decided_fraction": {"metric": "decided_fraction", "reduce": "first", "round": 3},
+    "fraction_in_band": {"metric": "fraction_in_band", "reduce": "first", "round": 3},
+    "median_estimate": {"metric": "median_estimate", "reduce": "first"},
+    "max_decision_round": {"metric": "max_decision_round", "reduce": "first"},
 }
 
-_LOCAL_BEHAVIOURS = {
-    "silent": SilentAdversary,
-    "fake-topology": FakeTopologyAdversary,
-    "inconsistent": InconsistentTopologyAdversary,
-}
-
-_CONGEST_BEHAVIOURS = {
-    "silent": lambda params: SilentAdversary(),
-    "beacon-flood": BeaconFloodAdversary,
-    "path-tamper": PathTamperAdversary,
-    "continue-flood": ContinueFloodAdversary,
+#: Algorithm 2 rows report whole-network decision statistics but evaluate the
+#: band over the far (GoodTL stand-in) set only, like the historical driver.
+_GRID_COLUMNS_CONGEST = {
+    "eval_nodes": {"metric": "eval_nodes", "reduce": "first"},
+    "decided_fraction": {
+        "metric": "decided_fraction_all",
+        "reduce": "first",
+        "round": 3,
+    },
+    "fraction_in_band": {"metric": "fraction_in_band", "reduce": "first", "round": 3},
+    "median_estimate": {"metric": "median_estimate_all", "reduce": "first"},
+    "max_decision_round": {"metric": "max_decision_round_all", "reduce": "first"},
 }
 
 
-@sweep_task("e9.local")
-def _local_cell(
-    *, n: int, degree: int, gamma_local: float, placement: str, behaviour: str, seed: int
-) -> dict:
-    """One Algorithm 1 cell of the placement × behaviour grid."""
-    local_params = LocalParameters(gamma=gamma_local, max_degree=degree)
-    num_byz_local = byzantine_budget(n, 1.0 - gamma_local)
-    graph = hnd_random_regular_graph(n, degree, seed=seed + n)
-    byz = _PLACEMENTS[placement](graph, num_byz_local, seed=seed + 1)
-    evaluation = good_set(graph, byz, gamma_local)
-    run = run_local_counting(
-        graph,
-        byzantine=byz,
-        adversary=_LOCAL_BEHAVIOURS[behaviour](),
-        params=local_params,
-        seed=seed,
-        evaluation_set=evaluation,
-    )
-    outcome = run.outcome
-    return {
-        "algorithm": "algorithm1 (LOCAL)",
-        "placement": placement,
-        "behaviour": behaviour,
-        "byzantine": num_byz_local,
-        "eval_nodes": len(evaluation),
-        "decided_fraction": round(outcome.decided_fraction(), 3),
-        "fraction_in_band": round(outcome.fraction_within_band(0.35, 1.6), 3),
-        "median_estimate": outcome.median_estimate(),
-        "max_decision_round": outcome.max_decision_round(),
-    }
-
-
-@sweep_task("e9.congest")
-def _congest_cell(
-    *,
-    n: int,
-    degree: int,
-    gamma_congest: float,
-    congest_byzantine: int,
-    placement: str,
-    behaviour: str,
-    budget: int,
-    seed: int,
-) -> dict:
-    """One Algorithm 2 cell of the placement × behaviour grid."""
-    congest_params = CongestParameters(gamma=gamma_congest, d=degree)
-    log_n = math.log(n)
-    graph = hnd_random_regular_graph(n, degree, seed=seed + 2 * n)
-    byz = _PLACEMENTS[placement](graph, congest_byzantine, seed=seed + 2)
-    make_behaviour = _CONGEST_BEHAVIOURS[behaviour]
-    run = run_congest_counting(
-        graph,
-        byzantine=byz,
-        adversary=make_behaviour(congest_params),
-        params=congest_params,
-        seed=seed,
-        max_rounds=budget,
-    )
-    outcome = run.outcome
-    contaminated = ball_of_set(graph, byz, 1)
-    far = [u for u in outcome.records if u not in contaminated]
-    far_in_band = (
-        sum(1 for u in far if outcome.records[u].within(0.35 * log_n, 1.6 * log_n))
-        / len(far)
-        if far
-        else 0.0
-    )
-    return {
-        "algorithm": "algorithm2 (CONGEST)",
-        "placement": placement,
-        "behaviour": behaviour,
-        "byzantine": congest_byzantine,
-        "eval_nodes": len(far),
-        "decided_fraction": round(outcome.decided_fraction(), 3),
-        "fraction_in_band": round(far_in_band, 3),
-        "median_estimate": outcome.median_estimate(),
-        "max_decision_round": outcome.max_decision_round(),
-    }
-
-
-def sweep_configs(
+def scenario_suite(
     *,
     n: int = 256,
     degree: int = 8,
@@ -140,82 +65,94 @@ def sweep_configs(
     congest_byzantine: int = 3,
     placements: Sequence[str] = ("random", "clustered", "spread"),
     seed: int = 0,
-) -> List[SweepConfig]:
+) -> ScenarioSuite:
     """Algorithm 1 grid cells first, then the Algorithm 2 grid cells."""
-    configs = [
-        SweepConfig(
-            "e9.local",
-            {
-                "n": n,
-                "degree": degree,
-                "gamma_local": gamma_local,
-                "placement": placement_name,
-                "behaviour": behaviour_name,
-                "seed": seed,
-            },
-        )
-        for placement_name in placements
-        for behaviour_name in _LOCAL_BEHAVIOURS
-    ]
+    rows: List[SuiteRow] = []
+
+    num_byz_local = byzantine_budget(n, 1.0 - gamma_local)
+    for placement_name in placements:
+        for behaviour_name in LOCAL_BEHAVIOURS:
+            scenario = Scenario(
+                name=f"e9-local-{placement_name}-{behaviour_name}",
+                graph=ComponentSpec("hnd", {"n": n, "degree": degree}, seed_offset=n),
+                adversary=ComponentSpec(behaviour_name),
+                placement=ComponentSpec(
+                    placement_name, {"count": num_byz_local}, seed_offset=1
+                ),
+                protocol=ComponentSpec(
+                    "local", {"gamma": gamma_local, "max_degree": degree}
+                ),
+                params={"evaluation": {"kind": "good", "gamma": gamma_local}},
+                seeds=(seed,),
+            )
+            rows.append(
+                SuiteRow(
+                    scenario=scenario,
+                    static={
+                        "algorithm": "algorithm1 (LOCAL)",
+                        "placement": placement_name,
+                        "behaviour": behaviour_name,
+                        "byzantine": num_byz_local,
+                    },
+                    columns=dict(_GRID_COLUMNS_LOCAL),
+                )
+            )
+
     congest_params = CongestParameters(gamma=gamma_congest, d=degree)
     budget = congest_params.rounds_through_phase(int(math.ceil(math.log(n))) + 1)
-    configs.extend(
-        SweepConfig(
-            "e9.congest",
-            {
-                "n": n,
-                "degree": degree,
-                "gamma_congest": gamma_congest,
-                "congest_byzantine": congest_byzantine,
-                "placement": placement_name,
-                "behaviour": behaviour_name,
-                "budget": budget,
-                "seed": seed,
-            },
-        )
-        for placement_name in placements
-        for behaviour_name in _CONGEST_BEHAVIOURS
-    )
-    return configs
+    for placement_name in placements:
+        for behaviour_name in CONGEST_BEHAVIOURS:
+            scenario = Scenario(
+                name=f"e9-congest-{placement_name}-{behaviour_name}",
+                graph=ComponentSpec(
+                    "hnd", {"n": n, "degree": degree}, seed_offset=2 * n
+                ),
+                adversary=ComponentSpec(behaviour_name),
+                placement=ComponentSpec(
+                    placement_name, {"count": congest_byzantine}, seed_offset=2
+                ),
+                protocol=ComponentSpec(
+                    "congest",
+                    {"gamma": gamma_congest, "d": degree, "max_rounds": budget},
+                ),
+                params={"evaluation": {"kind": "far", "radius": 1}},
+                seeds=(seed,),
+            )
+            rows.append(
+                SuiteRow(
+                    scenario=scenario,
+                    static={
+                        "algorithm": "algorithm2 (CONGEST)",
+                        "placement": placement_name,
+                        "behaviour": behaviour_name,
+                        "byzantine": congest_byzantine,
+                    },
+                    columns=dict(_GRID_COLUMNS_CONGEST),
+                )
+            )
 
-
-def run_experiment(
-    *,
-    n: int = 256,
-    degree: int = 8,
-    gamma_local: float = 0.7,
-    gamma_congest: float = 0.5,
-    congest_byzantine: int = 3,
-    placements: Sequence[str] = ("random", "clustered", "spread"),
-    seed: int = 0,
-    runner=None,
-) -> ExperimentResult:
-    """Placement × behaviour grid for both algorithms at a fixed size."""
-    configs = sweep_configs(
-        n=n,
-        degree=degree,
-        gamma_local=gamma_local,
-        gamma_congest=gamma_congest,
-        congest_byzantine=congest_byzantine,
-        placements=placements,
-        seed=seed,
-    )
-    rows = run_configs(configs, runner)
-
-    result = ExperimentResult(
+    return ScenarioSuite(
         experiment="E9",
         claim=(
             "Theorems 1-2 hold for arbitrarily placed Byzantine nodes and any "
             "behaviour: the fraction of evaluation-set nodes in the "
             "constant-factor band stays high across the placement x behaviour grid"
         ),
+        rows=rows,
+        notes=[
+            "Algorithm 1 rows evaluate the Lemma 1 Good set; Algorithm 2 rows "
+            "evaluate honest nodes at distance >= 2 from every Byzantine node "
+            "(the GoodTL stand-in).  fraction_in_band should stay >= ~0.9 across "
+            "the whole grid."
+        ],
     )
-    for row in rows:
-        result.add_row(**row)
-    result.add_note(
-        "Algorithm 1 rows evaluate the Lemma 1 Good set; Algorithm 2 rows "
-        "evaluate honest nodes at distance >= 2 from every Byzantine node "
-        "(the GoodTL stand-in).  fraction_in_band should stay >= ~0.9 across "
-        "the whole grid."
-    )
-    return result
+
+
+def sweep_configs(**kwargs: object) -> List[SweepConfig]:
+    """Algorithm 1 grid configs first, then the Algorithm 2 grid configs."""
+    return scenario_suite(**kwargs).compile()
+
+
+def run_experiment(*, runner=None, **kwargs: object) -> ExperimentResult:
+    """Placement × behaviour grid for both algorithms at a fixed size."""
+    return scenario_suite(**kwargs).run(runner)

@@ -148,6 +148,40 @@ SCENARIOS: Tuple[BenchScenario, ...] = (
         "bench.congest",
         {"n": 256, "degree": 8, "num_byz": 5, "behaviour": "beacon-flood", "seed": 0},
     ),
+    # Appended with the scenario API (PR 3): the same E2-style beacon-flood
+    # workload expressed as a declarative scenario spec and executed through
+    # the generic ``scenario.run`` task, so the declarative path itself stays
+    # on the perf trajectory.  The spec literal is pinned like every other
+    # scenario parameterization above.
+    BenchScenario(
+        "scenario-e2-congest-n128",
+        "scenario.run",
+        {
+            "spec": {
+                "graph": {
+                    "name": "hnd",
+                    "params": {"n": 128, "degree": 8},
+                    "seed_offset": 0,
+                },
+                "adversary": {"name": "beacon-flood", "params": {}, "seed_offset": 0},
+                "placement": {
+                    "name": "spread",
+                    "params": {"count": 4},
+                    "seed_offset": 0,
+                },
+                "protocol": {
+                    "name": "congest",
+                    "params": {"gamma": 0.5, "d": 8, "max_rounds": 738},
+                    "seed_offset": 0,
+                },
+                "params": {
+                    "evaluation": {"kind": "far", "radius": 1},
+                    "check": {"name": "theorem2", "beta": 0.25},
+                },
+            },
+            "seed": 128,
+        },
+    ),
 )
 
 #: Reduced suite for ``make bench-smoke`` (sub-minute end to end).

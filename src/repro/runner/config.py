@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import math
 from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping
 
@@ -20,10 +21,33 @@ __all__ = ["SweepConfig", "canonical_json"]
 def canonical_json(value: Any) -> str:
     """Deterministic JSON encoding (sorted keys, no whitespace).
 
-    Raises ``TypeError`` for values outside the JSON data model -- configs
-    must stay plain data so hashes are reproducible across processes.
+    Raises ``TypeError`` for values outside the JSON data model and
+    ``ValueError`` for non-finite floats (``NaN``/``Infinity`` have no
+    standard JSON encoding, so allowing them would put non-portable tokens
+    into content hashes and artifact files) -- configs must stay plain,
+    portable data so hashes are reproducible across processes.
     """
-    return json.dumps(value, sort_keys=True, separators=(",", ":"), allow_nan=True)
+    try:
+        return json.dumps(value, sort_keys=True, separators=(",", ":"), allow_nan=False)
+    except ValueError as exc:
+        raise ValueError(
+            f"non-finite float (NaN/Infinity) has no canonical JSON encoding: {exc}"
+        ) from None
+
+
+def _reject_non_finite(value: Any, path: str) -> None:
+    """Fail fast on NaN/Infinity anywhere inside a params tree."""
+    if isinstance(value, float) and not math.isfinite(value):
+        raise ValueError(
+            f"SweepConfig params must be finite; {path} is {value!r} "
+            "(NaN/Infinity cannot be canonically JSON-encoded or hashed)"
+        )
+    if isinstance(value, Mapping):
+        for key, item in value.items():
+            _reject_non_finite(item, f"{path}.{key}")
+    elif isinstance(value, (list, tuple)):
+        for index, item in enumerate(value):
+            _reject_non_finite(item, f"{path}[{index}]")
 
 
 @dataclass(eq=False)
@@ -37,7 +61,8 @@ class SweepConfig:
     params:
         Keyword arguments for the task.  Values must be JSON-serializable
         (numbers, strings, booleans, ``None``, lists, string-keyed dicts) so
-        the config can be hashed and shipped to worker processes.
+        the config can be hashed and shipped to worker processes; non-finite
+        floats are rejected at construction time.
     """
 
     task: str
@@ -45,6 +70,7 @@ class SweepConfig:
 
     def __post_init__(self) -> None:
         self.params = dict(self.params)
+        _reject_non_finite(self.params, "params")
 
     def canonical(self) -> str:
         """Canonical JSON form used for hashing and artifact headers."""

@@ -1,0 +1,99 @@
+"""Adversary-behaviour registrations for the scenario API.
+
+Construction is *uniform*: every factory takes the running protocol's
+parameter object first (scheduled Algorithm 2 attacks derive their
+phase/iteration schedule from it; everything else ignores it) plus the
+behaviour's own keyword parameters.  Call sites therefore never branch on the
+behaviour name -- the historical
+``behaviour_cls() if behaviour == "silent" else behaviour_cls(params)``
+pattern lives here, once.
+
+The ``targets`` tag records which protocols an attack is designed against;
+it is informational (shown by ``scenario list``), not enforced -- the paper's
+adversaries may behave arbitrarily, including running the "wrong" attack.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.adversary.strategies import (
+    BeaconFloodAdversary,
+    ContinueFloodAdversary,
+    ContinueSuppressAdversary,
+    FakeTopologyAdversary,
+    InconsistentTopologyAdversary,
+    PathTamperAdversary,
+    ValueFakingAdversary,
+)
+from repro.core.parameters import CongestParameters
+from repro.scenarios.registry import ADVERSARIES
+from repro.simulator.byzantine import Adversary, SilentAdversary
+
+__all__ = ["make_adversary"]
+
+
+def make_adversary(
+    name: str, protocol_params: Optional[object] = None, **params: Any
+) -> Adversary:
+    """Construct the registered behaviour ``name``.
+
+    ``protocol_params`` is the parameter object of the protocol under attack
+    (:class:`CongestParameters`, ``LocalParameters``, or ``None``); scheduled
+    Algorithm 2 attacks read their round schedule from it when it is a
+    :class:`CongestParameters`, and every other behaviour ignores it.
+    """
+    return ADVERSARIES.build(name, protocol_params, **params)
+
+
+def _schedule_params(protocol_params: Optional[object]) -> Optional[CongestParameters]:
+    """The schedule source for Algorithm 2 attacks (None = their default)."""
+    return protocol_params if isinstance(protocol_params, CongestParameters) else None
+
+
+@ADVERSARIES.register("silent", targets=("local", "congest"))
+def _silent(protocol_params: Optional[object] = None, **params: Any) -> Adversary:
+    """Pure omission: Byzantine nodes never send anything."""
+    return SilentAdversary(**params)
+
+
+@ADVERSARIES.register("fake-topology", targets=("local",))
+def _fake_topology(protocol_params: Optional[object] = None, **params: Any) -> Adversary:
+    """Algorithm 1 attack: advertise a fabricated subnetwork (Remark 1)."""
+    return FakeTopologyAdversary(**params)
+
+
+@ADVERSARIES.register("inconsistent", targets=("local",))
+def _inconsistent(protocol_params: Optional[object] = None, **params: Any) -> Adversary:
+    """Algorithm 1 attack: claim false incident-edge sets for honest nodes."""
+    return InconsistentTopologyAdversary(**params)
+
+
+@ADVERSARIES.register("beacon-flood", targets=("congest",))
+def _beacon_flood(protocol_params: Optional[object] = None, **params: Any) -> Adversary:
+    """Algorithm 2 attack: emit fresh fake beacons every beacon-window round."""
+    return BeaconFloodAdversary(_schedule_params(protocol_params), **params)
+
+
+@ADVERSARIES.register("path-tamper", targets=("congest",))
+def _path_tamper(protocol_params: Optional[object] = None, **params: Any) -> Adversary:
+    """Algorithm 2 attack: flood beacons with scrambled/framing path prefixes."""
+    return PathTamperAdversary(_schedule_params(protocol_params), **params)
+
+
+@ADVERSARIES.register("continue-flood", targets=("congest",))
+def _continue_flood(protocol_params: Optional[object] = None, **params: Any) -> Adversary:
+    """Algorithm 2 attack: spam continue messages to prevent quiescence."""
+    return ContinueFloodAdversary(_schedule_params(protocol_params), **params)
+
+
+@ADVERSARIES.register("continue-suppress", targets=("congest",))
+def _continue_suppress(protocol_params: Optional[object] = None, **params: Any) -> Adversary:
+    """Omission attack restated for the CONGEST protocol (sends nothing)."""
+    return ContinueSuppressAdversary(**params)
+
+
+@ADVERSARIES.register("value-faking", targets=("baseline",))
+def _value_faking(protocol_params: Optional[object] = None, **params: Any) -> Adversary:
+    """Baseline attack: inject absurd values into non-resilient estimators."""
+    return ValueFakingAdversary(**params)

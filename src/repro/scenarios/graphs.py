@@ -1,0 +1,116 @@
+"""Graph-family registrations for the scenario API.
+
+Each entry is a uniform builder ``fn(*, seed, **params) -> Graph``.  Builders
+for deterministic constructions simply ignore ``seed``; builders whose natural
+parameterization is not ``n`` (hypercubes, Margulis tori, barbells) derive
+their shape parameter from ``n`` exactly the way the historical CLI did, while
+still accepting the precise parameter (``dimension``, ``side``,
+``clique_size``) for spec authors who want exact control.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.graphs.expanders import hypercube_graph, margulis_torus_graph
+from repro.graphs.generators import (
+    barbell_graph,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    small_world_graph,
+    star_graph,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.hnd import configuration_model_graph, hnd_random_regular_graph
+from repro.scenarios.registry import GRAPHS
+
+__all__ = ["build_graph"]
+
+
+def build_graph(name: str, *, seed: int, **params: object) -> Graph:
+    """Build the registered graph family ``name`` with ``params``."""
+    return GRAPHS.build(name, seed=seed, **params)
+
+
+@GRAPHS.register("hnd")
+def _hnd(*, n: int, degree: int = 8, seed: int = 0) -> Graph:
+    """H(n, d) permutation-model random regular graph (union of d/2 Hamiltonian cycles)."""
+    return hnd_random_regular_graph(n, degree, seed=seed)
+
+
+@GRAPHS.register("configuration")
+def _configuration(*, n: int, degree: int = 8, seed: int = 0) -> Graph:
+    """Configuration-model random regular graph."""
+    return configuration_model_graph(n, degree, seed=seed)
+
+
+@GRAPHS.register("margulis")
+def _margulis(*, n: Optional[int] = None, side: Optional[int] = None, seed: int = 0) -> Graph:
+    """Margulis-style torus expander (side derived from n unless given)."""
+    if side is None:
+        if n is None:
+            raise ValueError("margulis graph needs 'n' or 'side'")
+        side = max(2, int(round(math.sqrt(n))))
+    return margulis_torus_graph(side)
+
+
+@GRAPHS.register("hypercube")
+def _hypercube(
+    *, n: Optional[int] = None, dimension: Optional[int] = None, seed: int = 0
+) -> Graph:
+    """Boolean hypercube expander (dimension derived from n unless given)."""
+    if dimension is None:
+        if n is None:
+            raise ValueError("hypercube graph needs 'n' or 'dimension'")
+        dimension = max(1, int(round(math.log2(n))))
+    return hypercube_graph(dimension)
+
+
+@GRAPHS.register("cycle")
+def _cycle(*, n: int, seed: int = 0) -> Graph:
+    """Cycle graph (low-expansion negative control)."""
+    return cycle_graph(n)
+
+
+@GRAPHS.register("path")
+def _path(*, n: int, seed: int = 0) -> Graph:
+    """Path graph (low-expansion negative control)."""
+    return path_graph(n)
+
+
+@GRAPHS.register("complete")
+def _complete(*, n: int, seed: int = 0) -> Graph:
+    """Complete graph."""
+    return complete_graph(n)
+
+
+@GRAPHS.register("star")
+def _star(*, n: int, seed: int = 0) -> Graph:
+    """Star graph (irregular-degree negative control)."""
+    return star_graph(n)
+
+
+@GRAPHS.register("barbell")
+def _barbell(
+    *,
+    n: Optional[int] = None,
+    clique_size: Optional[int] = None,
+    bridge_length: int = 2,
+    seed: int = 0,
+) -> Graph:
+    """Two cliques joined by a bridge (clique size n//2 unless given)."""
+    if clique_size is None:
+        if n is None:
+            raise ValueError("barbell graph needs 'n' or 'clique_size'")
+        clique_size = n // 2
+    return barbell_graph(clique_size, bridge_length)
+
+
+@GRAPHS.register("small-world")
+def _small_world(
+    *, n: int, k: int = 4, rewire_probability: float = 0.1, seed: int = 0
+) -> Graph:
+    """Watts-Strogatz-style small-world graph (prior-work comparison substrate)."""
+    return small_world_graph(n, k=k, rewire_probability=rewire_probability, seed=seed)

@@ -1,0 +1,64 @@
+"""Byzantine-placement registrations for the scenario API.
+
+Each entry has the uniform signature ``fn(graph, count, *, seed) -> Set[int]``
+of :mod:`repro.adversary.placement`.  :func:`place_byzantine` is the single
+call site helper: a ``count`` of zero short-circuits to the empty set without
+invoking the strategy (matching the benign drivers, which never called a
+placement function at all).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Set
+
+from repro.adversary.placement import (
+    clustered_placement,
+    cut_placement,
+    high_degree_placement,
+    random_placement,
+    spread_placement,
+)
+from repro.graphs.graph import Graph
+from repro.scenarios.registry import PLACEMENTS
+
+__all__ = ["place_byzantine"]
+
+
+def place_byzantine(
+    name: str, graph: Graph, count: int, *, seed: int, **params: Any
+) -> Set[int]:
+    """Place ``count`` Byzantine nodes with the registered strategy ``name``."""
+    if count <= 0:
+        PLACEMENTS.get(name)  # still validate the name
+        return set()
+    return PLACEMENTS.build(name, graph, count, seed=seed, **params)
+
+
+@PLACEMENTS.register("random")
+def _random(graph: Graph, count: int, *, seed: int = 0) -> Set[int]:
+    """Uniformly random nodes (the prior work's placement model)."""
+    return random_placement(graph, count, seed=seed)
+
+
+@PLACEMENTS.register("clustered")
+def _clustered(graph: Graph, count: int, *, seed: int = 0) -> Set[int]:
+    """A BFS ball around a random center (the Remark 1 worst case)."""
+    return clustered_placement(graph, count, seed=seed)
+
+
+@PLACEMENTS.register("cut")
+def _cut(graph: Graph, count: int, *, seed: int = 0) -> Set[int]:
+    """Nodes straddling a heuristic sparse cut."""
+    return cut_placement(graph, count, seed=seed)
+
+
+@PLACEMENTS.register("spread")
+def _spread(graph: Graph, count: int, *, seed: int = 0) -> Set[int]:
+    """Greedily pairwise-far nodes (maximizes the contaminated area)."""
+    return spread_placement(graph, count, seed=seed)
+
+
+@PLACEMENTS.register("high-degree")
+def _high_degree(graph: Graph, count: int, *, seed: int = 0) -> Set[int]:
+    """Highest-degree nodes (meaningful on irregular topologies)."""
+    return high_degree_placement(graph, count, seed=seed)

@@ -1,0 +1,105 @@
+"""Protocol registrations for the scenario API.
+
+Each entry owns the full "run protocol P" recipe: build the parameter object
+from the spec's protocol params (defaulting degree bounds from the graph the
+way the CLI historically did), construct the adversary behaviour *with those
+parameters* (scheduled Algorithm 2 attacks read their round schedule from
+them), and execute the run.  Entries return the protocol's run object
+(``LocalCountingRun`` / ``CongestCountingRun``), whose ``.outcome`` feeds the
+generic metrics extraction in :mod:`repro.scenarios.execute`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional, Set
+
+from repro.core.congest_counting import CongestCountingRun, run_congest_counting
+from repro.core.local_counting import LocalCountingRun, run_local_counting
+from repro.core.parameters import CongestParameters, LocalParameters
+from repro.graphs.graph import Graph
+from repro.scenarios.behaviours import make_adversary
+from repro.scenarios.registry import PROTOCOLS
+
+__all__ = ["run_protocol"]
+
+
+def run_protocol(
+    name: str,
+    graph: Graph,
+    *,
+    byzantine: Set[int],
+    behaviour: str,
+    behaviour_params: Mapping[str, Any],
+    seed: int,
+    evaluation_set: Optional[Set[int]] = None,
+    **params: Any,
+):
+    """Run the registered protocol ``name`` and return its run object."""
+    return PROTOCOLS.build(
+        name,
+        graph,
+        byzantine=byzantine,
+        behaviour=behaviour,
+        behaviour_params=behaviour_params,
+        seed=seed,
+        evaluation_set=evaluation_set,
+        **params,
+    )
+
+
+@PROTOCOLS.register("local")
+def _local(
+    graph: Graph,
+    *,
+    byzantine: Set[int],
+    behaviour: str,
+    behaviour_params: Mapping[str, Any],
+    seed: int,
+    evaluation_set: Optional[Set[int]] = None,
+    max_rounds: Optional[int] = None,
+    **params: Any,
+) -> LocalCountingRun:
+    """Algorithm 1: deterministic LOCAL counting (Theorem 1)."""
+    if "max_degree" not in params:
+        params = {**params, "max_degree": max(2, graph.max_degree())}
+    local_params = LocalParameters(**params)
+    adversary = make_adversary(behaviour, local_params, **behaviour_params)
+    return run_local_counting(
+        graph,
+        byzantine=byzantine,
+        adversary=adversary,
+        params=local_params,
+        seed=seed,
+        max_rounds=max_rounds,
+        evaluation_set=evaluation_set,
+    )
+
+
+@PROTOCOLS.register("congest")
+def _congest(
+    graph: Graph,
+    *,
+    byzantine: Set[int],
+    behaviour: str,
+    behaviour_params: Mapping[str, Any],
+    seed: int,
+    evaluation_set: Optional[Set[int]] = None,
+    max_rounds: Optional[int] = None,
+    stop_when_all_decided: bool = True,
+    **params: Any,
+) -> CongestCountingRun:
+    """Algorithm 2: randomized small-message CONGEST counting (Theorem 2)."""
+    if "d" not in params:
+        params = {**params, "d": max(3, graph.max_degree())}
+    congest_params = CongestParameters(**params)
+    adversary = make_adversary(behaviour, congest_params, **behaviour_params)
+    return run_congest_counting(
+        graph,
+        byzantine=byzantine,
+        adversary=adversary,
+        params=congest_params,
+        seed=seed,
+        max_rounds=max_rounds,
+        stop_when_all_decided=stop_when_all_decided,
+        evaluation_set=evaluation_set,
+    )

@@ -1,0 +1,193 @@
+"""The declarative scenario spec: one JSON document per paper-style claim.
+
+A :class:`Scenario` names one component from each of the four registries
+(graph family x adversary behaviour x placement x protocol), carries their
+parameters, and lists the seeds to run.  It is plain data: it round-trips
+through ``canonical_json`` untouched, validates against the registries
+without constructing anything, and **compiles to a list of
+:class:`~repro.runner.config.SweepConfig`** (one per seed, all referencing
+the generic ``scenario.run`` task) -- so scenarios ride the existing
+``SweepRunner`` worker pool and artifact cache unchanged.
+
+Seed derivation
+---------------
+Each compiled cell has one master seed (from :attr:`Scenario.seeds`).  The
+graph and placement components may declare a ``seed_offset``; their effective
+seed is ``cell seed + seed_offset``.  This reproduces the historical drivers'
+per-component seed spreading (e.g. E9 building its graph from ``seed + n``)
+exactly, from pure data.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.runner.config import SweepConfig
+from repro.scenarios.registry import all_registries
+
+__all__ = ["ComponentSpec", "Scenario", "SCENARIO_TASK"]
+
+#: Name of the generic sweep task every scenario compiles to
+#: (registered in :mod:`repro.scenarios.execute`).
+SCENARIO_TASK = "scenario.run"
+
+
+def _plain(value: Any, where: str) -> Any:
+    """Deep-copy ``value`` into plain JSON types (tuples become lists)."""
+    if isinstance(value, Mapping):
+        out = {}
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise TypeError(f"{where}: mapping keys must be strings, got {key!r}")
+            out[key] = _plain(item, f"{where}.{key}")
+        return out
+    if isinstance(value, (list, tuple)):
+        return [_plain(item, f"{where}[{i}]") for i, item in enumerate(value)]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise TypeError(f"{where}: {value!r} is not JSON-serializable scenario data")
+
+
+@dataclass(frozen=True)
+class ComponentSpec:
+    """One registry component reference: a name plus its parameters."""
+
+    name: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    #: Added to the cell seed when this component consumes randomness
+    #: (used by the graph and placement axes; ignored by the rest).
+    seed_offset: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "params", _plain(self.params, f"{self.name}.params"))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "params": dict(self.params),
+            "seed_offset": self.seed_offset,
+        }
+
+    @classmethod
+    def from_dict(cls, value: Union[str, Mapping[str, Any]]) -> "ComponentSpec":
+        """Parse a component reference (a full dict or a bare name string)."""
+        if isinstance(value, str):
+            return cls(name=value)
+        if not isinstance(value, Mapping):
+            raise TypeError(f"component spec must be a name or mapping, got {value!r}")
+        unknown = set(value) - {"name", "params", "seed_offset"}
+        if unknown:
+            raise ValueError(f"unknown component spec keys: {sorted(unknown)}")
+        if "name" not in value:
+            raise ValueError(f"component spec {dict(value)!r} is missing 'name'")
+        return cls(
+            name=value["name"],
+            params=dict(value.get("params", {})),
+            seed_offset=int(value.get("seed_offset", 0)),
+        )
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One declarative workload: graph x adversary x placement x protocol.
+
+    Attributes
+    ----------
+    graph, adversary, placement, protocol:
+        Component references into the four registries.  The placement's
+        ``count`` parameter is the Byzantine budget (0 = benign run).
+    params:
+        Scenario-level options consumed by the generic executor:
+        ``evaluation`` (which nodes the outcome statistics evaluate),
+        ``band`` (the constant-factor approximation band), and ``check``
+        (a named theorem check) -- see SCENARIOS.md.
+    seeds:
+        Master seeds; the scenario compiles to one sweep config per seed.
+    name:
+        Optional display name.
+    """
+
+    graph: ComponentSpec
+    adversary: ComponentSpec
+    placement: ComponentSpec
+    protocol: ComponentSpec
+    params: Dict[str, Any] = field(default_factory=dict)
+    seeds: Tuple[int, ...] = (0,)
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "params", _plain(self.params, "scenario.params"))
+        seeds = tuple(int(s) for s in self.seeds)
+        if not seeds:
+            raise ValueError("a scenario needs at least one seed")
+        object.__setattr__(self, "seeds", seeds)
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "graph": self.graph.to_dict(),
+            "adversary": self.adversary.to_dict(),
+            "placement": self.placement.to_dict(),
+            "protocol": self.protocol.to_dict(),
+            "params": dict(self.params),
+            "seeds": list(self.seeds),
+        }
+
+    @classmethod
+    def from_dict(cls, value: Mapping[str, Any]) -> "Scenario":
+        if not isinstance(value, Mapping):
+            raise TypeError(f"scenario spec must be a mapping, got {value!r}")
+        required = {"graph", "adversary", "placement", "protocol"}
+        missing = required - set(value)
+        if missing:
+            raise ValueError(f"scenario spec is missing fields: {sorted(missing)}")
+        unknown = set(value) - required - {"name", "params", "seeds"}
+        if unknown:
+            raise ValueError(f"unknown scenario spec keys: {sorted(unknown)}")
+        return cls(
+            graph=ComponentSpec.from_dict(value["graph"]),
+            adversary=ComponentSpec.from_dict(value["adversary"]),
+            placement=ComponentSpec.from_dict(value["placement"]),
+            protocol=ComponentSpec.from_dict(value["protocol"]),
+            params=dict(value.get("params", {})),
+            seeds=tuple(value.get("seeds", (0,))),
+            name=str(value.get("name", "")),
+        )
+
+    def to_json(self, *, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Scenario":
+        return cls.from_dict(json.loads(text))
+
+    # ------------------------------------------------------------------ #
+    # Validation and compilation
+    # ------------------------------------------------------------------ #
+    def validate(self) -> "Scenario":
+        """Check every component name against its registry.
+
+        Raises :class:`~repro.scenarios.registry.UnknownComponentError`
+        (a ``ValueError``) carrying the list of valid names.
+        """
+        for axis, registry in all_registries().items():
+            registry.get(getattr(self, axis).name)
+        return self
+
+    def compile(self) -> List[SweepConfig]:
+        """One ``scenario.run`` sweep config per seed (validated).
+
+        The display-only ``name`` and the seed list are stripped from the
+        compiled params so the artifact-cache content hash depends only on
+        what the cell actually computes.
+        """
+        self.validate()
+        spec = self.to_dict()
+        del spec["seeds"]
+        del spec["name"]
+        return [SweepConfig(SCENARIO_TASK, {"spec": spec, "seed": seed}) for seed in self.seeds]

@@ -14,7 +14,12 @@ from pathlib import Path
 from repro.core.congest_counting import PhaseSchedule
 from repro.core.local_counting import LocalCountingProtocol
 from repro.core.parameters import CongestParameters, LocalParameters
-from repro.experiments import e2_congest_theorem2, e12_scaling
+from repro.experiments import (
+    e2_congest_theorem2,
+    e3_benign,
+    e9_adversary_grid,
+    e12_scaling,
+)
 from repro.simulator.messages import estimate_payload_bits
 from repro.simulator.node import NodeContext
 
@@ -22,11 +27,27 @@ GOLDEN = Path(__file__).parent / "golden"
 
 
 class TestGoldenTables:
-    """Byte-identical table regression for E2 and E12 (pre-refactor goldens)."""
+    """Byte-identical table regressions.
+
+    The E2/E12 goldens were rendered by the PR 1 implementation, the E3/E9
+    goldens by the PR 2 implementation (before the drivers were re-expressed
+    as declarative scenarios); every later refactor must reproduce all four
+    byte for byte.
+    """
 
     def test_e2_table_byte_identical(self):
         result = e2_congest_theorem2.run_experiment(sizes=(64, 128), trials=1, seed=0)
         assert result.render() + "\n" == (GOLDEN / "e2_small_table.txt").read_text()
+
+    def test_e3_table_byte_identical(self):
+        result = e3_benign.run_experiment(sizes=(64, 128), trials=1, seed=0)
+        assert result.render() + "\n" == (GOLDEN / "e3_small_table.txt").read_text()
+
+    def test_e9_table_byte_identical(self):
+        result = e9_adversary_grid.run_experiment(
+            n=64, placements=("random",), congest_byzantine=2
+        )
+        assert result.render() + "\n" == (GOLDEN / "e9_small_table.txt").read_text()
 
     def test_e12_table_byte_identical(self):
         result = e12_scaling.run_experiment(

@@ -42,6 +42,22 @@ class TestSweepConfig:
         with pytest.raises(TypeError):
             SweepConfig("t", {"x": object()}).key()
 
+    def test_non_finite_params_rejected_at_construction(self):
+        # Regression: allow_nan used to smuggle NaN/Infinity tokens into
+        # content hashes and artifact files as non-standard JSON.
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(ValueError, match="finite"):
+                SweepConfig("t", {"x": bad})
+        with pytest.raises(ValueError, match=r"params\.outer\[1\]\.deep"):
+            SweepConfig("t", {"outer": [1.0, {"deep": float("nan")}]})
+
+    def test_canonical_json_rejects_non_finite(self):
+        from repro.runner import canonical_json
+
+        with pytest.raises(ValueError, match="NaN/Infinity"):
+            canonical_json({"x": float("inf")})
+        assert canonical_json({"b": 1, "a": [1.5, None]}) == '{"a":[1.5,null],"b":1}'
+
 
 class TestRegistry:
     def test_registered_task_resolves(self):
@@ -58,9 +74,11 @@ class TestRegistry:
 
     def test_experiment_tasks_resolve_lazily(self):
         # Resolving an experiment task by name alone must work (this is what
-        # freshly spawned worker processes rely on).
-        assert callable(resolve_task("e3.trial"))
-        assert "e12.local" in registered_tasks()
+        # freshly spawned worker processes rely on).  The scenario-based
+        # drivers all compile to the generic scenario.run task; E6 keeps a
+        # driver-specific task.
+        assert callable(resolve_task("scenario.run"))
+        assert "e6.trial" in registered_tasks()
 
 
 class TestArtifactStore:
