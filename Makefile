@@ -1,10 +1,17 @@
 # One-word entry points for the verify / benchmark / demo workflows.
 #
-#   make test          - tier-1 test suite (the verify command of ROADMAP.md)
+#   make test          - tier-1 test suite (the verify command of ROADMAP.md);
+#                        runs scenario-demo and the smoke-sized bench-compare
+#                        gate first, so >10% wall-clock regressions on the
+#                        smoke suite fail locally before a PR lands
 #   make bench         - pinned perf scenarios -> BENCH_<date>.json
 #   make bench-compare - same, plus a diff against the previous BENCH file
 #                        (exits nonzero on a >10% wall-clock regression)
 #   make bench-smoke   - reduced bench suite, no file written (~sub-minute)
+#   make bench-smoke-compare - smoke suite diffed against the committed
+#                        benchmarks/BENCH_SMOKE.json baseline
+#   make profile       - smoke bench under cProfile; writes the top-25
+#                        cumulative report to profile_report.txt
 #   make sweep-demo    - cached parallel sweep of E3 (re-run it to see the
 #                        artifact cache short-circuit the work)
 #   make scenario-demo - run the committed declarative scenario spec
@@ -16,10 +23,17 @@ WORKERS ?= 4
 ARTIFACT_DIR ?= .sweep-artifacts
 BENCH_DIR ?= .
 BENCH_REPEATS ?= 3
+SMOKE_BASELINE ?= benchmarks/BENCH_SMOKE.json
+# Wall-clock tolerance of the smoke gate.  The committed baseline is a
+# conservative envelope from the benching machine; on substantially slower
+# hardware run e.g. `make test SMOKE_THRESHOLD=0.5` (the machine-independent
+# rounds/messages drift check still applies) or regenerate the baseline.
+SMOKE_THRESHOLD ?= 0.10
+PROFILE_OUT ?= profile_report.txt
 
-.PHONY: test bench bench-compare bench-smoke sweep-demo scenario-demo clean-artifacts
+.PHONY: test bench bench-compare bench-smoke bench-smoke-compare profile sweep-demo scenario-demo clean-artifacts
 
-test: scenario-demo
+test: scenario-demo bench-smoke-compare
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 
 scenario-demo:
@@ -33,6 +47,12 @@ bench-compare:
 
 bench-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.cli bench --scenarios smoke --repeats 1 --no-write
+
+bench-smoke-compare:
+	PYTHONPATH=src $(PYTHON) -m repro.cli bench --scenarios smoke --repeats 2 --no-write --compare-to $(SMOKE_BASELINE) --threshold $(SMOKE_THRESHOLD)
+
+profile:
+	PYTHONPATH=src $(PYTHON) -m repro.cli bench --scenarios smoke --repeats 1 --no-write --profile $(PROFILE_OUT)
 
 sweep-demo:
 	PYTHONPATH=src $(PYTHON) -m repro.cli sweep e3 --workers $(WORKERS) --artifact-dir $(ARTIFACT_DIR)

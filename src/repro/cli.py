@@ -45,6 +45,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.analysis.tables import render_table
@@ -196,6 +197,24 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.10,
         help="relative wall-clock regression tolerance (default 0.10 = 10%%)",
     )
+    bench_parser.add_argument(
+        "--output-name",
+        default=None,
+        metavar="FILENAME",
+        help=(
+            "file name for the written report (default BENCH_<date>.json); "
+            "use to avoid clobbering a same-day baseline"
+        ),
+    )
+    bench_parser.add_argument(
+        "--profile",
+        default=None,
+        metavar="PATH",
+        help=(
+            "run the bench under cProfile and write a top-25 cumulative "
+            "report to PATH (forces --workers 1)"
+        ),
+    )
     return parser
 
 
@@ -338,9 +357,31 @@ def _command_bench(args: argparse.Namespace) -> int:
     from repro.runner import bench
 
     scenarios = bench.SMOKE_SCENARIOS if args.scenarios == "smoke" else bench.SCENARIOS
-    report = bench.run_bench(
-        scenarios, workers=args.workers, repeats=args.repeats
-    )
+    if args.profile is not None:
+        # Profile mode: run the suite in-process under cProfile and write a
+        # top-25 cumulative report artifact.  The wall-clocks are inflated
+        # by the profiler, so profile mode never writes a BENCH file (which
+        # could clobber a same-day baseline) and never runs the regression
+        # comparison.
+        import cProfile
+        import io
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        report = bench.run_bench(scenarios, workers=1, repeats=args.repeats)
+        profiler.disable()
+        buffer = io.StringIO()
+        stats = pstats.Stats(profiler, stream=buffer)
+        stats.sort_stats("cumulative").print_stats(25)
+        profile_path = Path(args.profile)
+        profile_path.parent.mkdir(parents=True, exist_ok=True)
+        profile_path.write_text(buffer.getvalue(), encoding="utf-8")
+        print(bench.render_report(report))
+        print("[bench] profile mode: report not written, comparison skipped")
+        print(f"[bench] wrote profile report {profile_path}")
+        return 0
+    report = bench.run_bench(scenarios, workers=args.workers, repeats=args.repeats)
     print(bench.render_report(report))
 
     # Resolve (and read) the comparison baseline *before* writing the new
@@ -357,7 +398,7 @@ def _command_bench(args: argparse.Namespace) -> int:
             previous = bench.load_report(previous_path)
 
     if not args.no_write:
-        path = bench.write_report(report, args.output_dir)
+        path = bench.write_report(report, args.output_dir, filename=args.output_name)
         print(f"[bench] wrote {path}")
 
     if args.compare and previous is None and args.compare_to is None:

@@ -14,7 +14,6 @@ its ``(i+3)``-neighborhood to keep participating in phase ``i``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from repro.simulator.messages import Message
@@ -32,9 +31,12 @@ BEACON_KIND = "beacon"
 CONTINUE_KIND = "continue"
 
 
-@dataclass(frozen=True)
 class BeaconPayload:
     """Structured content of a beacon message.
+
+    A plain ``__slots__`` value class (beacons are created once per hop on
+    the Algorithm 2 hot path, so construction cost matters); treat instances
+    as immutable.  ``_beacon_ok`` caches the :func:`parse_beacon` verdict.
 
     Attributes
     ----------
@@ -47,17 +49,50 @@ class BeaconPayload:
         therefore trustworthy; the prefix may have been fabricated.
     """
 
-    origin: int
-    path: Tuple[int, ...]
+    __slots__ = ("origin", "path", "_beacon_ok")
+
+    def __init__(self, origin: int, path: Tuple[int, ...]) -> None:
+        self.origin = origin
+        self.path = path
+        self._beacon_ok: Optional[bool] = None
 
     def extended(self, via: int) -> "BeaconPayload":
-        """The payload after being forwarded via the node with id ``via``."""
-        return BeaconPayload(origin=self.origin, path=self.path + (via,))
+        """The payload after being forwarded via the node with id ``via``.
+
+        A validated payload extended with an engine-stamped (hence int)
+        sender id is valid by construction, so the cached verdict propagates
+        to the child and receivers skip re-validating the whole path.
+        """
+        child = BeaconPayload(self.origin, self.path + (via,))
+        if type(via) is int and self._beacon_ok is True:
+            child._beacon_ok = True
+        return child
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, BeaconPayload):
+            return self.origin == other.origin and self.path == other.path
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.origin, self.path))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BeaconPayload(origin={self.origin!r}, path={self.path!r})"
 
 
-def make_beacon_message(origin: int, path: Tuple[int, ...] = ()) -> Message:
-    """Build a beacon message with correct small-message size accounting."""
-    payload = BeaconPayload(origin=origin, path=tuple(path))
+def make_beacon_message(
+    origin: int, path: Tuple[int, ...] = (), *, trusted: bool = False
+) -> Message:
+    """Build a beacon message with correct small-message size accounting.
+
+    ``trusted=True`` pre-caches a positive :func:`parse_beacon` verdict on
+    the payload; it may only be passed by honest protocol code whose
+    ``origin``/``path`` are well-typed by construction (engine-provided ids).
+    Adversary-built beacons must leave it False so receivers validate them.
+    """
+    payload = BeaconPayload(origin, tuple(path))
+    if trusted:
+        payload._beacon_ok = True
     return Message(
         kind=BEACON_KIND,
         payload=payload,
@@ -94,9 +129,10 @@ def parse_beacon(message: Message) -> Optional[BeaconPayload]:
     shared envelope per broadcast and every forwarding hop reuses the parsed
     payload, so a beacon is validated once per payload instance instead of
     once per receiving neighbor.  The cache is sound because the verdict only
-    depends on attributes a ``BeaconPayload`` cannot change after
-    construction (the dataclass is frozen and a valid path is a tuple of
-    ints, which is immutable; an invalid path can never become a tuple).
+    depends on attributes honest code never mutates after construction (a
+    valid path is an immutable tuple of ints; an invalid path can never
+    become a tuple), and honest forwarding propagates it soundly (see
+    :meth:`BeaconPayload.extended`).
     """
     if message.kind != BEACON_KIND:
         return None

@@ -68,5 +68,12 @@ class PhaseBlacklist:
 
     def blocks_path(self, path: Sequence[int], suffix_length: int) -> bool:
         """Whether the far prefix of ``path`` intersects the blacklist (Line 21)."""
-        far_prefix, _ = split_trusted_suffix(path, suffix_length)
-        return any(node_id in self._blocked for node_id in far_prefix)
+        blocked = self._blocked
+        if not blocked:
+            return False
+        if suffix_length > 0:
+            end = len(path) - suffix_length
+            if end <= 0:
+                return False
+            return not blocked.isdisjoint(path[:end])
+        return not blocked.isdisjoint(path)

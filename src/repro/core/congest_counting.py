@@ -48,6 +48,7 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.simulator.byzantine import Adversary
 from repro.core.beacon import (
+    BEACON_KIND,
     CONTINUE_KIND,
     BeaconPayload,
     forward_beacon_message,
@@ -267,8 +268,10 @@ class CongestCountingProtocol(Protocol):
         probability = self.params.activation_probability(phase, degree=max(ctx.degree, 2))
         if ctx.rng.random() < probability:
             # Line 7: the active node's own shortest path is just itself.
+            # The beacon is trusted by construction (engine-provided int id),
+            # so receivers reuse the pre-cached parse verdict.
             self._shortest_path = (ctx.node_id,)
-            beacon = make_beacon_message(origin=ctx.node_id, path=())
+            beacon = make_beacon_message(origin=ctx.node_id, path=(), trusted=True)
             return Broadcast(beacon, ctx.neighbors)
         return {}
 
@@ -276,15 +279,30 @@ class CongestCountingProtocol(Protocol):
         self, ctx: NodeContext, inbox: List[Message], position: SchedulePosition
     ) -> Outbox:
         """Lines 13-26: process received beacons during the beacon window."""
-        beacons: List[Tuple[Message, BeaconPayload]] = []
+        beacons: List[Message] = []
         for message in inbox:
-            payload = parse_beacon(message)
-            if payload is not None:
-                beacons.append((message, payload))
+            # Inlined fast path of ``parse_beacon``: shared delivery
+            # envelopes and honest-forwarding verdict propagation mean almost
+            # every payload already carries a cached verdict.  A valid parse
+            # returns the payload object itself, so collecting the messages
+            # alone suffices.
+            if message.kind != BEACON_KIND:
+                continue
+            payload = message.payload
+            if type(payload) is BeaconPayload:
+                ok = payload._beacon_ok
+                if ok:
+                    beacons.append(message)
+                    continue
+                if ok is not None:
+                    continue
+            if parse_beacon(message) is not None:
+                beacons.append(message)
         if not beacons:
             return {}
         # Line 14: discard all but one arbitrarily chosen message.
-        message, payload = beacons[ctx.rng.randrange(len(beacons))] if len(beacons) > 1 else beacons[0]
+        message = beacons[ctx.rng.randrange(len(beacons))] if len(beacons) > 1 else beacons[0]
+        payload = message.payload
         # Line 16: append the *actual* sender's id (unforgeable edge identity).
         extended = payload.extended(message.sender_id)
 
@@ -344,7 +362,15 @@ class CongestCountingProtocol(Protocol):
         return {}
 
     def on_round(self, ctx: NodeContext, inbox: List[Message]) -> Outbox:
-        position = self.schedule.locate(ctx.round)
+        # Inlined ``locate`` cache hit: all protocol instances of a run share
+        # one schedule and ask about the same round in sequence.
+        schedule = self.schedule
+        round_number = ctx.round
+        last = schedule._last_position
+        if last is not None and last[0] == round_number:
+            position = last[1]
+        else:
+            position = schedule.locate(round_number)
         phase = position.phase
         if self._current_phase != phase:
             self._start_phase(phase)
@@ -433,17 +459,22 @@ def run_congest_counting(
         max_rounds=max_rounds,
     )
 
+    # Both stop conditions read the engine's incrementally maintained
+    # decision counter instead of scanning every protocol's ``decided`` flag
+    # each round (decisions are irrevocable, so the counter is exact).
+    num_honest = len(engine.protocols)
     if stop_when_all_decided:
         def stop_condition(protocols: Dict[int, Protocol], _round: int) -> bool:
-            return all(p.decided for p in protocols.values())
+            return engine.decided_count == num_honest
     else:
         # Corollary 1 mode: stop only when everyone has decided, exited the
         # for-loop, and the network has gone quiescent (no messages at all in
-        # the previous round).
+        # the previous round).  The participation scan only runs once all
+        # decisions are in.
         def stop_condition(protocols: Dict[int, Protocol], _round: int) -> bool:
-            all_done = all(
-                p.decided and not p.participating for p in protocols.values()
-            )
+            if engine.decided_count < num_honest:
+                return False
+            all_done = all(not p.participating for p in protocols.values())
             last_round_messages = (
                 engine.metrics.messages_per_round[-1]
                 if engine.metrics.messages_per_round

@@ -57,7 +57,7 @@ import itertools
 import math
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, KeysView, List, Optional, Sequence, Set, Tuple
 
 from repro.core.estimate import CountingOutcome, DecisionRecord
 from repro.core.parameters import LocalParameters
@@ -68,11 +68,104 @@ from repro.simulator.messages import Message
 from repro.simulator.network import Network
 from repro.simulator.node import Broadcast, NodeContext, Outbox, Protocol
 
-__all__ = ["LocalView", "LocalCountingProtocol", "LocalCountingRun", "run_local_counting"]
+__all__ = [
+    "LocalView",
+    "ClaimInterner",
+    "LocalCountingProtocol",
+    "LocalCountingRun",
+    "run_local_counting",
+]
 
 #: Payload of a topology message: newly learned ``(node_id, incident_edge_ids)``
 #: pairs plus newly learned frontier vertex ids.
 TopologyDelta = Tuple[Tuple[Tuple[int, Tuple[int, ...]], ...], Tuple[int, ...]]
+
+
+def _claim_accounting(node_id: int, edges: Sequence[int]) -> Tuple[int, int]:
+    """Exact ``estimate_payload_bits`` cost and id count of one claim entry
+    inside a delta payload (see ``LocalCountingProtocol._queue_delta``)."""
+    inner = 0
+    for v in edges:
+        b = v.bit_length()
+        inner += (b if b else 1) + 2
+    if not inner:
+        inner = 1
+    b = node_id.bit_length()
+    return (b if b else 1) + 2 + inner + 2 + 2, 1 + len(edges)
+
+
+class _ClaimRecord:
+    """Per-run shared parse of one ``(node_id, edge_ids)`` topology claim.
+
+    Every receiver of a claim needs the same derived facts -- the frozenset
+    of its edge ids, the canonical sorted tuple it forwards, whether the ids
+    are well-typed, and the claim's exact delta-payload bit accounting.  All
+    of them are pure functions of the claim, so they are computed once per
+    run and shared by every :class:`LocalView` (see :class:`ClaimInterner`).
+    """
+
+    __slots__ = ("entry", "node_id", "edge_set", "canonical", "valid", "size", "bits", "num_ids")
+
+    def __init__(self, node_id: int, edge_ids: Iterable[int]) -> None:
+        edge_set = frozenset(edge_ids)
+        self.node_id = node_id
+        self.edge_set = edge_set
+        self.size = len(edge_set)
+        self.valid = (
+            isinstance(node_id, int)
+            and node_id not in edge_set
+            and all(map(int.__instancecheck__, edge_set))
+        )
+        if self.valid:
+            canonical = tuple(sorted(edge_set))
+            self.canonical = canonical
+            #: The singleton payload entry honest forwarders re-broadcast.
+            self.entry = (node_id, canonical)
+            self.bits, self.num_ids = _claim_accounting(node_id, canonical)
+        else:
+            # Malformed claims are never settled or forwarded; they only need
+            # the ``valid`` verdict (sorting a mixed-type edge set may not
+            # even be possible).
+            self.canonical = None
+            self.entry = None
+            self.bits = 0
+            self.num_ids = 0
+
+
+class ClaimInterner:
+    """Hash-consing table for topology claims, shared by one run's views.
+
+    ``by_id`` maps ``id(record.entry)`` of the singleton payload entries to
+    their records: honest nodes forward the singleton entry object itself, so
+    a claim that already reached a view is recognized with a single identity
+    lookup, and a claim's frozenset/canonical-tuple/bit-accounting is parsed
+    once per *run* instead of once per (receiver, arrival).  The singleton
+    entries are kept alive by the table, so the ids are stable for the
+    interner's lifetime.  Byzantine payload entries that are not singletons
+    fall back to the value-keyed table (and are interned on first sight when
+    hashable), or to direct parsing when unhashable.
+    """
+
+    __slots__ = ("by_id", "by_value")
+
+    def __init__(self) -> None:
+        self.by_id: Dict[int, _ClaimRecord] = {}
+        self.by_value: Dict[Tuple[int, Tuple[int, ...]], _ClaimRecord] = {}
+
+    def intern(self, node_id: int, edge_ids: Iterable[int]) -> _ClaimRecord:
+        """Record for a claim given by hashable components (build on miss)."""
+        key = (node_id, tuple(edge_ids))
+        record = self.by_value.get(key)
+        if record is None:
+            record = _ClaimRecord(node_id, key[1])
+            self.by_value[key] = record
+            if record.valid:
+                # Invalid records have ``entry = None``; registering them
+                # would plant ``id(None)`` in the identity table and break
+                # raise-parity for payloads containing a literal None entry.
+                self.by_value.setdefault(record.entry, record)
+                self.by_id[id(record.entry)] = record
+        return record
 
 
 class LocalView:
@@ -81,65 +174,120 @@ class LocalView:
     Tracks the vertices seen so far and, for the *settled* subset of them,
     their complete incident-edge sets (as first announced).
 
-    Every derived structure the per-round expansion check needs -- BFS
-    distances/layers from the owner, the interior set, and the interior's
-    out-boundary -- is maintained *incrementally* by :meth:`integrate` and
-    tagged with an epoch counter that only advances when adjacency or
-    settlement actually changed.  Candidate generation therefore reuses
-    cached frozensets across rounds instead of re-running a BFS and an
-    interior scan per round, which dominated large-n runs.
+    The storage is *columnar*: node ids are interned into a contiguous index
+    space on first sight and every per-vertex structure is a dense list slot
+    -- the symmetric adjacency, the BFS layers from the owner, the interior
+    set, and the interior's out-boundary are all Python-int bitmasks over
+    those slots.  :meth:`integrate` batches a whole delta's edge insertions
+    into mask OR-updates and runs a single distance-relaxation pass at the
+    end, and the Algorithm 1 expansion check reads popcounts
+    (``int.bit_count``) of the layer/interior masks instead of iterating
+    sets.  The classic ``Dict``/``Set``-of-ids views (``adjacency()``,
+    ``layer_prefixes()``, ``interior_set()``) are materialized lazily behind
+    an epoch-tagged cache, so callers of the old interface are untouched;
+    :class:`repro.core.local_view_reference.SetBasedLocalView` retains the
+    set-based implementation for equivalence testing.
     """
 
-    def __init__(self, own_id: int, neighbor_ids: Iterable[int]) -> None:
+    def __init__(
+        self,
+        own_id: int,
+        neighbor_ids: Iterable[int],
+        *,
+        interner: Optional[ClaimInterner] = None,
+    ) -> None:
         self.own_id = own_id
-        self.vertices: Set[int] = {own_id} | set(neighbor_ids)
-        self.edge_sets: Dict[int, FrozenSet[int]] = {own_id: frozenset(neighbor_ids)}
-        # Symmetric adjacency over all known vertices.
-        self._adj: Dict[int, Set[int]] = {v: set() for v in self.vertices}
-        own_adj = self._adj[own_id]
-        for v in self.edge_sets[own_id]:
-            own_adj.add(v)
-            self._adj[v].add(own_id)
-        # BFS distances from the owner over the view graph; ``_layers[d]`` is
-        # the set of vertices at distance exactly d.  Vertices the owner
-        # cannot reach (possible under fabricated claims) have no entry.
-        self._dist: Dict[int, int] = {own_id: 0}
-        self._layers: List[Set[int]] = [{own_id}]
-        if own_adj:
-            self._layers.append(set(own_adj))
-            for v in own_adj:
-                self._dist[v] = 1
-        # Interior tracking: ``_missing[v]`` counts the claimed neighbors of
-        # the settled vertex v that are not settled yet; ``_waiting[w]`` lists
-        # the settled vertices whose interior membership is blocked on w.
-        # ``_interior_out`` is Out(interior) in the view graph, kept in sync
-        # with both interior growth and adjacency growth.
+        # Claim interner (shared across a run's views when provided) and the
+        # set of singleton claim entries this view has already integrated.
+        self._interner = interner if interner is not None else ClaimInterner()
+        self._seen_entries: Set[int] = set()
+        # Interning: id -> slot, slot -> id, slot -> (1 << slot).
+        self._index: Dict[int, int] = {}
+        self._ids: List[int] = []
+        self._bits: List[int] = []
+        # Dense per-slot columns.
+        self._adj: List[int] = []  # adjacency mask
+        self._dist: List[int] = []  # BFS distance from owner (-1 unreachable)
+        self._claim: List[Optional[Tuple[int, ...]]] = []  # canonical settled tuple
+        # ``_layer_masks[d]``: mask of vertices at distance exactly d.
+        self._layer_masks: List[int] = []
+        self.edge_sets: Dict[int, FrozenSet[int]] = {}
+        # Interior tracking: ``_missing[s]`` counts the claimed neighbors of
+        # the settled slot s that are not settled yet; ``_waiting[w]`` lists
+        # the settled slots whose interior membership is blocked on slot w.
         self._missing: Dict[int, int] = {}
         self._waiting: Dict[int, List[int]] = {}
-        self._interior: Set[int] = set()
-        self._interior_out: Set[int] = set()
-        self._settle(own_id, self.edge_sets[own_id])
-        # Epoch counter: bumped whenever any derived structure changed; the
-        # cached candidate frozensets below are rebuilt only when stale.
+        self._interior_mask = 0
+        self._interior_out_mask = 0
+
+        own_slot = self._intern(own_id)  # slot 0
+        self._dist[own_slot] = 0
+        self._layer_masks.append(self._bits[own_slot])
+        own_edges = frozenset(neighbor_ids)
+        self.edge_sets[own_id] = own_edges
+        self._claim[own_slot] = tuple(sorted(own_edges))
+        own_mask = 0
+        layer1 = 0
+        for v in own_edges:
+            j = self._intern(v)
+            jb = self._bits[j]
+            own_mask |= jb
+            layer1 |= jb
+            self._adj[j] = self._bits[own_slot]
+            self._dist[j] = 1
+        self._adj[own_slot] = own_mask
+        if layer1:
+            self._layer_masks.append(layer1)
+        self._settle(own_slot, own_edges)
+        # Epoch counter: bumped whenever the view changed; the materialized
+        # set/dict adapters below are rebuilt only when stale.
         self._epoch = 1
         self._prefix_cache_epoch = 0
         self._prefix_cache: List[FrozenSet[int]] = []
+        self._adjacency_cache_epoch = 0
+        self._adjacency_cache: Dict[int, Set[int]] = {}
+
+    # -- interning ------------------------------------------------------- #
+    def _intern(self, node_id: int) -> int:
+        """Slot of ``node_id``, allocating a fresh one on first sight."""
+        idx = self._index.get(node_id)
+        if idx is None:
+            idx = len(self._ids)
+            self._index[node_id] = idx
+            self._ids.append(node_id)
+            self._bits.append(1 << idx)
+            self._adj.append(0)
+            self._dist.append(-1)
+            self._claim.append(None)
+        return idx
+
+    def _mask_ids(self, mask: int) -> List[int]:
+        """Materialize the node ids of the set bits of ``mask``."""
+        ids = self._ids
+        out: List[int] = []
+        while mask:
+            low = mask & -mask
+            out.append(ids[low.bit_length() - 1])
+            mask ^= low
+        return out
 
     # -- incremental maintenance ---------------------------------------- #
-    def _settle(self, node_id: int, edge_set: FrozenSet[int]) -> None:
-        """Register a newly settled vertex with the interior tracker."""
-        settled = self.edge_sets
+    def _settle(self, slot: int, edge_set: FrozenSet[int]) -> None:
+        """Register a newly settled slot with the interior tracker."""
+        index = self._index
+        claim = self._claim
         waiting = self._waiting
         missing = 0
         for w in edge_set:
-            if w not in settled:
+            j = index[w]
+            if claim[j] is None:
                 missing += 1
-                waiting.setdefault(w, []).append(node_id)
+                waiting.setdefault(j, []).append(slot)
         if missing:
-            self._missing[node_id] = missing
+            self._missing[slot] = missing
         else:
-            self._add_interior(node_id)
-        blocked = waiting.pop(node_id, None)
+            self._add_interior(slot)
+        blocked = waiting.pop(slot, None)
         if blocked:
             missing_of = self._missing
             for v in blocked:
@@ -150,37 +298,58 @@ class LocalView:
                     del missing_of[v]
                     self._add_interior(v)
 
-    def _add_interior(self, v: int) -> None:
-        interior = self._interior
-        interior.add(v)
-        out = self._interior_out
-        out.discard(v)
-        for w in self._adj[v]:
-            if w not in interior:
-                out.add(w)
+    def _add_interior(self, slot: int) -> None:
+        interior = self._interior_mask | self._bits[slot]
+        self._interior_mask = interior
+        self._interior_out_mask = (self._interior_out_mask | self._adj[slot]) & ~interior
 
-    def _relax_distances(self, queue: "deque[int]") -> None:
-        """Propagate BFS-distance decreases caused by new edges."""
+    def _set_dist(self, slot: int, d: int) -> None:
+        old = self._dist[slot]
+        b = self._bits[slot]
+        layers = self._layer_masks
+        if old >= 0:
+            layers[old] &= ~b
+        self._dist[slot] = d
+        while len(layers) <= d:
+            layers.append(0)
+        layers[d] |= b
+
+    def _relax_batch(self, pending: List[Tuple[int, int]]) -> None:
+        """One relaxation pass over a batch of ``(slot, new_edge_mask)`` pairs.
+
+        Seeds the BFS-decrease propagation with every endpoint a new edge
+        brought closer to the owner; distances only ever decrease, so the
+        fixpoint equals a from-scratch BFS over the updated adjacency.
+        """
         dist = self._dist
+        queue: "deque[int]" = deque()
+        for slot, mask in pending:
+            ds = dist[slot]
+            while mask:
+                low = mask & -mask
+                mask ^= low
+                j = low.bit_length() - 1
+                dj = dist[j]
+                if ds >= 0 and (dj < 0 or dj > ds + 1):
+                    self._set_dist(j, ds + 1)
+                    queue.append(j)
+                elif dj >= 0 and (ds < 0 or ds > dj + 1):
+                    ds = dj + 1
+                    self._set_dist(slot, ds)
+                    queue.append(slot)
         adj = self._adj
         while queue:
             u = queue.popleft()
             du1 = dist[u] + 1
-            for w in adj[u]:
-                dw = dist.get(w)
-                if dw is None or dw > du1:
+            mask = adj[u]
+            while mask:
+                low = mask & -mask
+                mask ^= low
+                w = low.bit_length() - 1
+                dw = dist[w]
+                if dw < 0 or dw > du1:
                     self._set_dist(w, du1)
                     queue.append(w)
-
-    def _set_dist(self, v: int, d: int) -> None:
-        old = self._dist.get(v)
-        layers = self._layers
-        if old is not None:
-            layers[old].discard(v)
-        self._dist[v] = d
-        while len(layers) <= d:
-            layers.append(set())
-        layers[d].add(v)
 
     # -- mutation ------------------------------------------------------- #
     def integrate(
@@ -198,93 +367,167 @@ class LocalView:
         inconsistent = False
         new_edge_sets: List[Tuple[int, Tuple[int, ...]]] = []
         new_vertices: List[int] = []
+        index = self._index
+        bits = self._bits
         adj = self._adj
-        vertices = self.vertices
-        interior = self._interior
-        interior_out = self._interior_out
-        relax: "deque[int]" = deque()
-        dist = self._dist
-        for node_id, edge_ids in reported_edges:
-            edge_set = frozenset(edge_ids)
-            # Identifiers are integers in the model; anything else is
-            # malformed Byzantine data and counts as an inconsistency
-            # rather than contaminating the view.
-            if not isinstance(node_id, int):
+        claim = self._claim
+        intern = self._intern
+        waiting = self._waiting
+        by_id = self._interner.by_id
+        by_value = self._interner.by_value
+        seen = self._seen_entries
+        pending: List[Tuple[int, int]] = []
+        for entry in reported_edges:
+            record = by_id.get(id(entry))
+            if record is None:
+                node_id, edge_ids = entry
+                # Only *type-pure* entries (int id, tuple of ints) may touch
+                # the value-keyed table: numerically equal but differently
+                # typed claims (float ids) hash like the int claim and would
+                # alias its record, dodging the malformed-payload check.
+                if (
+                    isinstance(node_id, int)
+                    and type(edge_ids) is tuple
+                    and all(map(int.__instancecheck__, edge_ids))
+                ):
+                    record = by_value.get(entry)
+                    if record is None:
+                        record = _ClaimRecord(node_id, edge_ids)
+                        if record.valid:
+                            # Reuse an equivalent singleton if one was
+                            # interned already (the same claim may arrive in
+                            # non-canonical element order).
+                            existing = by_value.get(record.entry)
+                            if existing is not None:
+                                record = existing
+                            else:
+                                by_value[record.entry] = record
+                                by_id[id(record.entry)] = record
+                        by_value[entry] = record
+                else:
+                    # Malformed or exotically typed claim: parse directly
+                    # (matching the pre-interning per-arrival cost and raise
+                    # behavior for unhashable containers).  A claim that
+                    # nevertheless parses as *valid* (e.g. int edges in a
+                    # list container) must still be interned: ``seen`` stores
+                    # ``id(record.entry)``, which is only stable while the
+                    # interner pins the entry alive.
+                    record = _ClaimRecord(node_id, edge_ids)
+                    if record.valid:
+                        existing = by_value.get(record.entry)
+                        if existing is not None:
+                            record = existing
+                        else:
+                            by_value[record.entry] = record
+                            by_id[id(record.entry)] = record
+            rid = id(record.entry)
+            if rid in seen:
+                # Re-announcement of an already-integrated claim: the common
+                # case (every delta arrives once per neighbor), recognized by
+                # the singleton entry's identity alone.
+                continue
+            # Identifiers are integers in the model; anything else (as well
+            # as a self-loop claim) is malformed Byzantine data and counts as
+            # an inconsistency rather than contaminating the view.
+            if not record.valid or record.size > max_degree:
                 inconsistent = True
                 continue
-            existing = self.edge_sets.get(node_id)
-            if existing is not None:
-                # Re-announcements of an already-settled edge set are the
-                # common case (every delta arrives once per neighbor); they
-                # are deduplicated here, skipping the degree/self-loop checks
-                # the stored set already passed.  The element type check must
-                # still run: a numeric non-int claim (e.g. float ids) compares
-                # equal to the settled ints but is malformed Byzantine data.
-                if existing != edge_set or not all(
-                    map(int.__instancecheck__, edge_set)
-                ):
+            node_id = record.node_id
+            slot = index.get(node_id)
+            if slot is not None and claim[slot] is not None:
+                if claim[slot] == record.canonical:
+                    # Same edge set re-announced under a different payload
+                    # object: silently deduplicate, like every later arrival.
+                    seen.add(rid)
+                else:
                     # Conflicting incident-edge claims for a node we already
                     # know about (Line 18 of Algorithm 1).
                     inconsistent = True
                 continue
-            if len(edge_set) > max_degree or node_id in edge_set:
-                inconsistent = True
-                continue
-            if not all(map(int.__instancecheck__, edge_set)):
-                inconsistent = True
-                continue
-            self.edge_sets[node_id] = edge_set
-            new_edge_sets.append((node_id, tuple(sorted(edge_set))))
-            if node_id not in vertices:
-                vertices.add(node_id)
+            seen.add(rid)
+            if slot is None:
+                slot = intern(node_id)
                 new_vertices.append(node_id)
-            node_adj = adj.setdefault(node_id, set())
-            dn = dist.get(node_id)
+            edge_set = record.edge_set
+            self.edge_sets[node_id] = edge_set
+            claim[slot] = record.canonical
+            new_edge_sets.append(record.entry)
+            slot_bit = bits[slot]
+            adj_slot = adj[slot]
+            interior = self._interior_mask
+            interior_out = self._interior_out_mask
+            edge_mask = 0
+            missing = 0
             for v in edge_set:
-                if v not in vertices:
-                    vertices.add(v)
+                j = index.get(v)
+                if j is None:
+                    j = intern(v)
                     new_vertices.append(v)
-                if v in node_adj:
+                if claim[j] is None:
+                    missing += 1
+                    waiting.setdefault(j, []).append(slot)
+                jb = bits[j]
+                if adj_slot & jb:
                     continue
-                node_adj.add(v)
-                adj.setdefault(v, set()).add(node_id)
+                edge_mask |= jb
+                adj[j] |= slot_bit
                 # A fresh edge can attach a non-interior vertex to the
                 # interior (claims about interior vertices arrive late).
-                if v in interior:
-                    interior_out.add(node_id)
-                # BFS distances: relax whichever endpoint the new edge
-                # brought closer to the owner.
-                dv = dist.get(v)
-                if dn is not None and (dv is None or dv > dn + 1):
-                    self._set_dist(v, dn + 1)
-                    relax.append(v)
-                elif dv is not None and (dn is None or dn > dv + 1):
-                    dn = dv + 1
-                    self._set_dist(node_id, dn)
-                    relax.append(node_id)
-            self._settle(node_id, edge_set)
+                if interior & jb:
+                    interior_out |= slot_bit
+            adj[slot] = adj_slot | edge_mask
+            self._interior_out_mask = interior_out
+            if edge_mask:
+                pending.append((slot, edge_mask))
+            # Interior settlement (the mask analogue of the set-based
+            # ``_settle``; the missing count was accumulated above).
+            if missing:
+                self._missing[slot] = missing
+            else:
+                self._add_interior(slot)
+            blocked = waiting.pop(slot, None)
+            if blocked:
+                missing_of = self._missing
+                for w in blocked:
+                    left = missing_of[w] - 1
+                    if left:
+                        missing_of[w] = left
+                    else:
+                        del missing_of[w]
+                        self._add_interior(w)
         for node_id in reported_vertices:
             if not isinstance(node_id, int):
                 inconsistent = True
                 continue
-            if node_id not in vertices:
-                vertices.add(node_id)
+            if node_id not in index:
+                intern(node_id)
                 new_vertices.append(node_id)
-                adj.setdefault(node_id, set())
-        if relax:
-            self._relax_distances(relax)
+        if pending:
+            self._relax_batch(pending)
         if new_edge_sets or new_vertices:
             self._epoch += 1
         return inconsistent, new_edge_sets, new_vertices
 
     # -- structure queries ---------------------------------------------- #
+    @property
+    def vertices(self) -> KeysView[int]:
+        """All known vertex ids (a live, set-like view of the intern table)."""
+        return self._index.keys()
+
     def adjacency(self) -> Dict[int, Set[int]]:
         """Symmetric adjacency over all known vertices (from known edge sets).
 
-        Maintained incrementally by :meth:`integrate`; callers get the live
-        structure and must treat it as read-only.
+        Materialized lazily from the adjacency bitmasks behind an epoch-tagged
+        cache; callers must treat the returned structure as read-only.
         """
-        return self._adj
+        if self._adjacency_cache_epoch != self._epoch:
+            mask_ids = self._mask_ids
+            self._adjacency_cache = {
+                node_id: set(mask_ids(self._adj[slot]))
+                for node_id, slot in self._index.items()
+            }
+            self._adjacency_cache_epoch = self._epoch
+        return self._adjacency_cache
 
     def layer_prefixes(self, adj: Optional[Dict[int, Set[int]]] = None) -> List[FrozenSet[int]]:
         """BFS-layer prefixes ``B̂(u, 0) ⊆ B̂(u, 1) ⊆ ...`` from the owner.
@@ -296,12 +539,12 @@ class LocalView:
         """
         if self._prefix_cache_epoch != self._epoch:
             prefixes: List[FrozenSet[int]] = []
-            running: Set[int] = set()
-            for layer in self._layers:
+            running = 0
+            for layer in self._layer_masks:
                 if not layer:
                     break
                 running |= layer
-                prefixes.append(frozenset(running))
+                prefixes.append(frozenset(self._mask_ids(running)))
             self._prefix_cache = prefixes
             self._prefix_cache_epoch = self._epoch
         return self._prefix_cache
@@ -309,10 +552,10 @@ class LocalView:
     def layer_sizes(self) -> List[int]:
         """Sizes of the (contiguous, nonempty) BFS layers from the owner."""
         sizes: List[int] = []
-        for layer in self._layers:
+        for layer in self._layer_masks:
             if not layer:
                 break
-            sizes.append(len(layer))
+            sizes.append(layer.bit_count())
         return sizes
 
     def interior_set(self) -> Set[int]:
@@ -322,17 +565,17 @@ class LocalView:
         honest vertex is interior, so the interior set contains the honest
         region ``R`` of Lemma 5; its out-boundary is then exactly the layer of
         vertices the adversary is still expanding.  Maintained incrementally
-        by :meth:`integrate`; a copy is returned.
+        (as a bitmask) by :meth:`integrate`; a materialized copy is returned.
         """
-        return set(self._interior)
+        return set(self._mask_ids(self._interior_mask))
 
     def expansion_check_candidates(self) -> List[Tuple[int, int]]:
         """``(|S|, |Out(S)|)`` for every subset the practical check inspects.
 
         Lists every BFS-layer prefix (whose out-boundary in the view graph is
         exactly the next BFS layer) followed by the interior set (whose
-        out-boundary is maintained incrementally).  All counts refer to live
-        incremental state, so producing them is O(view depth) per round.
+        out-boundary is maintained incrementally).  All counts are popcounts
+        of live masks, so producing them is O(view depth) per round.
         """
         candidates: List[Tuple[int, int]] = []
         sizes = self.layer_sizes()
@@ -341,8 +584,11 @@ class LocalView:
         for j, layer_size in enumerate(sizes):
             prefix += layer_size
             candidates.append((prefix, sizes[j + 1] if j < last else 0))
-        if self._interior:
-            candidates.append((len(self._interior), len(self._interior_out)))
+        interior = self._interior_mask
+        if interior:
+            candidates.append(
+                (interior.bit_count(), self._interior_out_mask.bit_count())
+            )
         return candidates
 
     @staticmethod
@@ -359,15 +605,24 @@ class LocalView:
 
     def size(self) -> int:
         """Number of known vertices."""
-        return len(self.vertices)
+        return len(self._ids)
 
 
 class LocalCountingProtocol(Protocol):
     """Per-node implementation of Algorithm 1."""
 
-    def __init__(self, ctx: NodeContext, params: LocalParameters) -> None:
+    def __init__(
+        self,
+        ctx: NodeContext,
+        params: LocalParameters,
+        *,
+        interner: Optional[ClaimInterner] = None,
+    ) -> None:
         self.params = params
-        self.view = LocalView(ctx.node_id, ctx.neighbor_ids.values())
+        self._interner = interner if interner is not None else ClaimInterner()
+        self.view = LocalView(
+            ctx.node_id, ctx.neighbor_ids.values(), interner=self._interner
+        )
         self._decided = False
         self._estimate: Optional[float] = None
         self._decision_round: Optional[int] = None
@@ -381,11 +636,13 @@ class LocalCountingProtocol(Protocol):
         self._pending_edge_ids = 0
         self._pending_vertex_bits = 0
         # The initial delta is exactly B̂(u, 1): the node's own edge set and
-        # its neighbor vertices (Line 1 of Algorithm 1).
-        self._queue_delta(
-            [(ctx.node_id, tuple(sorted(ctx.neighbor_ids.values())))],
-            sorted(ctx.neighbor_ids.values()),
+        # its neighbor vertices (Line 1 of Algorithm 1).  The own claim is
+        # interned so that every receiver recognizes its re-broadcasts by
+        # identity.
+        own_claim = self._interner.intern(
+            ctx.node_id, tuple(sorted(ctx.neighbor_ids.values()))
         )
+        self._queue_delta([own_claim.entry], sorted(ctx.neighbor_ids.values()))
 
     # -- Protocol interface --------------------------------------------- #
     @property
@@ -422,16 +679,18 @@ class LocalCountingProtocol(Protocol):
         """
         edge_bits = 0
         edge_ids = 0
-        for node_id, edges in new_edges:
-            inner = 0
-            for v in edges:
-                b = v.bit_length()
-                inner += (b if b else 1) + 2
-            if not inner:
-                inner = 1
-            b = node_id.bit_length()
-            edge_bits += (b if b else 1) + 2 + inner + 2 + 2
-            edge_ids += 1 + len(edges)
+        by_id = self._interner.by_id
+        for claim_entry in new_edges:
+            record = by_id.get(id(claim_entry))
+            if record is not None:
+                # Interned claim: the accounting was computed once per run.
+                edge_bits += record.bits
+                edge_ids += record.num_ids
+                continue
+            node_id, edges = claim_entry
+            bits, ids = _claim_accounting(node_id, edges)
+            edge_bits += bits
+            edge_ids += ids
         vertex_bits = 0
         for v in new_vertices:
             b = v.bit_length()
@@ -610,8 +869,13 @@ def run_local_counting(
     if max_rounds is None:
         max_rounds = 6 * int(math.ceil(math.log2(max(graph.n, 2)))) + 20
 
+    # One claim interner per run: every view shares the hash-consed claim
+    # records, so a claim is parsed once per run instead of once per
+    # (receiver, arrival).
+    interner = ClaimInterner()
+
     def factory(ctx: NodeContext) -> Protocol:
-        return LocalCountingProtocol(ctx, params)
+        return LocalCountingProtocol(ctx, params, interner=interner)
 
     engine = SynchronousEngine(
         network,

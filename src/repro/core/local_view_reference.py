@@ -1,0 +1,244 @@
+"""Retained set-based reference implementation of :class:`LocalView`.
+
+:class:`SetBasedLocalView` is the pre-columnar, ``Dict[int, Set[int]]``-backed
+implementation of the Algorithm 1 view structure.  It is **not** used on any
+hot path; it exists so that the bitset/columnar rewrite in
+:mod:`repro.core.local_counting` can be property-tested against an independent
+implementation of the same semantics (see
+``tests/test_local_view_incremental.py``): both views are driven with
+identical ``integrate`` sequences -- including Byzantine-malformed payloads --
+and every observable (vertices, edge sets, adjacency, BFS-layer prefixes,
+interior set, expansion-check candidates, and ``integrate``'s return values)
+must agree after every step.
+
+The validation order inside :meth:`integrate` matches the columnar
+implementation: the ``node_id`` type check runs before the claimed edge set is
+touched, so a claim pairing a non-int id with an unhashable edge container is
+flagged as inconsistent and skipped instead of aborting the whole delta with a
+``TypeError``.  (For an *int* node id, a malformed edge container still raises
+exactly as before -- the protocol catches it and treats the whole message as
+inconsistent.)
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+__all__ = ["SetBasedLocalView"]
+
+
+class SetBasedLocalView:
+    """A node's evolving approximation ``B̂(u, i)`` of the network (set-based).
+
+    Semantically identical to :class:`repro.core.local_counting.LocalView`;
+    kept as the independent reference for equivalence testing.
+    """
+
+    def __init__(self, own_id: int, neighbor_ids: Iterable[int]) -> None:
+        self.own_id = own_id
+        self.vertices: Set[int] = {own_id} | set(neighbor_ids)
+        self.edge_sets: Dict[int, FrozenSet[int]] = {own_id: frozenset(neighbor_ids)}
+        # Symmetric adjacency over all known vertices.
+        self._adj: Dict[int, Set[int]] = {v: set() for v in self.vertices}
+        own_adj = self._adj[own_id]
+        for v in self.edge_sets[own_id]:
+            own_adj.add(v)
+            self._adj[v].add(own_id)
+        # BFS distances from the owner over the view graph; ``_layers[d]`` is
+        # the set of vertices at distance exactly d.
+        self._dist: Dict[int, int] = {own_id: 0}
+        self._layers: List[Set[int]] = [{own_id}]
+        if own_adj:
+            self._layers.append(set(own_adj))
+            for v in own_adj:
+                self._dist[v] = 1
+        # Interior tracking: ``_missing[v]`` counts the claimed neighbors of
+        # the settled vertex v that are not settled yet; ``_waiting[w]`` lists
+        # the settled vertices whose interior membership is blocked on w.
+        self._missing: Dict[int, int] = {}
+        self._waiting: Dict[int, List[int]] = {}
+        self._interior: Set[int] = set()
+        self._interior_out: Set[int] = set()
+        self._settle(own_id, self.edge_sets[own_id])
+
+    # -- incremental maintenance ---------------------------------------- #
+    def _settle(self, node_id: int, edge_set: FrozenSet[int]) -> None:
+        settled = self.edge_sets
+        waiting = self._waiting
+        missing = 0
+        for w in edge_set:
+            if w not in settled:
+                missing += 1
+                waiting.setdefault(w, []).append(node_id)
+        if missing:
+            self._missing[node_id] = missing
+        else:
+            self._add_interior(node_id)
+        blocked = waiting.pop(node_id, None)
+        if blocked:
+            missing_of = self._missing
+            for v in blocked:
+                left = missing_of[v] - 1
+                if left:
+                    missing_of[v] = left
+                else:
+                    del missing_of[v]
+                    self._add_interior(v)
+
+    def _add_interior(self, v: int) -> None:
+        interior = self._interior
+        interior.add(v)
+        out = self._interior_out
+        out.discard(v)
+        for w in self._adj[v]:
+            if w not in interior:
+                out.add(w)
+
+    def _relax_distances(self, queue: "deque[int]") -> None:
+        dist = self._dist
+        adj = self._adj
+        while queue:
+            u = queue.popleft()
+            du1 = dist[u] + 1
+            for w in adj[u]:
+                dw = dist.get(w)
+                if dw is None or dw > du1:
+                    self._set_dist(w, du1)
+                    queue.append(w)
+
+    def _set_dist(self, v: int, d: int) -> None:
+        old = self._dist.get(v)
+        layers = self._layers
+        if old is not None:
+            layers[old].discard(v)
+        self._dist[v] = d
+        while len(layers) <= d:
+            layers.append(set())
+        layers[d].add(v)
+
+    # -- mutation ------------------------------------------------------- #
+    def integrate(
+        self,
+        reported_edges: Sequence[Tuple[int, Tuple[int, ...]]],
+        reported_vertices: Sequence[int],
+        *,
+        max_degree: int,
+    ) -> Tuple[bool, List[Tuple[int, Tuple[int, ...]]], List[int]]:
+        """Merge received topology information (reference semantics)."""
+        inconsistent = False
+        new_edge_sets: List[Tuple[int, Tuple[int, ...]]] = []
+        new_vertices: List[int] = []
+        adj = self._adj
+        vertices = self.vertices
+        interior = self._interior
+        interior_out = self._interior_out
+        relax: "deque[int]" = deque()
+        dist = self._dist
+        for node_id, edge_ids in reported_edges:
+            if not isinstance(node_id, int):
+                inconsistent = True
+                continue
+            edge_set = frozenset(edge_ids)
+            existing = self.edge_sets.get(node_id)
+            if existing is not None:
+                if existing != edge_set or not all(
+                    map(int.__instancecheck__, edge_set)
+                ):
+                    inconsistent = True
+                continue
+            if len(edge_set) > max_degree or node_id in edge_set:
+                inconsistent = True
+                continue
+            if not all(map(int.__instancecheck__, edge_set)):
+                inconsistent = True
+                continue
+            self.edge_sets[node_id] = edge_set
+            new_edge_sets.append((node_id, tuple(sorted(edge_set))))
+            if node_id not in vertices:
+                vertices.add(node_id)
+                new_vertices.append(node_id)
+            node_adj = adj.setdefault(node_id, set())
+            dn = dist.get(node_id)
+            for v in edge_set:
+                if v not in vertices:
+                    vertices.add(v)
+                    new_vertices.append(v)
+                if v in node_adj:
+                    continue
+                node_adj.add(v)
+                adj.setdefault(v, set()).add(node_id)
+                if v in interior:
+                    interior_out.add(node_id)
+                dv = dist.get(v)
+                if dn is not None and (dv is None or dv > dn + 1):
+                    self._set_dist(v, dn + 1)
+                    relax.append(v)
+                elif dv is not None and (dn is None or dn > dv + 1):
+                    dn = dv + 1
+                    self._set_dist(node_id, dn)
+                    relax.append(node_id)
+            self._settle(node_id, edge_set)
+        for node_id in reported_vertices:
+            if not isinstance(node_id, int):
+                inconsistent = True
+                continue
+            if node_id not in vertices:
+                vertices.add(node_id)
+                new_vertices.append(node_id)
+                adj.setdefault(node_id, set())
+        if relax:
+            self._relax_distances(relax)
+        return inconsistent, new_edge_sets, new_vertices
+
+    # -- structure queries ---------------------------------------------- #
+    def adjacency(self) -> Dict[int, Set[int]]:
+        return self._adj
+
+    def layer_prefixes(self, adj: Optional[Dict[int, Set[int]]] = None) -> List[FrozenSet[int]]:
+        prefixes: List[FrozenSet[int]] = []
+        running: Set[int] = set()
+        for layer in self._layers:
+            if not layer:
+                break
+            running |= layer
+            prefixes.append(frozenset(running))
+        return prefixes
+
+    def layer_sizes(self) -> List[int]:
+        sizes: List[int] = []
+        for layer in self._layers:
+            if not layer:
+                break
+            sizes.append(len(layer))
+        return sizes
+
+    def interior_set(self) -> Set[int]:
+        return set(self._interior)
+
+    def expansion_check_candidates(self) -> List[Tuple[int, int]]:
+        candidates: List[Tuple[int, int]] = []
+        sizes = self.layer_sizes()
+        prefix = 0
+        last = len(sizes) - 1
+        for j, layer_size in enumerate(sizes):
+            prefix += layer_size
+            candidates.append((prefix, sizes[j + 1] if j < last else 0))
+        if self._interior:
+            candidates.append((len(self._interior), len(self._interior_out)))
+        return candidates
+
+    @staticmethod
+    def expansion_of(adj: Dict[int, Set[int]], subset: Set[int]) -> float:
+        if not subset:
+            return math.inf
+        out: Set[int] = set()
+        for u in subset:
+            for v in adj.get(u, ()):
+                if v not in subset:
+                    out.add(v)
+        return len(out) / len(subset)
+
+    def size(self) -> int:
+        return len(self.vertices)

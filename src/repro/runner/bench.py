@@ -182,6 +182,47 @@ SCENARIOS: Tuple[BenchScenario, ...] = (
             "seed": 128,
         },
     ),
+    # Appended with the columnar hot-path rewrite (PR 4): a larger E2-style
+    # beacon-flood run (the Algorithm 2 engine/delivery hot path at 512
+    # nodes; num_byz follows the E2 driver's B(n) = n^0.3 budget) and one E9
+    # adversary-grid cell (Algorithm 1's LocalView under the fake-topology
+    # attack schedule, through the declarative scenario path).  Both
+    # parameterizations are pinned -- append new scenarios, never edit.
+    BenchScenario(
+        "e2-congest-n512",
+        "bench.congest",
+        {"n": 512, "degree": 8, "num_byz": 6, "behaviour": "beacon-flood", "seed": 0},
+    ),
+    BenchScenario(
+        "scenario-e9-grid-small",
+        "scenario.run",
+        {
+            "spec": {
+                "graph": {
+                    "name": "hnd",
+                    "params": {"n": 128, "degree": 8},
+                    "seed_offset": 128,
+                },
+                "adversary": {
+                    "name": "fake-topology",
+                    "params": {},
+                    "seed_offset": 0,
+                },
+                "placement": {
+                    "name": "spread",
+                    "params": {"count": 4},
+                    "seed_offset": 1,
+                },
+                "protocol": {
+                    "name": "local",
+                    "params": {"gamma": 0.7, "max_degree": 8},
+                    "seed_offset": 0,
+                },
+                "params": {"evaluation": {"kind": "good", "gamma": 0.7}},
+            },
+            "seed": 0,
+        },
+    ),
 )
 
 #: Reduced suite for ``make bench-smoke`` (sub-minute end to end).

@@ -14,17 +14,34 @@ adversary model (Section 2):
 
 The engine is protocol-agnostic: Algorithm 1, Algorithm 2, and every baseline
 run on it unchanged.
+
+Hot-path layout
+---------------
+The run loop is *array-slotted*: protocols and contexts live in dense lists
+indexed by node, an **active list** of non-halted nodes shrinks as protocols
+halt (halting is permanent -- see :attr:`Protocol.halted` -- so halted nodes
+are never re-tested), and decisions are recorded incrementally as each
+protocol runs instead of re-scanning every protocol every round.
+
+Delivery is *inverted* for the dominant all-broadcast case: instead of
+appending one envelope per edge into per-target dict buckets, the engine
+stores each sender's single shared envelope in a dense per-sender array and
+each receiver materializes its inbox with one pass over its (sorted) neighbor
+tuple.  Targeted sends -- Byzantine outboxes, or rounds in which some honest
+node produced a non-broadcast outbox -- fall back to the classic per-target
+delivery, preserving exact delivery order (ascending honest senders first,
+then Byzantine senders).
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, List, Mapping, Optional, Tuple
 
 from repro.simulator.byzantine import Adversary, AdversaryView, ByzantineOutbox, SilentAdversary
 from repro.simulator.messages import DeliveredMessage, Message
-from repro.simulator.metrics import SimulationMetrics
+from repro.simulator.metrics import NodeMessageStats, SimulationMetrics
 from repro.simulator.network import Network
 from repro.simulator.node import Broadcast, NodeContext, Outbox, Protocol
 from repro.simulator.rng import split_seed
@@ -103,14 +120,28 @@ class SynchronousEngine:
         self.stop_condition = stop_condition
 
         graph = network.graph
+        adjacency = graph.adjacency
+        node_ids = graph.node_ids
+        # Unified per-graph neighbor table, built once and shared by the
+        # protocol contexts, outbox validation, and the adversary edge
+        # filter: ``_neighbors[u]`` is the graph's own sorted neighbor tuple,
+        # ``_neighbor_sets[u]`` the matching frozenset, and
+        # ``_neighbor_ids[u]`` the neighbor-index -> identifier map.
+        self._neighbors: List[Tuple[int, ...]] = adjacency
+        self._neighbor_sets: List[FrozenSet[int]] = [
+            frozenset(nbrs) for nbrs in adjacency
+        ]
+        self._neighbor_ids: List[Dict[int, int]] = [
+            {v: node_ids[v] for v in nbrs} for nbrs in adjacency
+        ]
         self._contexts: Dict[int, NodeContext] = {}
         self._protocols: Dict[int, Protocol] = {}
         for u in network.honest:
             ctx = NodeContext(
                 index=u,
-                node_id=graph.node_id(u),
-                neighbors=graph.neighbors(u),
-                neighbor_ids={v: graph.node_id(v) for v in graph.neighbors(u)},
+                node_id=node_ids[u],
+                neighbors=adjacency[u],
+                neighbor_ids=self._neighbor_ids[u],
                 rng=random.Random(split_seed(seed, "node", u)),
                 round=0,
             )
@@ -119,17 +150,6 @@ class SynchronousEngine:
         self._adversary_rng = random.Random(split_seed(seed, "adversary"))
         self.adversary.setup(graph, network.byzantine, self._adversary_rng)
         self.metrics = SimulationMetrics()
-        # Neighbor sets are immutable for the lifetime of a run; cache them
-        # lazily instead of rebuilding a set per node per round.
-        self._neighbor_sets: Dict[int, frozenset] = {}
-
-    def _neighbor_set(self, node: int) -> frozenset:
-        """Cached set of ``node``'s neighbors (outbox/adversary validation)."""
-        cached = self._neighbor_sets.get(node)
-        if cached is None:
-            cached = frozenset(self.network.graph.neighbors(node))
-            self._neighbor_sets[node] = cached
-        return cached
 
     # ------------------------------------------------------------------ #
     @property
@@ -137,8 +157,15 @@ class SynchronousEngine:
         """Live honest protocol objects (read access, also used by adversaries)."""
         return self._protocols
 
-    def _default_stop(self, protocols: Dict[int, Protocol], round_number: int) -> bool:
-        return all(p.halted for p in protocols.values())
+    @property
+    def decided_count(self) -> int:
+        """Number of honest nodes whose decision has been recorded (O(1)).
+
+        Maintained incrementally as protocols run; stop conditions can test
+        "all decided" against ``len(engine.protocols)`` without scanning every
+        protocol every round.
+        """
+        return len(self.metrics.decision_rounds)
 
     def _validate_outbox(self, sender: int, outbox: Outbox) -> Outbox:
         """Drop messages addressed to non-neighbors (protocol bug guard)."""
@@ -150,10 +177,10 @@ class SynchronousEngine:
             # engine's own); anything else is filtered per target.
             if outbox.targets is self._contexts[sender].neighbors:
                 return outbox
-            valid_targets = self._neighbor_set(sender)
+            valid_targets = self._neighbor_sets[sender]
             targets = tuple(t for t in outbox.targets if t in valid_targets)
             return Broadcast(outbox.message, targets) if targets else {}
-        valid_targets = self._neighbor_set(sender)
+        valid_targets = self._neighbor_sets[sender]
         cleaned: Dict[int, List[Message]] = {}
         for target, msgs in outbox.items():
             if target in valid_targets and msgs:
@@ -163,23 +190,276 @@ class SynchronousEngine:
     def run(self, max_rounds: Optional[int] = None) -> RunResult:
         """Execute the protocol until termination and return the result."""
         graph = self.network.graph
+        n = graph.n
+        node_ids = graph.node_ids
         limit = max_rounds if max_rounds is not None else self.max_rounds
-        stop = self.stop_condition if self.stop_condition is not None else self._default_stop
+        stop = self.stop_condition
+        metrics = self.metrics
+        record_broadcast = metrics.record_broadcast
+        decision_rounds = metrics.decision_rounds
+        nbrs = self._neighbors
+        protocols_map = self._protocols
+        byzantine = self.network.byzantine
+        track_adversary = bool(byzantine)
 
-        # Inboxes to be delivered at the *start* of the next honest step.
-        pending_inboxes: Dict[int, List[Message]] = {u: [] for u in range(graph.n)}
+        # Dense per-node slots; the active list holds the non-halted honest
+        # nodes in ascending order and shrinks as protocols halt.
+        proto_list: List[Optional[Protocol]] = [None] * n
+        ctx_list: List[Optional[NodeContext]] = [None] * n
+        for u, protocol in protocols_map.items():
+            proto_list[u] = protocol
+            ctx_list[u] = self._contexts[u]
+        active: List[int] = list(protocols_map)
 
-        # Round 0: on_start.
-        self.metrics.start_round()
-        honest_outboxes: Dict[int, Outbox] = {}
-        for u, protocol in self._protocols.items():
-            ctx = self._contexts[u]
-            ctx.round = 0
-            outbox = self._validate_outbox(u, protocol.on_start(ctx) or {})
-            honest_outboxes[u] = outbox
-        byz_outboxes = self._adversary_step(0, honest_outboxes, pending_inboxes)
-        pending_inboxes = self._deliver(honest_outboxes, byz_outboxes)
-        self._record_decisions(0)
+        # Honest outboxes as shown to the adversary: one persistent dict in
+        # honest-node order whose entries are refreshed for active nodes
+        # (halted nodes keep their {} entry); a shallow per-round snapshot is
+        # handed to the adversary view.
+        adv_outboxes: Dict[int, Outbox] = (
+            {u: {} for u in protocols_map} if track_adversary else {}
+        )
+
+        # Delivery state of the *previous* round.  ``env[v]`` holds v's
+        # shared broadcast envelope (inverted delivery), ``extra`` the
+        # targeted envelopes appended after the broadcasts; ``slow`` replaces
+        # both with classic per-target buckets whenever some honest outbox
+        # was not a full-neighborhood broadcast.
+        env: List[Optional[DeliveredMessage]] = [None] * n
+        extra: Dict[int, List[Message]] = {}
+        slow: Optional[Dict[int, List[Message]]] = None
+
+        def run_phase(round_number: int, nodes: List[int], start: bool) -> Tuple[
+            List[Tuple[int, Outbox]], bool, bool
+        ]:
+            """Run one honest phase; returns (deliveries, fast, any_halted)."""
+            deliveries: List[Tuple[int, Outbox]] = []
+            fast = True
+            any_halted = False
+            for u in nodes:
+                protocol = proto_list[u]
+                ctx = ctx_list[u]
+                ctx.round = round_number
+                if start:
+                    outbox = protocol.on_start(ctx)
+                else:
+                    if slow is not None:
+                        inbox = slow.get(u, [])
+                    else:
+                        inbox = [e for v in nbrs[u] if (e := env[v]) is not None]
+                        ex = extra.get(u)
+                        if ex:
+                            inbox += ex
+                    outbox = protocol.on_round(ctx, inbox)
+                # Dispatch without ever calling ``Broadcast.__bool__``: the
+                # dominant case is a full-neighborhood Broadcast built from
+                # the engine's own neighbor tuple, valid by construction.
+                if type(outbox) is Broadcast:
+                    targets = outbox.targets
+                    if targets is ctx.neighbors:
+                        if targets:
+                            deliveries.append((u, outbox))
+                    else:
+                        outbox = self._validate_outbox(u, outbox)
+                        if outbox:
+                            fast = False
+                            deliveries.append((u, outbox))
+                elif outbox:
+                    outbox = self._validate_outbox(u, outbox)
+                    if outbox:
+                        fast = False
+                        deliveries.append((u, outbox))
+                else:
+                    outbox = {}
+                if track_adversary:
+                    adv_outboxes[u] = outbox
+                if u not in decision_rounds and protocol.decided:
+                    decision_rounds[u] = round_number
+                if protocol.halted:
+                    any_halted = True
+            return deliveries, fast, any_halted
+
+        def deliver_fast(
+            deliveries: List[Tuple[int, Outbox]]
+        ) -> List[Optional[DeliveredMessage]]:
+            """Inverted delivery: one shared envelope per broadcasting sender.
+
+            Receivers materialize their inboxes with one pass over their
+            neighbor tuples, so a broadcast round costs one envelope and one
+            accounting update per *sender* here plus one C-speed list
+            comprehension per *receiver*, instead of per-edge dict bucket
+            updates.  The metrics totals are accumulated locally and flushed
+            once per round (``record_broadcast``, inlined and batched).
+            """
+            new_env: List[Optional[DeliveredMessage]] = [None] * n
+            if not deliveries:
+                return new_env
+            per_node = metrics.per_node
+            round_messages = 0
+            round_bits = 0
+            for u, outbox in deliveries:
+                message = outbox.message
+                stamped = DeliveredMessage(message, u, node_ids[u])
+                new_env[u] = stamped
+                copies = len(outbox.targets)
+                bits = message.size_bits
+                ids = message.num_ids
+                round_messages += copies
+                round_bits += bits * copies
+                stats = per_node.get(u)
+                if stats is None:
+                    stats = per_node[u] = NodeMessageStats()
+                stats.messages_sent += copies
+                stats.bits_sent += bits * copies
+                stats.ids_sent += ids * copies
+                if bits > stats.max_message_bits:
+                    stats.max_message_bits = bits
+                if ids > stats.max_message_ids:
+                    stats.max_message_ids = ids
+            metrics.total_messages += round_messages
+            metrics.total_bits += round_bits
+            metrics.messages_per_round[-1] += round_messages
+            return new_env
+
+        def deliver_targeted(
+            byz_outboxes: ByzantineOutbox, buckets: Dict[int, List[Message]]
+        ) -> None:
+            """Classic per-target delivery of Byzantine outboxes into buckets."""
+            for b, per_target in byz_outboxes.items():
+                sender_id = node_ids[b]
+                envelopes: Dict[int, List] = {}
+                for target, msgs in per_target.items():
+                    bucket = buckets.get(target)
+                    if bucket is None:
+                        bucket = buckets[target] = []
+                    for msg in msgs:
+                        entry = envelopes.get(id(msg))
+                        if entry is None:
+                            entry = envelopes[id(msg)] = [
+                                DeliveredMessage(msg, b, sender_id),
+                                0,
+                            ]
+                        entry[1] += 1
+                        bucket.append(entry[0])
+                for stamped, copies in envelopes.values():
+                    record_broadcast(b, stamped, copies)
+
+        def deliver_slow(
+            deliveries: List[Tuple[int, Outbox]], byz_outboxes: ByzantineOutbox
+        ) -> Dict[int, List[Message]]:
+            """Classic delivery for rounds with non-broadcast honest outboxes.
+
+            One envelope per distinct outbox message: a broadcast that puts
+            the same Message object in every target's list is delivered as a
+            single shared, sender-stamped envelope instead of one clone per
+            edge, and is accounted once with its delivery count.  Delivered
+            messages are read-only by contract.
+            """
+            inboxes: Dict[int, List[Message]] = {}
+
+            def deliver_from(sender: int, outbox: Mapping[int, List[Message]]) -> None:
+                sender_id = node_ids[sender]
+                if isinstance(outbox, Broadcast):
+                    targets = outbox.targets
+                    if not targets:
+                        return
+                    stamped = DeliveredMessage(outbox.message, sender, sender_id)
+                    for target in targets:
+                        bucket = inboxes.get(target)
+                        if bucket is None:
+                            bucket = inboxes[target] = []
+                        bucket.append(stamped)
+                    record_broadcast(sender, stamped, len(targets))
+                    return
+                envelopes: Dict[int, List] = {}
+                for target, msgs in outbox.items():
+                    bucket = inboxes.get(target)
+                    if bucket is None:
+                        bucket = inboxes[target] = []
+                    for msg in msgs:
+                        entry = envelopes.get(id(msg))
+                        if entry is None:
+                            entry = envelopes[id(msg)] = [
+                                DeliveredMessage(msg, sender, sender_id),
+                                0,
+                            ]
+                        entry[1] += 1
+                        bucket.append(entry[0])
+                for stamped, copies in envelopes.values():
+                    record_broadcast(sender, stamped, copies)
+
+            for sender, outbox in deliveries:
+                deliver_from(sender, outbox)
+            for sender, outbox in byz_outboxes.items():
+                if outbox:
+                    deliver_from(sender, outbox)
+            return inboxes
+
+        def adversary_step(round_number: int) -> ByzantineOutbox:
+            if not track_adversary:
+                return {}
+            # Byzantine inboxes are materialized from the previous round's
+            # delivery state exactly like honest inboxes.
+            byz_inboxes: Dict[int, List[Message]] = {}
+            for b in byzantine:
+                if slow is not None:
+                    byz_inboxes[b] = slow.get(b, [])
+                else:
+                    inbox = [e for v in nbrs[b] if (e := env[v]) is not None]
+                    ex = extra.get(b)
+                    if ex:
+                        inbox += ex
+                    byz_inboxes[b] = inbox
+            view = AdversaryView(
+                round=round_number,
+                graph=graph,
+                byzantine=byzantine,
+                honest_protocols=protocols_map,
+                honest_outboxes=dict(adv_outboxes),
+                byzantine_inboxes=byz_inboxes,
+                rng=self._adversary_rng,
+            )
+            raw = self.adversary.act(view) or {}
+            # Byzantine nodes may only use their own incident edges.
+            cleaned: ByzantineOutbox = {}
+            neighbor_sets = self._neighbor_sets
+            for b, per_target in raw.items():
+                if b not in byzantine:
+                    continue
+                valid_targets = neighbor_sets[b]
+                cleaned[b] = {
+                    t: list(msgs)
+                    for t, msgs in per_target.items()
+                    if t in valid_targets and msgs
+                }
+            return cleaned
+
+        def compact_active(nodes: List[int]) -> List[int]:
+            """Drop newly halted nodes; their adversary-visible outbox
+            becomes {} from the next round on (they no longer send), exactly
+            as when the old engine re-tested every node every round."""
+            still_active: List[int] = []
+            for u in nodes:
+                if proto_list[u].halted:
+                    if track_adversary:
+                        adv_outboxes[u] = {}
+                else:
+                    still_active.append(u)
+            return still_active
+
+        # Round 0: on_start for every honest node.
+        metrics.start_round()
+        deliveries, fast, any_halted = run_phase(0, active, True)
+        byz_outboxes = adversary_step(0)
+        if fast:
+            env = deliver_fast(deliveries)
+            extra = {}
+            slow = None
+            if byz_outboxes:
+                deliver_targeted(byz_outboxes, extra)
+        else:
+            slow = deliver_slow(deliveries, byz_outboxes)
+        if any_halted:
+            active = compact_active(active)
 
         # ``executed`` is the last fully executed round (round 0 ran above);
         # the stop condition is always evaluated with it, whether the run ends
@@ -188,125 +468,32 @@ class SynchronousEngine:
         completed = False
         executed = 0
         for round_number in range(1, limit + 1):
-            if stop(self._protocols, executed):
+            if (not active) if stop is None else stop(protocols_map, executed):
                 completed = True
                 break
-            self.metrics.start_round()
-            honest_outboxes = {}
-            for u, protocol in self._protocols.items():
-                if protocol.halted:
-                    honest_outboxes[u] = {}
-                    continue
-                ctx = self._contexts[u]
-                ctx.round = round_number
-                inbox = pending_inboxes.get(u, [])
-                outbox = self._validate_outbox(u, protocol.on_round(ctx, inbox) or {})
-                honest_outboxes[u] = outbox
-            byz_outboxes = self._adversary_step(
-                round_number, honest_outboxes, pending_inboxes
-            )
-            pending_inboxes = self._deliver(honest_outboxes, byz_outboxes)
-            self._record_decisions(round_number)
+            metrics.start_round()
+            deliveries, fast, any_halted = run_phase(round_number, active, False)
+            byz_outboxes = adversary_step(round_number)
+            if fast:
+                env = deliver_fast(deliveries)
+                extra = {}
+                slow = None
+                if byz_outboxes:
+                    deliver_targeted(byz_outboxes, extra)
+            else:
+                slow = deliver_slow(deliveries, byz_outboxes)
+            if any_halted:
+                active = compact_active(active)
             executed = round_number
         else:
-            completed = stop(self._protocols, executed)
+            completed = (
+                (not active) if stop is None else stop(protocols_map, executed)
+            )
 
         return RunResult(
             network=self.network,
-            rounds_executed=self.metrics.rounds_executed,
-            protocols=self._protocols,
-            metrics=self.metrics,
+            rounds_executed=metrics.rounds_executed,
+            protocols=protocols_map,
+            metrics=metrics,
             completed=completed,
         )
-
-    # ------------------------------------------------------------------ #
-    def _adversary_step(
-        self,
-        round_number: int,
-        honest_outboxes: Dict[int, Outbox],
-        pending_inboxes: Dict[int, List[Message]],
-    ) -> ByzantineOutbox:
-        if not self.network.byzantine:
-            return {}
-        view = AdversaryView(
-            round=round_number,
-            graph=self.network.graph,
-            byzantine=self.network.byzantine,
-            honest_protocols=self._protocols,
-            honest_outboxes=honest_outboxes,
-            byzantine_inboxes={
-                b: pending_inboxes.get(b, []) for b in self.network.byzantine
-            },
-            rng=self._adversary_rng,
-        )
-        raw = self.adversary.act(view) or {}
-        # Byzantine nodes may only use their own incident edges.
-        cleaned: ByzantineOutbox = {}
-        for b, per_target in raw.items():
-            if b not in self.network.byzantine:
-                continue
-            valid_targets = self._neighbor_set(b)
-            cleaned[b] = {
-                t: list(msgs)
-                for t, msgs in per_target.items()
-                if t in valid_targets and msgs
-            }
-        return cleaned
-
-    def _deliver(
-        self,
-        honest_outboxes: Dict[int, Outbox],
-        byz_outboxes: ByzantineOutbox,
-    ) -> Dict[int, List[Message]]:
-        graph = self.network.graph
-        inboxes: Dict[int, List[Message]] = {}
-        record_broadcast = self.metrics.record_broadcast
-
-        def deliver_from(sender: int, outbox: Mapping[int, List[Message]]) -> None:
-            sender_id = graph.node_id(sender)
-            # One envelope per distinct outbox message: a broadcast that puts
-            # the same Message object in every target's list is delivered as a
-            # single shared, sender-stamped envelope instead of one clone per
-            # edge, and is accounted once with its delivery count.  Delivered
-            # messages are read-only by contract.
-            if isinstance(outbox, Broadcast):
-                targets = outbox.targets
-                if not targets:
-                    return
-                stamped = DeliveredMessage(outbox.message, sender, sender_id)
-                for target in targets:
-                    bucket = inboxes.get(target)
-                    if bucket is None:
-                        bucket = inboxes[target] = []
-                    bucket.append(stamped)
-                record_broadcast(sender, stamped, len(targets))
-                return
-            envelopes: Dict[int, List] = {}
-            for target, msgs in outbox.items():
-                bucket = inboxes.get(target)
-                if bucket is None:
-                    bucket = inboxes[target] = []
-                for msg in msgs:
-                    entry = envelopes.get(id(msg))
-                    if entry is None:
-                        entry = envelopes[id(msg)] = [
-                            DeliveredMessage(msg, sender, sender_id),
-                            0,
-                        ]
-                    entry[1] += 1
-                    bucket.append(entry[0])
-            for stamped, copies in envelopes.values():
-                record_broadcast(sender, stamped, copies)
-
-        for sender, outbox in honest_outboxes.items():
-            if outbox:
-                deliver_from(sender, outbox)
-        for sender, outbox in byz_outboxes.items():
-            if outbox:
-                deliver_from(sender, outbox)
-        return inboxes
-
-    def _record_decisions(self, round_number: int) -> None:
-        for u, protocol in self._protocols.items():
-            if protocol.decided and u not in self.metrics.decision_rounds:
-                self.metrics.record_decision(u, round_number)

@@ -47,7 +47,7 @@ def estimate_payload_bits(payload: Any) -> int:
     return max(1, 8 * len(repr(payload)))
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """A single message traveling over one edge in one round.
 
@@ -135,6 +135,8 @@ class DeliveredMessage(Message):
     delivered to, so a degree-``d`` broadcast costs one envelope instead of
     ``d`` clones.  Receivers must treat delivered messages as immutable.
     """
+
+    __slots__ = ()
 
     def __init__(self, template: Message, sender: int, sender_id: int) -> None:
         self.kind = template.kind

@@ -96,13 +96,23 @@ class SimulationMetrics:
                 "record_send called before start_round(); open a round first "
                 "so the per-round message count cannot under-report"
             )
+        bits = message.size_bits
+        ids = message.num_ids
         self.total_messages += copies
-        self.total_bits += message.size_bits * copies
+        self.total_bits += bits * copies
         self.messages_per_round[-1] += copies
         stats = self.per_node.get(node)
         if stats is None:
             stats = self.per_node[node] = NodeMessageStats()
-        stats.record_many(message, copies)
+        # ``NodeMessageStats.record_many``, inlined (this is called once per
+        # (sender, outbox message) pair on the delivery hot path).
+        stats.messages_sent += copies
+        stats.bits_sent += bits * copies
+        stats.ids_sent += ids * copies
+        if bits > stats.max_message_bits:
+            stats.max_message_bits = bits
+        if ids > stats.max_message_ids:
+            stats.max_message_ids = ids
 
     def start_round(self) -> None:
         """Open the accounting bucket of a new round."""

@@ -85,7 +85,7 @@ def broadcast(neighbors: Sequence[int], message: Message) -> Outbox:
     return Broadcast(message, tuple(neighbors))
 
 
-@dataclass
+@dataclass(slots=True)
 class NodeContext:
     """Local view handed to a protocol on every callback.
 
@@ -150,7 +150,14 @@ class Protocol(ABC):
 
     @property
     def halted(self) -> bool:
-        """Whether this node has stopped participating (default: once decided)."""
+        """Whether this node has stopped participating (default: once decided).
+
+        Halting must be *permanent*: once a protocol reports ``halted`` it is
+        removed from the engine's active-node list and is never scheduled (or
+        re-tested) again.  Protocols that may want to keep being scheduled
+        after deciding (e.g. passive forwarders) must report ``False`` here,
+        as Algorithm 2 does.
+        """
         return self.decided
 
     @property

@@ -232,3 +232,38 @@ class TestBenchCli:
         )
         assert code == 0
         assert "no previous" in capsys.readouterr().out
+
+    def test_output_name_overrides_dated_filename(self, tmp_path, capsys):
+        code = main(
+            [
+                "bench",
+                "--repeats",
+                "1",
+                "--output-dir",
+                str(tmp_path),
+                "--output-name",
+                "BENCH_2026-07-28b.json",
+            ]
+        )
+        assert code == 0
+        assert (tmp_path / "BENCH_2026-07-28b.json").exists()
+        assert "BENCH_2026-07-28b.json" in capsys.readouterr().out
+
+    def test_profile_writes_top25_report(self, tmp_path, capsys):
+        profile_path = tmp_path / "profile_report.txt"
+        code = main(
+            [
+                "bench",
+                "--scenarios",
+                "smoke",
+                "--repeats",
+                "1",
+                "--no-write",
+                "--profile",
+                str(profile_path),
+            ]
+        )
+        assert code == 0
+        text = profile_path.read_text()
+        assert "cumulative" in text
+        assert "wrote profile report" in capsys.readouterr().out

@@ -54,6 +54,20 @@ class MisbehavedProtocol(EchoProtocol):
         return {bogus_target: [msg], ctx.neighbors[0]: [msg.clone()]}
 
 
+class BroadcastThenHaltProtocol(EchoProtocol):
+    """Broadcasts a final message in the very round its ``halted`` flips."""
+
+    def on_round(self, ctx: NodeContext, inbox) -> Outbox:
+        self.received.extend(inbox)
+        self.round_log.append(ctx.round)
+        if ctx.round >= self.rounds_to_run:
+            self._decided = True
+            msg = Message.make("echo", "last-words")
+            return {v: [msg.clone()] for v in ctx.neighbors}
+        msg = Message.make("echo", ctx.round)
+        return {v: [msg.clone()] for v in ctx.neighbors}
+
+
 class RecordingAdversary(Adversary):
     """Sends a tagged message from every Byzantine node and records its view."""
 
@@ -283,6 +297,30 @@ class TestAdversaryIntegration:
             for m in protocol.received:
                 if m.kind == "byz":
                     assert m.sender == 0
+
+    def test_halted_node_outbox_resets_in_adversary_view(self):
+        # A node may broadcast in the same round its halted property flips;
+        # the adversary must see that final outbox in the halting round and
+        # an empty outbox (not a stale replay) in every later round.
+        graph = cycle_graph(4)
+        network = Network(graph=graph, byzantine=frozenset({0}))
+        adversary = RecordingAdversary()
+        engine = SynchronousEngine(
+            network,
+            lambda ctx: BroadcastThenHaltProtocol(ctx, rounds_to_run=2),
+            adversary=adversary,
+            seed=0,
+            max_rounds=10,
+            stop_condition=lambda protocols, r: r >= 4,
+        )
+        engine.run()
+        by_round = {view.round: view for view in adversary.views}
+        assert any(by_round[2].honest_outboxes.values())
+        for round_number in (3, 4):
+            assert all(
+                not outbox
+                for outbox in by_round[round_number].honest_outboxes.values()
+            )
 
     def test_no_adversary_call_without_byzantine_nodes(self):
         graph = cycle_graph(4)

@@ -1,16 +1,23 @@
 """Property tests: incremental ``LocalView`` state == from-scratch recomputation.
 
-The incremental refactor maintains BFS layers, layer prefixes, the interior
-set, and the interior's out-boundary inside ``integrate``.  These tests drive
-randomized ``integrate`` sequences -- including Byzantine-malformed payloads
--- and assert after every step that the incremental structures equal the
-quantities recomputed from scratch off the adjacency (the pre-refactor
-definitions).
+The incremental structures (BFS layers, layer prefixes, the interior set, and
+the interior's out-boundary) are maintained inside ``integrate``.  These tests
+drive randomized ``integrate`` sequences -- including Byzantine-malformed
+payloads -- and assert after every step that
+
+* the bitset/columnar ``LocalView`` equals the quantities recomputed from
+  scratch off the adjacency (the pre-refactor definitions), and
+* the bitset ``LocalView`` agrees observable-for-observable (including
+  ``integrate``'s return values) with the retained set-based reference
+  implementation :class:`repro.core.local_view_reference.SetBasedLocalView`.
 """
 
 import random
 
-from repro.core.local_counting import LocalView
+import pytest
+
+from repro.core.local_counting import ClaimInterner, LocalView
+from repro.core.local_view_reference import SetBasedLocalView
 
 
 # --------------------------------------------------------------------------- #
@@ -194,3 +201,143 @@ class TestIncrementalMatchesScratch:
         reachable = set().union(*[set(p) for p in view.layer_prefixes()])
         assert 50 not in reachable and 60 not in reachable
         assert 50 in view.vertices and 60 in view.vertices
+
+
+# --------------------------------------------------------------------------- #
+# Bitset LocalView vs the retained set-based reference implementation
+# --------------------------------------------------------------------------- #
+def assert_views_equal(bitset: LocalView, reference: SetBasedLocalView):
+    """Every observable of both implementations must agree."""
+    assert set(bitset.vertices) == set(reference.vertices)
+    assert bitset.size() == reference.size()
+    assert dict(bitset.edge_sets) == dict(reference.edge_sets)
+    bit_adj = bitset.adjacency()
+    ref_adj = reference.adjacency()
+    assert {v: set(nbrs) for v, nbrs in bit_adj.items()} == {
+        v: set(nbrs) for v, nbrs in ref_adj.items()
+    }
+    assert [set(p) for p in bitset.layer_prefixes()] == [
+        set(p) for p in reference.layer_prefixes()
+    ]
+    assert bitset.layer_sizes() == reference.layer_sizes()
+    assert bitset.interior_set() == reference.interior_set()
+    assert bitset.expansion_check_candidates() == reference.expansion_check_candidates()
+
+
+def drive_both(bitset, reference, entries, vertices, max_degree=MAX_DEGREE):
+    """Feed both views one delta; their results (or raises) must agree."""
+    try:
+        got = bitset.integrate(entries, vertices, max_degree=max_degree)
+    except (TypeError, ValueError) as bitset_exc:
+        with pytest.raises(type(bitset_exc)):
+            reference.integrate(entries, vertices, max_degree=max_degree)
+        # Claims preceding the raising one were integrated by both.
+        assert_views_equal(bitset, reference)
+        return None
+    expected = reference.integrate(entries, vertices, max_degree=max_degree)
+    assert got == expected
+    assert_views_equal(bitset, reference)
+    return got
+
+
+class TestBitsetMatchesSetBasedReference:
+    def make_pair(self, own_id, neighbors):
+        return LocalView(own_id, neighbors), SetBasedLocalView(own_id, neighbors)
+
+    def test_randomized_fuzz_sequences(self):
+        # The same Byzantine malformed-payload fuzzer that drives the
+        # scratch-comparison tests, replayed against both implementations.
+        for seed in range(25):
+            rng = random.Random(10_000 + seed)
+            degree = rng.randrange(2, MAX_DEGREE + 1)
+            neighbors = [101 + i for i in range(degree)]
+            bitset, reference = self.make_pair(100, neighbors)
+            for step in range(20):
+                entries = [
+                    random_edge_entry(rng, bitset, fresh_base=2000 + 100 * step)
+                    for _ in range(rng.randrange(1, 4))
+                ]
+                vertices = random_vertices(rng, fresh_base=2000 + 100 * step)
+                drive_both(bitset, reference, entries, vertices)
+
+    def test_non_int_ids_flagged_identically(self):
+        bitset, reference = self.make_pair(0, [1, 2])
+        for entries, vertices in [
+            ([("evil", (1, 2))], []),
+            ([(3.0, (1, 2))], []),
+            ([(3, (1, "x"))], []),
+            ([(3, (1, 2.0))], []),
+            ([(None, ())], ["ghost", None, 4.5]),
+        ]:
+            got = drive_both(bitset, reference, entries, vertices)
+            assert got is not None and got[0] is True
+
+    def test_conflicting_edge_set_claims(self):
+        bitset, reference = self.make_pair(0, [1])
+        assert drive_both(bitset, reference, [(5, (6, 7))], []) == (
+            False,
+            [(5, (6, 7))],
+            [5, 6, 7],
+        )
+        # Same claim again (canonical and permuted): silently deduplicated.
+        assert drive_both(bitset, reference, [(5, (6, 7))], []) == (False, [], [])
+        assert drive_both(bitset, reference, [(5, (7, 6))], []) == (False, [], [])
+        # Set-equal re-announcement in a *list* container (bypasses the
+        # interner's value table): silent both times, and later fresh claims
+        # must still integrate (regression: transient uncached records used
+        # to leak recyclable ids into the seen-entries set).
+        assert drive_both(bitset, reference, [(5, [6, 7])], []) == (False, [], [])
+        assert drive_both(bitset, reference, [(5, [7, 6])], []) == (False, [], [])
+        assert drive_both(bitset, reference, [(6, (5, 7))], []) == (
+            False,
+            [(6, (5, 7))],
+            [],
+        )
+        # Conflicting claim for the settled node 5: flagged, not integrated.
+        assert drive_both(bitset, reference, [(5, (8, 9))], []) == (True, [], [])
+        # Float re-announcement that compares equal to the settled ints.
+        assert drive_both(bitset, reference, [(5, (6.0, 7.0))], []) == (True, [], [])
+        # Degree-bound violation and self-loop claims.
+        assert drive_both(
+            bitset, reference, [(10, tuple(range(20, 20 + MAX_DEGREE + 2)))], []
+        ) == (True, [], [])
+        assert drive_both(bitset, reference, [(11, (11, 12))], []) == (True, [], [])
+
+    def test_unhashable_edge_container_raises_in_both(self):
+        bitset, reference = self.make_pair(0, [1])
+        # An int node id with an edge container whose elements are unhashable
+        # raises out of integrate in both implementations (the protocol
+        # treats the whole message as inconsistent).
+        assert (
+            drive_both(bitset, reference, [(5, (6, [7]))], []) is None
+        )
+
+    def test_shared_interner_matches_reference(self):
+        # Two bitset views sharing one per-run ClaimInterner (as
+        # run_local_counting wires them) and re-broadcasting each other's
+        # singleton delta entries must track two independent reference views.
+        interner = ClaimInterner()
+        bit_a = LocalView(0, [1], interner=interner)
+        bit_b = LocalView(1, [0], interner=interner)
+        ref_a = SetBasedLocalView(0, [1])
+        ref_b = SetBasedLocalView(1, [0])
+        rng = random.Random(7)
+        pending_b = []
+        for step in range(12):
+            entries = [
+                random_edge_entry(rng, bit_a, fresh_base=3000 + 200 * step)
+                for _ in range(rng.randrange(1, 3))
+            ]
+            _, new_a, _ = bit_a.integrate(entries, [], max_degree=MAX_DEGREE)
+            _, ref_new_a, _ = ref_a.integrate(entries, [], max_degree=MAX_DEGREE)
+            assert new_a == ref_new_a
+            assert_views_equal(bit_a, ref_a)
+            pending_b.extend(new_a)
+            # b integrates a's forwarded singleton entries (identity-deduped
+            # on later arrivals), twice to exercise the duplicate path.
+            for _ in range(2):
+                got = bit_b.integrate(list(pending_b), [], max_degree=MAX_DEGREE)
+                expected = ref_b.integrate(list(pending_b), [], max_degree=MAX_DEGREE)
+                assert got == expected
+                assert_views_equal(bit_b, ref_b)
+            pending_b = []
