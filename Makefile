@@ -17,6 +17,10 @@
 #   make scenario-demo - run the committed declarative scenario spec
 #                        (examples/scenario_e2_small.json) end to end
 #                        (sub-minute; a prerequisite of `make test`)
+#   make dist-demo     - run a scenario sweep over the distributed backend
+#                        (loopback broker + 2 spawned worker daemons) and
+#                        assert the table is byte-identical to the serial
+#                        run (seconds; a prerequisite of `make test`)
 
 PYTHON ?= python
 WORKERS ?= 4
@@ -31,13 +35,23 @@ SMOKE_BASELINE ?= benchmarks/BENCH_SMOKE.json
 SMOKE_THRESHOLD ?= 0.10
 PROFILE_OUT ?= profile_report.txt
 
-.PHONY: test bench bench-compare bench-smoke bench-smoke-compare profile sweep-demo scenario-demo clean-artifacts
+DIST_DEMO_SPEC ?= examples/scenario_benign_congest.json
 
-test: scenario-demo bench-smoke-compare
+.PHONY: test bench bench-compare bench-smoke bench-smoke-compare profile sweep-demo scenario-demo dist-demo clean-artifacts
+
+test: scenario-demo dist-demo bench-smoke-compare
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 
 scenario-demo:
 	PYTHONPATH=src $(PYTHON) -m repro.cli scenario run examples/scenario_e2_small.json
+
+dist-demo:
+	PYTHONPATH=src $(PYTHON) -m repro.cli scenario run $(DIST_DEMO_SPEC) > .dist-demo-serial.txt
+	PYTHONPATH=src $(PYTHON) -m repro.cli scenario run $(DIST_DEMO_SPEC) --backend distributed --spawn-workers 2 > .dist-demo-distributed.txt
+	@diff .dist-demo-serial.txt .dist-demo-distributed.txt; status=$$?; \
+	rm -f .dist-demo-serial.txt .dist-demo-distributed.txt; \
+	if [ $$status -ne 0 ]; then echo "dist-demo FAIL: distributed table differs from serial"; exit $$status; fi; \
+	echo "dist-demo ok: distributed (loopback broker + 2 workers) table identical to serial"
 
 bench:
 	PYTHONPATH=src $(PYTHON) -m repro.cli bench --repeats $(BENCH_REPEATS) --output-dir $(BENCH_DIR)

@@ -17,10 +17,20 @@ Sub-commands:
 
 ``sweep``
     Run one experiment (or ``all``) through the parallel sweep runner, fanning
-    the driver's config list over a worker pool and optionally caching each
-    run as a JSON artifact (see RUNNER.md), e.g.::
+    the driver's config list over an execution backend -- serial, a local
+    worker pool, or the distributed broker/worker cluster -- and optionally
+    caching each run as a JSON artifact (see RUNNER.md), e.g.::
 
         repro-byzantine-counting sweep e12 --workers 8 --artifact-dir .sweeps
+        repro-byzantine-counting sweep e12 --backend distributed --listen :9876
+
+``worker``
+    Worker daemon for the distributed backend: connect to a broker started
+    with ``sweep/scenario run --backend distributed --listen HOST:PORT``,
+    lease tasks, stream results back (see RUNNER.md, "Distributed
+    backend")::
+
+        repro-byzantine-counting worker --connect 10.0.0.5:9876 --workers 8
 
 ``scenario``
     The declarative scenario API (see SCENARIOS.md).  ``scenario run`` executes
@@ -71,6 +81,80 @@ def _positive_int(value: str) -> int:
     return parsed
 
 
+def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
+    """The shared sweep-execution flags (``sweep`` and ``scenario run``)."""
+    parser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        help="worker processes (1 = serial); for --backend distributed this "
+        "is the default number of loopback workers to spawn",
+    )
+    parser.add_argument(
+        "--artifact-dir",
+        default=None,
+        help="JSON artifact cache directory (makes re-runs resumable)",
+    )
+    parser.add_argument(
+        "--force", action="store_true", help="recompute even when artifacts exist"
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("serial", "pool", "distributed"),
+        default=None,
+        help="execution backend (default: serial for --workers 1, else pool)",
+    )
+    parser.add_argument(
+        "--listen",
+        metavar="HOST:PORT",
+        default=None,
+        help="distributed: bind the broker here and wait for external "
+        "workers (started with the 'worker' subcommand) instead of "
+        "spawning loopback ones",
+    )
+    parser.add_argument(
+        "--spawn-workers",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="distributed: spawn N loopback worker processes (default: "
+        "--workers when no --listen is given)",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="always show the sweep-level k/N progress line (default: only "
+        "parallel backends on a terminal)",
+    )
+
+
+def _runner_from_args(args: argparse.Namespace):
+    """Build the SweepRunner the shared execution flags describe."""
+    from repro.runner import DistributedBackend, SweepRunner
+    from repro.runner.distributed import parse_address
+
+    if args.backend != "distributed" and (
+        args.listen is not None or args.spawn_workers is not None
+    ):
+        raise SystemExit("--listen/--spawn-workers require --backend distributed")
+    backend = args.backend
+    if backend == "distributed":
+        if args.listen is not None:
+            listen = parse_address(args.listen)
+            spawn = args.spawn_workers or 0
+        else:
+            listen = ("127.0.0.1", 0)
+            spawn = args.spawn_workers if args.spawn_workers is not None else args.workers
+        backend = DistributedBackend(listen=listen, spawn_workers=spawn)
+    return SweepRunner(
+        workers=args.workers,
+        artifact_dir=args.artifact_dir,
+        force=args.force,
+        progress=True if args.progress else None,
+        backend=backend,
+    )
+
+
 def _registry_epilog() -> str:
     """One line per registry for ``--help`` (the composable scenario axes)."""
     lines = ["registered scenario components (see SCENARIOS.md):"]
@@ -108,19 +192,36 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep", help="run an experiment sweep through the parallel runner"
     )
     sweep_parser.add_argument("name", help="experiment id (e1-e12) or 'all'")
-    sweep_parser.add_argument(
+    _add_runner_arguments(sweep_parser)
+
+    worker_parser = sub.add_parser(
+        "worker", help="worker daemon for the distributed sweep backend"
+    )
+    worker_parser.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="broker address (the --listen of a distributed sweep)",
+    )
+    worker_parser.add_argument(
         "--workers",
         type=_positive_int,
         default=1,
-        help="worker processes (1 = serial)",
+        help="local worker processes for leased tasks",
     )
-    sweep_parser.add_argument(
-        "--artifact-dir",
+    worker_parser.add_argument(
+        "--exit-when-drained",
+        action="store_true",
+        help="exit after the first drained sweep instead of polling for the "
+        "next one (loopback/demo mode)",
+    )
+    worker_parser.add_argument(
+        "--worker-id",
         default=None,
-        help="JSON artifact cache directory (makes re-runs resumable)",
+        help="identity reported to the broker (default: host:pid)",
     )
-    sweep_parser.add_argument(
-        "--force", action="store_true", help="recompute even when artifacts exist"
+    worker_parser.add_argument(
+        "--verbose", action="store_true", help="log connection/lease events"
     )
 
     scenario_parser = sub.add_parser(
@@ -131,20 +232,7 @@ def build_parser() -> argparse.ArgumentParser:
         "run", help="run a scenario (or suite) JSON spec through the sweep runner"
     )
     scenario_run.add_argument("spec", help="path to a scenario or suite JSON file")
-    scenario_run.add_argument(
-        "--workers",
-        type=_positive_int,
-        default=1,
-        help="worker processes (1 = serial)",
-    )
-    scenario_run.add_argument(
-        "--artifact-dir",
-        default=None,
-        help="JSON artifact cache directory (makes re-runs resumable)",
-    )
-    scenario_run.add_argument(
-        "--force", action="store_true", help="recompute even when artifacts exist"
-    )
+    _add_runner_arguments(scenario_run)
     scenario_sub.add_parser(
         "list", help="list the registered components of every scenario axis"
     )
@@ -276,7 +364,6 @@ def _command_experiment(args: argparse.Namespace) -> int:
 
 def _command_sweep(args: argparse.Namespace) -> int:
     from repro.experiments import ALL_EXPERIMENTS
-    from repro.runner import SweepRunner
 
     # Numeric order (e1..e12), not lexicographic (which puts e10 after e1).
     ordered = sorted(ALL_EXPERIMENTS, key=lambda key: int(key[1:]))
@@ -286,9 +373,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
         if candidate not in ALL_EXPERIMENTS:
             print(f"unknown experiment {args.name!r}; options: {ordered}")
             return 2
-    runner = SweepRunner(
-        workers=args.workers, artifact_dir=args.artifact_dir, force=args.force
-    )
+    runner = _runner_from_args(args)
     for candidate in names:
         result = ALL_EXPERIMENTS[candidate].run_experiment(runner=runner)
         print(result.render())
@@ -301,12 +386,26 @@ def _command_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
-def _command_scenario_run(args: argparse.Namespace) -> int:
-    from repro.runner import SweepRunner
+def _command_worker(args: argparse.Namespace) -> int:
+    from repro.runner.distributed import WorkerDaemon, parse_address
 
-    runner = SweepRunner(
-        workers=args.workers, artifact_dir=args.artifact_dir, force=args.force
+    host, port = parse_address(args.connect)
+    daemon = WorkerDaemon(
+        host,
+        port,
+        procs=args.workers,
+        worker_id=args.worker_id,
+        exit_when_drained=args.exit_when_drained,
+        verbose=args.verbose,
     )
+    try:
+        return daemon.run()
+    except KeyboardInterrupt:
+        return 0
+
+
+def _command_scenario_run(args: argparse.Namespace) -> int:
+    runner = _runner_from_args(args)
     try:
         with open(args.spec, "r", encoding="utf-8") as handle:
             document = json.load(handle)
@@ -427,6 +526,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_experiment(args)
     if args.command == "sweep":
         return _command_sweep(args)
+    if args.command == "worker":
+        return _command_worker(args)
     if args.command == "scenario":
         if args.scenario_command == "run":
             return _command_scenario_run(args)

@@ -9,14 +9,19 @@ Layout (see RUNNER.md)::
 Each artifact records the full config alongside the result so a cache
 directory is self-describing; the filename is the config's content hash, so a
 re-run with identical parameters finds its artifact without any index.
-Writes go through a temp file + ``os.replace`` so a crashed run never leaves
-a truncated artifact behind.
+Writes go through a uniquely named temp file + ``os.replace``, so a crashed
+run never leaves a truncated artifact behind **and** any number of
+concurrent writers -- pool workers, distributed workers on several hosts
+sharing the directory, overlapping sweeps -- can target the same artifact
+safely: each writes its own temp file and the last atomic rename wins,
+while readers only ever observe complete documents.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import tempfile
 from pathlib import Path
 from typing import Any, List, Optional, Union
 
@@ -27,6 +32,14 @@ __all__ = ["ArtifactStore", "MISSING"]
 #: Sentinel returned by :meth:`ArtifactStore.load` on a cache miss (``None``
 #: is a legitimate task result).
 MISSING = object()
+
+#: The process umask, captured once at import (reading it requires setting
+#: it; doing that per-write would race other threads).  ``mkstemp`` creates
+#: temp files 0600 regardless of umask; artifacts must instead get the
+#: ordinary umask-derived mode, or readers running as a different user on a
+#: shared artifact dir would see every lookup fail as a cache miss.
+_UMASK = os.umask(0)
+os.umask(_UMASK)
 
 
 class ArtifactStore:
@@ -64,6 +77,11 @@ class ArtifactStore:
         the worker pid) is stored alongside the result but never affects the
         config hash or the value :meth:`load` returns -- cached re-reads stay
         indistinguishable from fresh computations.
+
+        The write is atomic and safe under concurrent writers: the document
+        goes to a uniquely named temp file in the artifact's directory
+        (never a shared ``<name>.tmp``, which two writers would corrupt by
+        interleaving) and is renamed into place with ``os.replace``.
         """
         path = self.path_for(config)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -73,10 +91,20 @@ class ArtifactStore:
         }
         if meta is not None:
             document["meta"] = meta
-        tmp = path.with_name(path.name + ".tmp")
-        with tmp.open("w", encoding="utf-8") as handle:
-            json.dump(document, handle, sort_keys=True)
-        os.replace(tmp, path)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(path.parent), prefix=path.name + ".", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(document, handle, sort_keys=True)
+            os.chmod(tmp_name, 0o666 & ~_UMASK)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
         return path
 
     def load_meta(self, config: SweepConfig) -> Optional[dict]:

@@ -1,0 +1,215 @@
+"""Execution backends: *how* a sweep's pending work items get executed.
+
+:class:`~repro.runner.sweep.SweepRunner` owns the *policy* of a sweep --
+cache lookups, result canonicalization, artifact persistence, progress
+reporting, bookkeeping -- and delegates the *mechanics* of running the
+not-cached work items to an :class:`ExecutionBackend`:
+
+``serial``
+    Runs every item in-process, in order.  The historical ``workers=1``
+    path, still the default.
+``pool``
+    Fans items out over a ``multiprocessing`` pool (the historical
+    ``workers>1`` path, extracted verbatim from ``SweepRunner``).
+``distributed``
+    Serves items to worker daemons -- local or on other hosts -- through a
+    lease-based TCP broker (:mod:`repro.runner.distributed`).
+
+All three backends yield ``(config index, result, meta)`` tuples as items
+complete, in **arbitrary order**; the runner re-orders by index, so every
+backend produces byte-identical tables.  A ``meta`` of ``None`` marks an
+item that was *not* executed because the broker found its artifact already
+on disk (see ``Broker`` dedupe); executed items always carry a meta dict.
+"""
+
+from __future__ import annotations
+
+import importlib
+import multiprocessing
+import os
+import time
+from typing import Any, Dict, Iterator, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "ExecutionBackend",
+    "SerialBackend",
+    "PoolBackend",
+    "resolve_backend",
+    "worker_context",
+    "BACKEND_NAMES",
+]
+
+#: Work item shipped to a worker: (position in the config list, task name,
+#: params, module that registers the task).  The module name lets a worker
+#: started in a fresh process re-register tasks that live outside
+#: ``repro.experiments`` (fork workers inherit the registry and ignore it).
+WorkItem = Tuple[int, str, Dict[str, Any], Optional[str]]
+
+#: Per-task execution metadata produced by workers and persisted alongside
+#: each artifact: {"wall_clock_s": float, "worker": pid, ...}.  The
+#: distributed backend adds "host" and "worker_id".
+TaskMeta = Dict[str, Any]
+
+#: One completed work item: (config index, raw result, meta or None).
+CompletedItem = Tuple[int, Any, Optional[TaskMeta]]
+
+
+def execute_work_item(item: WorkItem) -> Tuple[int, Any, TaskMeta]:
+    """Run one config, tagging the result with its index and with execution
+    metadata (wall-clock seconds, worker pid).
+
+    This is the single task-execution entry point shared by every backend:
+    the serial loop calls it inline, the pool maps it across worker
+    processes, and the distributed worker daemon runs it for each leased
+    task (adding its host/worker-id to the meta before streaming it back).
+    """
+    from repro.runner.registry import run_task
+
+    index, task, params, module = item
+    if module is not None:
+        try:
+            importlib.import_module(module)
+        except ImportError:
+            pass  # fork workers already hold the registration
+    start = time.perf_counter()
+    result = run_task(task, params)
+    meta: TaskMeta = {
+        "wall_clock_s": time.perf_counter() - start,
+        "worker": os.getpid(),
+    }
+    return index, result, meta
+
+
+def worker_context() -> "multiprocessing.context.BaseContext":
+    """The multiprocessing context for task-executing pools.
+
+    Prefer fork where available: children then inherit the full task
+    registry outright.  Spawn platforms fall back to the module name
+    shipped with each work item.  Shared by the pool backend and the
+    distributed worker daemon's local pool so both resolve tasks the same
+    way.
+    """
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:
+        return multiprocessing.get_context()
+
+
+class ExecutionBackend:
+    """How pending work items get executed.  Subclasses yield completions.
+
+    Attributes
+    ----------
+    name:
+        The registry name (``serial``/``pool``/``distributed``).
+    parallel:
+        Whether completions may arrive out of order / concurrently (drives
+        the runner's default progress-line heuristic).
+    persists:
+        Whether the backend writes artifacts itself as results arrive (the
+        distributed broker does, so shared-cache dedupe sees fresh results
+        mid-sweep); when ``False`` the runner persists after canonicalizing.
+    """
+
+    name = "?"
+    parallel = False
+    persists = False
+
+    def execute(
+        self,
+        pending: Sequence[WorkItem],
+        *,
+        store: Optional[Any] = None,
+        force: bool = False,
+    ) -> Iterator[CompletedItem]:
+        """Yield ``(index, result, meta)`` for every item, in any order.
+
+        ``store``/``force`` describe the runner's artifact cache so backends
+        that dedupe against it (the broker) can; serial/pool ignore them.
+        """
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return self.name
+
+
+class SerialBackend(ExecutionBackend):
+    """In-process, in-order execution (the historical ``workers=1`` path)."""
+
+    name = "serial"
+    parallel = False
+
+    def execute(
+        self,
+        pending: Sequence[WorkItem],
+        *,
+        store: Optional[Any] = None,
+        force: bool = False,
+    ) -> Iterator[CompletedItem]:
+        for item in pending:
+            yield execute_work_item(item)
+
+
+class PoolBackend(ExecutionBackend):
+    """``multiprocessing`` pool execution (the historical ``workers>1`` path)."""
+
+    name = "pool"
+    parallel = True
+
+    def __init__(self, workers: int = 2) -> None:
+        if workers < 1:
+            raise ValueError(f"pool workers must be >= 1, got {workers}")
+        self.workers = workers
+
+    def describe(self) -> str:
+        return f"pool({self.workers})"
+
+    def execute(
+        self,
+        pending: Sequence[WorkItem],
+        *,
+        store: Optional[Any] = None,
+        force: bool = False,
+    ) -> Iterator[CompletedItem]:
+        processes = min(self.workers, len(pending))
+        if processes <= 1:
+            # One item (or one worker) gains nothing from a pool.
+            yield from SerialBackend().execute(pending)
+            return
+        with worker_context().Pool(processes=processes) as pool:
+            # Unordered: completion order does not matter because every
+            # result carries its config index.
+            for item in pool.imap_unordered(execute_work_item, pending):
+                yield item
+
+
+BACKEND_NAMES = ("serial", "pool", "distributed")
+
+
+def resolve_backend(
+    backend: Union[None, str, ExecutionBackend], *, workers: int = 1
+) -> ExecutionBackend:
+    """Turn the ``SweepRunner(backend=...)`` argument into a backend object.
+
+    ``None`` preserves the historical behaviour: serial for ``workers=1``,
+    a pool of ``workers`` otherwise.  A string names a backend --
+    ``"distributed"`` builds a loopback-spawning broker with ``workers``
+    local worker daemons (pass a configured
+    :class:`~repro.runner.distributed.DistributedBackend` instance for
+    anything fancier, e.g. listening for remote workers).
+    """
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    if backend is None:
+        return SerialBackend() if workers == 1 else PoolBackend(workers)
+    if backend == "serial":
+        return SerialBackend()
+    if backend == "pool":
+        return PoolBackend(workers)
+    if backend == "distributed":
+        from repro.runner.distributed import DistributedBackend
+
+        return DistributedBackend(spawn_workers=workers)
+    raise ValueError(
+        f"unknown execution backend {backend!r}; options: {list(BACKEND_NAMES)}"
+    )

@@ -106,6 +106,47 @@ def _bench_congest(
     }
 
 
+@sweep_task("bench.dist_loopback")
+def _bench_dist_loopback(
+    *, n: int, degree: int, seeds: Sequence[int], workers: int
+) -> Dict[str, Any]:
+    """An E3-style scenario suite executed through the distributed backend.
+
+    Runs a benign congest scenario (compiled through the declarative
+    scenario path, like every E3 cell) over a loopback broker with
+    ``workers`` spawned worker daemons, and returns the summed deterministic
+    counters.  The individual cells are deliberately small: the wall-clock
+    the outer bench harness records is dominated by worker spawn + dispatch,
+    i.e. this scenario puts the *distributed dispatch overhead* on the
+    trajectory, not the simulation itself.
+    """
+    from repro.runner.distributed import DistributedBackend
+    from repro.runner.sweep import SweepRunner
+    from repro.scenarios.spec import Scenario
+
+    scenario = Scenario.from_dict(
+        {
+            "name": f"dist-loopback-e3-n{n}",
+            "graph": {"name": "hnd", "params": {"n": n, "degree": degree}, "seed_offset": 0},
+            "adversary": {"name": "silent", "params": {}, "seed_offset": 0},
+            "placement": {"name": "random", "params": {"count": 0}, "seed_offset": 0},
+            "protocol": {"name": "congest", "params": {"d": degree}, "seed_offset": 0},
+            "params": {},
+            "seeds": list(seeds),
+        }
+    )
+    runner = SweepRunner(
+        backend=DistributedBackend(spawn_workers=workers, quiet=True)
+    )
+    rows = runner.run(scenario.compile())
+    return {
+        "rounds": sum(row["rounds"] for row in rows),
+        "messages": sum(row["messages"] for row in rows),
+        "bits": sum(row["bits"] for row in rows),
+        "cells": len(rows),
+    }
+
+
 # --------------------------------------------------------------------------- #
 # Pinned scenarios
 # --------------------------------------------------------------------------- #
@@ -222,6 +263,17 @@ SCENARIOS: Tuple[BenchScenario, ...] = (
             },
             "seed": 0,
         },
+    ),
+    # Appended with the distributed backend (PR 5): a small E3-style benign
+    # scenario suite executed over a loopback broker with two spawned worker
+    # daemons.  The cells are tiny on purpose -- the recorded wall-clock
+    # measures worker spawn + lease/dispatch/result overhead, so broker or
+    # protocol regressions show up on the trajectory even when simulation
+    # speed is unchanged.  Pinned like every parameterization above.
+    BenchScenario(
+        "scenario-e3-dist-loopback",
+        "bench.dist_loopback",
+        {"n": 48, "degree": 8, "seeds": [0, 1, 2, 3], "workers": 2},
     ),
 )
 

@@ -1,0 +1,217 @@
+"""The ``distributed`` execution backend: a broker behind the runner API.
+
+``SweepRunner(backend=DistributedBackend(...))`` executes its pending work
+items by starting a :class:`~repro.runner.distributed.broker.Broker` for
+the duration of the sweep and yielding completions as workers stream them
+in.  Two modes:
+
+Loopback (``spawn_workers > 0``)
+    The backend spawns that many local worker-daemon processes
+    (``python -m repro.cli worker --connect ... --exit-when-drained``),
+    watches them while the sweep runs (a crashed worker is respawned, up to
+    a bounded budget), and terminates them when the sweep finishes.  This
+    is the one-machine fan-out path -- and what the fault-tolerance tests
+    and ``make dist-demo`` exercise.
+
+Listen (``spawn_workers == 0``)
+    The backend binds ``listen`` and waits for externally started workers
+    (any host that can reach the address).  The broker address and the
+    exact ``worker`` command to paste on remote machines are announced on
+    stderr.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
+
+from repro.runner.backends import CompletedItem, ExecutionBackend, WorkItem
+from repro.runner.distributed.broker import Broker, BrokerError
+from repro.runner.distributed.protocol import format_address
+
+__all__ = ["DistributedBackend", "spawn_loopback_worker"]
+
+
+def spawn_loopback_worker(
+    address: Tuple[str, int],
+    *,
+    procs: int = 1,
+    exit_when_drained: bool = True,
+    verbose: bool = False,
+) -> "subprocess.Popen[bytes]":
+    """Start a worker-daemon process connected to ``address``.
+
+    The child runs ``python -m repro.cli worker`` with ``PYTHONPATH``
+    extended to wherever this ``repro`` package was imported from, so the
+    loopback path works from a source checkout without installation.
+    """
+    import repro
+
+    source_root = str(Path(repro.__file__).resolve().parents[1])
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        source_root if not existing else source_root + os.pathsep + existing
+    )
+    command = [
+        sys.executable,
+        "-m",
+        "repro.cli",
+        "worker",
+        "--connect",
+        format_address(address),
+        "--workers",
+        str(procs),
+    ]
+    if exit_when_drained:
+        command.append("--exit-when-drained")
+    if verbose:
+        command.append("--verbose")
+    return subprocess.Popen(
+        command, env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL
+    )
+
+
+class DistributedBackend(ExecutionBackend):
+    """Broker/worker execution behind the unchanged ``SweepRunner`` API.
+
+    Parameters
+    ----------
+    listen:
+        ``(host, port)`` for the broker socket.  Port ``0`` (the default)
+        picks a free port -- the natural choice for loopback mode.
+    spawn_workers:
+        Local worker daemons to spawn per sweep (0 = listen-only).
+    worker_procs:
+        Local processes per spawned worker daemon.
+    lease_ttl_s / max_retries / chunk_size:
+        Broker lease semantics (see :class:`Broker`).
+    quiet:
+        Suppress the stderr announcement of the broker address.
+    """
+
+    name = "distributed"
+    parallel = True
+    #: The broker persists fresh results through the ArtifactStore itself
+    #: (before publishing them), so dispatch-time dedupe of duplicate
+    #: configs never races the runner; the runner therefore skips its own
+    #: store step for this backend.
+    persists = True
+
+    #: Respawn budget for crashed loopback workers, as a multiple of
+    #: ``spawn_workers`` (beyond it the sweep fails rather than stalls).
+    RESPAWN_FACTOR = 2
+
+    def __init__(
+        self,
+        *,
+        listen: Tuple[str, int] = ("127.0.0.1", 0),
+        spawn_workers: int = 0,
+        worker_procs: int = 1,
+        lease_ttl_s: float = 30.0,
+        max_retries: int = 2,
+        chunk_size: Optional[int] = None,
+        quiet: bool = False,
+    ) -> None:
+        if spawn_workers < 0:
+            raise ValueError(f"spawn_workers must be >= 0, got {spawn_workers}")
+        if worker_procs < 1:
+            raise ValueError(f"worker_procs must be >= 1, got {worker_procs}")
+        self.listen = listen
+        self.spawn_workers = spawn_workers
+        self.worker_procs = worker_procs
+        self.lease_ttl_s = lease_ttl_s
+        self.max_retries = max_retries
+        self.chunk_size = chunk_size
+        self.quiet = quiet
+        #: Broker stats of the most recent sweep (retries, cache hits, ...).
+        self.last_stats: dict = {}
+
+    def describe(self) -> str:
+        if self.spawn_workers:
+            return f"distributed(loopback x{self.spawn_workers})"
+        return f"distributed(listen {format_address(self.listen)})"
+
+    # ------------------------------------------------------------------ #
+    def execute(
+        self,
+        pending: Sequence[WorkItem],
+        *,
+        store: Optional[Any] = None,
+        force: bool = False,
+    ) -> Iterator[CompletedItem]:
+        if not pending:
+            return
+        host, port = self.listen
+        broker = Broker(
+            pending,
+            store=store,
+            force=force,
+            host=host,
+            port=port,
+            lease_ttl_s=self.lease_ttl_s,
+            max_retries=self.max_retries,
+            chunk_size=self.chunk_size,
+        )
+        address = broker.start()
+        workers: List["subprocess.Popen[bytes]"] = []
+        respawns_left = self.RESPAWN_FACTOR * self.spawn_workers
+
+        def watch_workers() -> None:
+            # Replace loopback workers that died mid-sweep; a bounded budget
+            # turns a crash loop into a failed sweep instead of a stall.
+            nonlocal respawns_left
+            for i, process in enumerate(workers):
+                if process.poll() is None or broker.drained:
+                    continue
+                if respawns_left <= 0:
+                    raise BrokerError(
+                        f"loopback workers keep dying (respawn budget of "
+                        f"{self.RESPAWN_FACTOR * self.spawn_workers} exhausted); "
+                        "see the broker retry stats for the failing task"
+                    )
+                respawns_left -= 1
+                workers[i] = spawn_loopback_worker(
+                    address, procs=self.worker_procs, exit_when_drained=True
+                )
+
+        try:
+            if self.spawn_workers:
+                workers.extend(
+                    spawn_loopback_worker(
+                        address, procs=self.worker_procs, exit_when_drained=True
+                    )
+                    for _ in range(self.spawn_workers)
+                )
+            elif not self.quiet:
+                # A wildcard bind (0.0.0.0 / ::) is not a connectable
+                # address; substitute this machine's hostname so the
+                # announced worker command is paste-able on remote hosts.
+                host_part, port_part = address
+                if host_part in ("0.0.0.0", "::", ""):
+                    import socket as _socket
+
+                    host_part = _socket.gethostname()
+                connect_to = format_address((host_part, port_part))
+                sys.stderr.write(
+                    f"[sweep] broker listening on {format_address(address)} -- "
+                    f"start workers with: repro-byzantine-counting worker "
+                    f"--connect {connect_to}\n"
+                )
+                sys.stderr.flush()
+            yield from broker.results(poll=watch_workers if workers else None)
+        finally:
+            self.last_stats = dict(broker.stats)
+            broker.stop()
+            for process in workers:
+                if process.poll() is None:
+                    process.terminate()
+            for process in workers:
+                try:
+                    process.wait(timeout=5.0)
+                except subprocess.TimeoutExpired:
+                    process.kill()
+                    process.wait(timeout=5.0)

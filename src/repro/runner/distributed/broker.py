@@ -1,0 +1,516 @@
+"""The lease-based task broker of the distributed sweep backend.
+
+A :class:`Broker` owns one sweep's pending work items and serves them to
+worker daemons over the line-delimited-JSON TCP protocol
+(:mod:`repro.runner.distributed.protocol`).  Dispatch is **lease-based**:
+
+- a worker's ``lease`` request is granted a chunk of tasks with a deadline
+  (``lease_ttl_s`` from now);
+- every streamed result and every explicit heartbeat renews the deadline;
+- a lease whose deadline passes -- or whose connection drops, the fast
+  path for a killed worker -- returns its unfinished tasks to the front of
+  the queue for re-dispatch;
+- a task is re-dispatched at most ``max_retries`` times beyond its first
+  attempt; exhausting that budget fails the sweep with the worker's error.
+
+Duplicate results (a zombie worker finishing an expired lease) are ignored
+after the first; since tasks are pure functions of their configs, whichever
+copy arrives first is *the* result.
+
+Before dispatching a task the broker re-checks the shared artifact cache
+(``store``): a hit -- typically a duplicate config completed earlier in the
+same sweep, or a sibling sweep writing to the same artifact dir -- is
+completed with the cached result instead of shipped.  Fresh results are
+persisted through :class:`~repro.runner.artifacts.ArtifactStore` exactly
+as the pool path does, *before* entering the completion queue, so dedupe
+never races persistence.
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import threading
+import time
+from collections import deque
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.runner.artifacts import MISSING, ArtifactStore
+from repro.runner.backends import CompletedItem, WorkItem
+from repro.runner.config import SweepConfig
+from repro.runner.distributed.protocol import (
+    PROTOCOL_VERSION,
+    read_message,
+    reader_for,
+    send_message,
+)
+
+__all__ = ["Broker", "BrokerError"]
+
+#: Sentinel pushed on the completion queue when the sweep fails.
+_FAILED = object()
+
+
+class BrokerError(RuntimeError):
+    """A sweep-fatal broker condition (task retries exhausted, ...)."""
+
+
+class _TaskState:
+    """One work item's broker-side lifecycle."""
+
+    __slots__ = ("index", "task", "params", "module", "dispatches", "done")
+
+    def __init__(self, item: WorkItem) -> None:
+        self.index, self.task, self.params, self.module = item
+        self.dispatches = 0
+        self.done = False
+
+    def config(self) -> SweepConfig:
+        return SweepConfig(self.task, self.params)
+
+
+class _Lease:
+    __slots__ = ("lease_id", "worker_id", "pending", "deadline")
+
+    def __init__(self, lease_id: int, worker_id: str, ids: Set[int], deadline: float):
+        self.lease_id = lease_id
+        self.worker_id = worker_id
+        self.pending = ids
+        self.deadline = deadline
+
+
+class Broker:
+    """Serve one sweep's work items to TCP workers, lease by lease.
+
+    Parameters
+    ----------
+    items:
+        The runner's pending work items (config index, task, params, module).
+    store / force:
+        The runner's artifact cache settings.  With a store and
+        ``force=False`` the broker dedupes against the cache at dispatch
+        time and persists every fresh result through it.
+    host / port:
+        Bind address (port ``0`` picks a free port; see :attr:`address`).
+    lease_ttl_s:
+        Lease lifetime without a result or heartbeat.  Workers heartbeat at
+        a third of this, so only a hung or killed worker ever expires.
+    max_retries:
+        Re-dispatch budget per task beyond its first attempt.
+    chunk_size:
+        Hard cap on tasks per lease (``None``: honor the worker's requested
+        capacity, which defaults to its local process count).
+    """
+
+    def __init__(
+        self,
+        items: Sequence[WorkItem],
+        *,
+        store: Optional[ArtifactStore] = None,
+        force: bool = False,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        lease_ttl_s: float = 30.0,
+        max_retries: int = 2,
+        chunk_size: Optional[int] = None,
+    ) -> None:
+        if lease_ttl_s <= 0:
+            raise ValueError(f"lease_ttl_s must be > 0, got {lease_ttl_s}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.store = store
+        self.force = force
+        self.lease_ttl_s = lease_ttl_s
+        self.max_retries = max_retries
+        self.chunk_size = chunk_size
+        self._bind = (host, port)
+        self.address: Optional[Tuple[str, int]] = None
+
+        self._tasks: Dict[int, _TaskState] = {}
+        self._queue: deque = deque()
+        for item in items:
+            state = _TaskState(item)
+            if state.index in self._tasks:
+                raise ValueError(f"duplicate work item index {state.index}")
+            self._tasks[state.index] = state
+            self._queue.append(state.index)
+        self._outstanding = len(self._tasks)
+
+        self._lock = threading.Lock()
+        self._completed: "queue.Queue" = queue.Queue()
+        self._leases: Dict[int, _Lease] = {}
+        self._next_lease_id = 0
+        self._failure: Optional[BaseException] = None
+        self._stop = threading.Event()
+        self._listener: Optional[socket.socket] = None
+        self._threads: List[threading.Thread] = []
+        self._connections: List[socket.socket] = []
+        self.stats: Dict[str, int] = {
+            "connections": 0,
+            "leases": 0,
+            "dispatched": 0,
+            "completed": 0,
+            "cache_hits": 0,
+            "retries": 0,
+            "expired_leases": 0,
+            "worker_errors": 0,
+            "duplicate_results": 0,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> Tuple[str, int]:
+        """Bind, start the accept/reaper threads, return the bound address."""
+        self._listener = socket.create_server(self._bind)
+        self._listener.settimeout(0.2)
+        self.address = self._listener.getsockname()[:2]
+        for target in (self._accept_loop, self._reaper_loop):
+            thread = threading.Thread(target=target, daemon=True)
+            thread.start()
+            self._threads.append(thread)
+        return self.address
+
+    def stop(self) -> None:
+        """Stop serving; close the listener and every worker connection."""
+        self._stop.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        with self._lock:
+            connections = list(self._connections)
+        for conn in connections:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for thread in self._threads:
+            thread.join(timeout=2.0)
+
+    def __enter__(self) -> "Broker":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------ #
+    # Consumption (the backend side)
+    # ------------------------------------------------------------------ #
+    def results(
+        self, *, poll: Optional[Any] = None, poll_interval: float = 0.25
+    ) -> Iterator[CompletedItem]:
+        """Yield ``(index, result, meta)`` as tasks complete, any order.
+
+        ``poll`` (optional zero-arg callable) runs every ``poll_interval``
+        while waiting -- the loopback backend uses it to watch its spawned
+        worker processes.  Raises :class:`BrokerError` if the sweep fails.
+        """
+        delivered = 0
+        total = len(self._tasks)
+        while delivered < total:
+            try:
+                item = self._completed.get(timeout=poll_interval)
+            except queue.Empty:
+                if self._failure is not None:
+                    raise self._failure
+                if poll is not None:
+                    poll()
+                continue
+            if item is _FAILED:
+                raise self._failure  # type: ignore[misc]
+            yield item
+            delivered += 1
+
+    @property
+    def drained(self) -> bool:
+        with self._lock:
+            return self._outstanding == 0
+
+    # ------------------------------------------------------------------ #
+    # Accept / reap threads
+    # ------------------------------------------------------------------ #
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self._stop.is_set():
+            try:
+                conn, _addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            with self._lock:
+                self._connections.append(conn)
+                self.stats["connections"] += 1
+            thread = threading.Thread(target=self._serve, args=(conn,), daemon=True)
+            thread.start()
+
+    def _reaper_loop(self) -> None:
+        interval = max(0.05, self.lease_ttl_s / 4.0)
+        while not self._stop.wait(interval):
+            now = time.monotonic()
+            with self._lock:
+                expired = [
+                    lease for lease in self._leases.values() if lease.deadline < now
+                ]
+                for lease in expired:
+                    self.stats["expired_leases"] += 1
+                    self._requeue_lease_locked(
+                        lease, reason=f"lease expired after {self.lease_ttl_s:.1f}s"
+                    )
+
+    # ------------------------------------------------------------------ #
+    # Per-connection handler
+    # ------------------------------------------------------------------ #
+    def _serve(self, conn: socket.socket) -> None:
+        worker_id = "?"
+        conn_leases: Set[int] = set()
+        try:
+            reader = reader_for(conn)
+            hello = read_message(reader)
+            if (
+                hello is None
+                or hello.get("type") != "hello"
+                or hello.get("protocol") != PROTOCOL_VERSION
+            ):
+                send_message(
+                    conn,
+                    {
+                        "type": "goodbye",
+                        "error": f"expected hello with protocol {PROTOCOL_VERSION}",
+                    },
+                )
+                return
+            worker_id = str(hello.get("worker_id", "?"))
+            send_message(
+                conn,
+                {
+                    "type": "welcome",
+                    "protocol": PROTOCOL_VERSION,
+                    "lease_ttl_s": self.lease_ttl_s,
+                },
+            )
+            while not self._stop.is_set():
+                message = read_message(reader)
+                if message is None:
+                    return
+                kind = message.get("type")
+                if kind == "lease":
+                    self._grant(conn, worker_id, message, conn_leases)
+                elif kind == "result":
+                    self._on_result(message)
+                elif kind == "error":
+                    self._on_error(message, worker_id)
+                elif kind == "heartbeat":
+                    self._renew(message.get("lease"))
+                else:
+                    return  # protocol violation: drop the connection
+        except (OSError, ValueError):
+            pass  # connection lost / garbage on the wire: clean up below
+        finally:
+            with self._lock:
+                # Fast path for a killed worker: its unfinished leases are
+                # requeued the moment the connection drops, without waiting
+                # for the TTL reaper.
+                for lease_id in conn_leases:
+                    lease = self._leases.get(lease_id)
+                    if lease is not None:
+                        self._requeue_lease_locked(
+                            lease, reason=f"worker {worker_id} disconnected"
+                        )
+                if conn in self._connections:
+                    self._connections.remove(conn)
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------ #
+    # Message handling
+    # ------------------------------------------------------------------ #
+    def _grant(
+        self,
+        conn: socket.socket,
+        worker_id: str,
+        message: Dict[str, Any],
+        conn_leases: Set[int],
+    ) -> None:
+        capacity = max(1, int(message.get("capacity", 1)))
+        if self.chunk_size is not None:
+            capacity = min(capacity, self.chunk_size)
+        # Pop candidates under the lock, but probe the artifact cache (disk,
+        # possibly a network mount) outside it: blocking I/O under the global
+        # lock would stall heartbeat renewal and could expire healthy leases.
+        with self._lock:
+            candidates: List[_TaskState] = []
+            while self._queue and len(candidates) < capacity:
+                state = self._tasks[self._queue.popleft()]
+                if not state.done:
+                    candidates.append(state)
+        hits: Dict[int, Any] = {}
+        if self.store is not None and not self.force:
+            for state in candidates:
+                cached = self.store.load(state.config())
+                if cached is not MISSING:
+                    hits[state.index] = cached
+        publish: List[CompletedItem] = []
+        granted: List[_TaskState] = []
+        with self._lock:
+            for state in candidates:
+                if state.done:  # a zombie result landed while we probed
+                    continue
+                if state.index in hits:
+                    self._mark_done_locked(state, cache_hit=True)
+                    publish.append((state.index, hits[state.index], None))
+                    continue
+                state.dispatches += 1
+                granted.append(state)
+            if not granted:
+                done = self._outstanding == 0 or self._failure is not None
+                reply: Dict[str, Any] = {"type": "empty", "done": done}
+            else:
+                lease_id = self._next_lease_id
+                self._next_lease_id += 1
+                lease = _Lease(
+                    lease_id,
+                    worker_id,
+                    {state.index for state in granted},
+                    time.monotonic() + self.lease_ttl_s,
+                )
+                self._leases[lease_id] = lease
+                conn_leases.add(lease_id)
+                self.stats["leases"] += 1
+                self.stats["dispatched"] += len(granted)
+                reply = {
+                    "type": "tasks",
+                    "lease": lease_id,
+                    "tasks": [
+                        {
+                            "id": state.index,
+                            "task": state.task,
+                            "params": state.params,
+                            "module": state.module,
+                        }
+                        for state in granted
+                    ],
+                }
+        for item in publish:
+            self._completed.put(item)
+        send_message(conn, reply)
+
+    def _on_result(self, message: Dict[str, Any]) -> None:
+        index = message.get("id")
+        result = message.get("result")
+        meta = message.get("meta")
+        with self._lock:
+            self._settle_lease_member_locked(message.get("lease"), index)
+            state = self._tasks.get(index)  # type: ignore[arg-type]
+            if state is None:
+                return
+            if state.done:
+                self.stats["duplicate_results"] += 1
+                return
+            self._mark_done_locked(state)
+        # Persist (disk I/O, so outside the lock) *before* publication:
+        # dispatch-time dedupe of a duplicate config later in this sweep
+        # must find the artifact already on disk.  A failed store is
+        # sweep-fatal: the task is already marked done, so swallowing the
+        # error would leave its completion unpublished and the consumer
+        # waiting forever.
+        try:
+            if self.store is not None:
+                self.store.store(
+                    state.config(), result, meta=meta if isinstance(meta, dict) else {}
+                )
+        except Exception as exc:  # noqa: BLE001 - surfaced via results()
+            with self._lock:
+                self._fail_locked(
+                    BrokerError(
+                        f"failed to persist artifact for task {state.task!r} "
+                        f"(config index {state.index}): {exc}"
+                    )
+                )
+            return
+        self._completed.put((state.index, result, meta if isinstance(meta, dict) else {}))
+
+    def _on_error(self, message: Dict[str, Any], worker_id: str) -> None:
+        index = message.get("id")
+        with self._lock:
+            live = self._settle_lease_member_locked(message.get("lease"), index)
+            if not live:
+                # A zombie error from an already-expired/requeued lease: the
+                # task is owned elsewhere by now.  Acting on it would put a
+                # duplicate entry in the queue and burn retry budget the
+                # live copy never consumed.  (Zombie *results* are accepted
+                # -- tasks are pure, so any copy is the result -- but zombie
+                # errors are dropped.)
+                return
+            state = self._tasks.get(index)  # type: ignore[arg-type]
+            if state is None or state.done:
+                return
+            self.stats["worker_errors"] += 1
+            detail = message.get("error", "worker error")
+            self._retry_or_fail_locked(state, f"worker {worker_id}: {detail}")
+
+    def _renew(self, lease_id: Any) -> None:
+        with self._lock:
+            lease = self._leases.get(lease_id)
+            if lease is not None:
+                lease.deadline = time.monotonic() + self.lease_ttl_s
+
+    # ------------------------------------------------------------------ #
+    # Locked helpers
+    # ------------------------------------------------------------------ #
+    def _settle_lease_member_locked(self, lease_id: Any, index: Any) -> bool:
+        """Record ``index`` as reported under ``lease_id``; renew the lease.
+
+        Returns whether the lease was live and actually held the task --
+        i.e. whether the report came from the task's current owner rather
+        than a zombie whose lease already expired.
+        """
+        lease = self._leases.get(lease_id)
+        if lease is None:
+            return False
+        lease.deadline = time.monotonic() + self.lease_ttl_s
+        held = index in lease.pending
+        lease.pending.discard(index)
+        if not lease.pending:
+            del self._leases[lease.lease_id]
+        return held
+
+    def _requeue_lease_locked(self, lease: _Lease, *, reason: str) -> None:
+        self._leases.pop(lease.lease_id, None)
+        for index in lease.pending:
+            state = self._tasks.get(index)
+            if state is None or state.done:
+                continue
+            self._retry_or_fail_locked(state, reason)
+
+    def _retry_or_fail_locked(self, state: _TaskState, reason: str) -> None:
+        if state.dispatches > self.max_retries:
+            self._fail_locked(
+                BrokerError(
+                    f"task {state.task!r} (config index {state.index}) failed "
+                    f"after {state.dispatches} attempt(s) "
+                    f"(max_retries={self.max_retries}): {reason}"
+                )
+            )
+            return
+        self.stats["retries"] += 1
+        # Front of the queue: a recovered task should not wait behind the
+        # whole remaining sweep.
+        self._queue.appendleft(state.index)
+
+    def _mark_done_locked(self, state: _TaskState, *, cache_hit: bool = False) -> None:
+        state.done = True
+        self._outstanding -= 1
+        self.stats["cache_hits" if cache_hit else "completed"] += 1
+
+    def _fail_locked(self, error: BaseException) -> None:
+        if self._failure is None:
+            self._failure = error
+            self._completed.put(_FAILED)

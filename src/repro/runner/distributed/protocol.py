@@ -1,0 +1,88 @@
+"""Wire protocol of the distributed sweep backend.
+
+One message = one JSON object on one ``\\n``-terminated UTF-8 line over a
+plain TCP socket.  Line-delimited JSON keeps the protocol trivially
+debuggable (``nc HOST PORT`` and type a hello) and reuses the exact
+serialization the artifact cache already guarantees for configs and
+results -- a task crosses the wire as the same canonical
+``{"task": ..., "params": ...}`` document that names its artifact, so the
+scenario seam (compiled ``scenario.run`` specs are plain JSON params)
+ships for free.
+
+Message flow (worker-initiated, request/response plus streamed results)::
+
+    worker -> broker   {"type": "hello", "worker_id", "host", "pid",
+                        "procs", "protocol"}
+    broker -> worker   {"type": "welcome", "protocol", "lease_ttl_s"}
+    worker -> broker   {"type": "lease", "capacity": k}
+    broker -> worker   {"type": "tasks", "lease": id,
+                        "tasks": [{"id", "task", "params", "module"}, ...]}
+                     | {"type": "empty", "done": bool}
+    worker -> broker   {"type": "result", "lease": id, "id": task_id,
+                        "result": ..., "meta": {...}}          (streamed)
+                     | {"type": "error", "lease": id, "id": task_id,
+                        "error": "...", "traceback": "..."}
+                     | {"type": "heartbeat", "lease": id}
+
+Results and heartbeats are fire-and-forget (TCP ordering is enough); only
+``hello`` and ``lease`` have replies.  ``empty`` with ``done=true`` means
+the sweep has fully drained -- loopback workers started with
+``--exit-when-drained`` terminate, persistent daemons disconnect and poll
+for the next sweep.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Dict, Optional, TextIO, Tuple
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "send_message",
+    "read_message",
+    "reader_for",
+    "parse_address",
+    "format_address",
+]
+
+PROTOCOL_VERSION = 1
+
+
+def send_message(sock: socket.socket, message: Dict[str, Any]) -> None:
+    """Write one message as a JSON line.
+
+    ``allow_nan=True`` mirrors the runner's result canonicalization: a task
+    result that survives ``_canonical_result`` also survives the wire.
+    """
+    line = json.dumps(message, separators=(",", ":"), allow_nan=True) + "\n"
+    sock.sendall(line.encode("utf-8"))
+
+
+def reader_for(sock: socket.socket) -> TextIO:
+    """A buffered line reader over ``sock`` (pair it with ``read_message``)."""
+    return sock.makefile("r", encoding="utf-8", newline="\n")
+
+
+def read_message(reader: TextIO) -> Optional[Dict[str, Any]]:
+    """Read one message; ``None`` on EOF.  Raises ``ValueError`` on garbage."""
+    line = reader.readline()
+    if not line:
+        return None
+    message = json.loads(line)
+    if not isinstance(message, dict) or "type" not in message:
+        raise ValueError(f"malformed protocol message: {line!r}")
+    return message
+
+
+def parse_address(text: str) -> Tuple[str, int]:
+    """Parse ``HOST:PORT`` (or bare ``:PORT`` for all interfaces)."""
+    host, sep, port = text.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ValueError(f"expected HOST:PORT, got {text!r}")
+    return (host or "0.0.0.0", int(port))
+
+
+def format_address(address: Tuple[str, int]) -> str:
+    host, port = address
+    return f"{host}:{port}"

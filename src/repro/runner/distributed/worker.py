@@ -1,0 +1,312 @@
+"""The worker daemon of the distributed sweep backend.
+
+``repro-byzantine-counting worker --connect HOST:PORT --workers N`` runs a
+:class:`WorkerDaemon`: it connects to a broker, leases chunks of tasks
+(requesting one per local process), executes them through the ordinary
+sweep-task registry -- fanning out over a local ``multiprocessing`` pool
+when ``procs > 1`` -- and streams each result (plus its execution metadata:
+wall-clock seconds, worker pid, host name, worker id) back as it completes.
+A background thread heartbeats the active lease at a third of the broker's
+lease TTL, so long tasks never expire while the worker is alive.
+
+The daemon is persistent by default: when a sweep drains (or the broker
+goes away between sweeps) it disconnects and keeps polling the address, so
+one worker pool can serve many successive sweeps.  ``exit_when_drained``
+flips it into one-shot mode for loopback helpers and demos: it exits after
+the first drained sweep, or once the broker stays unreachable for
+``giveup_after_s``.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+import traceback
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.runner.backends import WorkItem, execute_work_item
+from repro.runner.distributed.protocol import (
+    PROTOCOL_VERSION,
+    read_message,
+    reader_for,
+    send_message,
+)
+
+__all__ = ["WorkerDaemon", "execute_leased_item"]
+
+
+def execute_leased_item(item: WorkItem) -> Tuple[int, Any, Optional[Dict[str, Any]], Optional[str], Optional[str]]:
+    """Run one leased task, never raising: ``(id, result, meta, error, tb)``.
+
+    Module-level (and therefore picklable) so the daemon's local
+    ``multiprocessing`` pool can map it; errors are captured per task so one
+    failing task costs one ``error`` message, not the whole lease.
+    """
+    try:
+        index, result, meta = execute_work_item(item)
+        return index, result, meta, None, None
+    except Exception as exc:  # noqa: BLE001 - reported to the broker
+        return item[0], None, None, f"{type(exc).__name__}: {exc}", traceback.format_exc()
+
+
+class WorkerDaemon:
+    """Lease tasks from a broker and stream results back.
+
+    Parameters
+    ----------
+    host / port:
+        The broker address to connect (and keep reconnecting) to.
+    procs:
+        Local worker processes; the daemon requests ``procs`` tasks per
+        lease so its pool stays fed.
+    exit_when_drained:
+        One-shot mode: return after the first drained sweep instead of
+        polling for the next one.
+    reconnect_delay_s / poll_interval_s:
+        Backoff while the broker is unreachable / while the queue is empty
+        but the sweep is not drained.
+    giveup_after_s:
+        In one-shot mode only: exit (code 1) when no broker has been
+        reachable for this long, so orphaned loopback workers cannot
+        outlive a crashed parent.
+    verbose:
+        Log connection / lease events to ``log_stream`` (default stderr).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        procs: int = 1,
+        worker_id: Optional[str] = None,
+        exit_when_drained: bool = False,
+        reconnect_delay_s: float = 0.5,
+        poll_interval_s: float = 0.2,
+        giveup_after_s: float = 30.0,
+        verbose: bool = False,
+        log_stream: Optional[Any] = None,
+    ) -> None:
+        if procs < 1:
+            raise ValueError(f"procs must be >= 1, got {procs}")
+        self.host = host
+        self.port = port
+        self.procs = procs
+        self.worker_id = worker_id or f"{socket.gethostname()}:{os.getpid()}"
+        self.exit_when_drained = exit_when_drained
+        self.reconnect_delay_s = reconnect_delay_s
+        self.poll_interval_s = poll_interval_s
+        self.giveup_after_s = giveup_after_s
+        self.verbose = verbose
+        self.log_stream = log_stream
+        self._stop = threading.Event()
+        self._send_lock = threading.Lock()
+        self._pool = None
+        self._welcomed = False
+        #: Tasks executed (including errored) since the daemon started.
+        self.tasks_run = 0
+
+    # ------------------------------------------------------------------ #
+    def stop(self) -> None:
+        """Ask the daemon loop to exit after the current lease."""
+        self._stop.set()
+
+    def run(self) -> int:
+        """The daemon loop; returns a process exit code."""
+        unreachable_since: Optional[float] = None
+        try:
+            while not self._stop.is_set():
+                try:
+                    sock = socket.create_connection((self.host, self.port), timeout=5.0)
+                except OSError:
+                    if self._give_up(unreachable_since):
+                        return 1
+                    if unreachable_since is None:
+                        unreachable_since = time.monotonic()
+                    self._stop.wait(self.reconnect_delay_s)
+                    continue
+                # Generous hello/welcome deadline; _session tightens it to a
+                # multiple of the broker's lease TTL once known.  Without a
+                # read timeout a broker host that dies silently (power loss,
+                # partition -- no FIN/RST) would leave the daemon blocked in
+                # readline forever instead of reconnecting.
+                sock.settimeout(30.0)
+                self._welcomed = False
+                try:
+                    drained = self._session(sock)
+                except (OSError, ValueError):
+                    drained = False
+                finally:
+                    try:
+                        sock.close()
+                    except OSError:
+                        pass
+                if self._welcomed:
+                    # Only a broker that completed the handshake counts as
+                    # "reachable": a TCP connect to some other service (or a
+                    # protocol-mismatched broker) must not reset the give-up
+                    # clock, or a one-shot worker would hammer it forever.
+                    unreachable_since = None
+                elif self._give_up(unreachable_since):
+                    return 1
+                elif unreachable_since is None:
+                    unreachable_since = time.monotonic()
+                if drained:
+                    self._log("sweep drained")
+                    if self.exit_when_drained:
+                        return 0
+                self._stop.wait(self.reconnect_delay_s)
+            return 0
+        finally:
+            self._close_pool()
+
+    def _give_up(self, unreachable_since: Optional[float]) -> bool:
+        if not self.exit_when_drained or unreachable_since is None:
+            return False
+        if time.monotonic() - unreachable_since > self.giveup_after_s:
+            self._log("no valid broker reachable, giving up")
+            return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    def _session(self, sock: socket.socket) -> bool:
+        """One broker connection; True when the sweep drained."""
+        self._send(
+            sock,
+            {
+                "type": "hello",
+                "worker_id": self.worker_id,
+                "host": socket.gethostname(),
+                "pid": os.getpid(),
+                "procs": self.procs,
+                "protocol": PROTOCOL_VERSION,
+            },
+        )
+        reader = reader_for(sock)
+        welcome = read_message(reader)
+        if welcome is None or welcome.get("type") != "welcome":
+            return False
+        self._welcomed = True
+        lease_ttl_s = float(welcome.get("lease_ttl_s", 30.0))
+        heartbeat_interval = max(0.1, lease_ttl_s / 3.0)
+        # The broker replies to every lease request promptly (tasks or
+        # empty), so a read stalling for several TTLs means the broker is
+        # gone without a FIN; time out (socket.timeout is an OSError, so the
+        # session aborts into the reconnect loop).
+        sock.settimeout(max(10.0, 4.0 * lease_ttl_s))
+        self._log(f"connected to {self.host}:{self.port}")
+        while not self._stop.is_set():
+            self._send(sock, {"type": "lease", "capacity": self.procs})
+            message = read_message(reader)
+            if message is None:
+                return False
+            kind = message.get("type")
+            if kind == "empty":
+                if message.get("done"):
+                    return True
+                self._stop.wait(self.poll_interval_s)
+                continue
+            if kind != "tasks":
+                return False
+            self._run_lease(sock, message, heartbeat_interval)
+        return False
+
+    def _run_lease(
+        self, sock: socket.socket, message: Dict[str, Any], heartbeat_interval: float
+    ) -> None:
+        lease_id = message.get("lease")
+        items: List[WorkItem] = [
+            (task["id"], task["task"], dict(task["params"]), task.get("module"))
+            for task in message.get("tasks", ())
+        ]
+        self._log(f"lease {lease_id}: {len(items)} task(s)")
+        done = threading.Event()
+        heartbeater = threading.Thread(
+            target=self._heartbeat_loop,
+            args=(sock, lease_id, heartbeat_interval, done),
+            daemon=True,
+        )
+        heartbeater.start()
+        try:
+            for outcome in self._execute_items(items):
+                index, result, meta, error, tb = outcome
+                self.tasks_run += 1
+                if error is not None:
+                    self._send(
+                        sock,
+                        {
+                            "type": "error",
+                            "lease": lease_id,
+                            "id": index,
+                            "error": error,
+                            "traceback": tb,
+                        },
+                    )
+                    continue
+                meta = dict(meta or {})
+                meta["host"] = socket.gethostname()
+                meta["worker_id"] = self.worker_id
+                self._send(
+                    sock,
+                    {
+                        "type": "result",
+                        "lease": lease_id,
+                        "id": index,
+                        "result": result,
+                        "meta": meta,
+                    },
+                )
+        finally:
+            done.set()
+            heartbeater.join(timeout=1.0)
+
+    def _execute_items(self, items: List[WorkItem]):
+        if self.procs > 1 and len(items) > 1:
+            pool = self._ensure_pool()
+            yield from pool.imap_unordered(execute_leased_item, items)
+        else:
+            for item in items:
+                yield execute_leased_item(item)
+
+    def _heartbeat_loop(
+        self,
+        sock: socket.socket,
+        lease_id: Any,
+        interval: float,
+        done: threading.Event,
+    ) -> None:
+        while not done.wait(interval):
+            try:
+                self._send(sock, {"type": "heartbeat", "lease": lease_id})
+            except OSError:
+                return
+
+    # ------------------------------------------------------------------ #
+    def _send(self, sock: socket.socket, message: Dict[str, Any]) -> None:
+        # Results (main thread) and heartbeats (side thread) share the
+        # socket; serialize the line writes.
+        with self._send_lock:
+            send_message(sock, message)
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            from repro.runner.backends import worker_context
+
+            self._pool = worker_context().Pool(processes=self.procs)
+        return self._pool
+
+    def _close_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def _log(self, text: str) -> None:
+        if self.verbose:
+            import sys
+
+            stream = self.log_stream if self.log_stream is not None else sys.stderr
+            stream.write(f"[worker {self.worker_id}] {text}\n")
+            stream.flush()

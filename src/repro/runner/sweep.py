@@ -1,9 +1,11 @@
 """The parallel sweep runner.
 
 ``SweepRunner`` fans a list of :class:`~repro.runner.config.SweepConfig` out
-over a ``multiprocessing`` pool (or runs them in-process for ``workers=1``),
-persists each result as a JSON artifact keyed by the config's content hash,
-and returns the results **in config order** regardless of completion order.
+over an :class:`~repro.runner.backends.ExecutionBackend` -- in-process
+(``serial``), a ``multiprocessing`` pool (``pool``), or a broker/worker
+cluster (``distributed``, see :mod:`repro.runner.distributed`) -- persists
+each result as a JSON artifact keyed by the config's content hash, and
+returns the results **in config order** regardless of completion order.
 
 Determinism contract
 --------------------
@@ -11,36 +13,30 @@ Every task derives all randomness from the seeds inside its params, so a
 config's result is a pure function of the config.  The runner additionally
 normalizes every result through a JSON round-trip before returning it, so a
 row obtained fresh from a worker is the same Python object tree as the same
-row re-read from the artifact cache -- ``workers=1``, ``workers>1``, and
-cached re-runs all aggregate into byte-identical tables.
+row re-read from the artifact cache -- ``workers=1``, ``workers>1``,
+distributed workers, and cached re-runs all aggregate into byte-identical
+tables.
 """
 
 from __future__ import annotations
 
-import importlib
 import json
-import multiprocessing
-import os
 import sys
 import time
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, List, Optional, Sequence, TextIO, Union
 
 from repro.runner.artifacts import MISSING, ArtifactStore
+from repro.runner.backends import (
+    ExecutionBackend,
+    TaskMeta,
+    WorkItem,
+    resolve_backend,
+)
 from repro.runner.config import SweepConfig
-from repro.runner.registry import resolve_task, run_task
+from repro.runner.registry import resolve_task
 
 __all__ = ["SweepRunner"]
-
-#: Work item shipped to a worker: (position in the config list, task name,
-#: params, module that registers the task).  The module name lets a worker
-#: started with the ``spawn`` method re-register tasks that live outside
-#: ``repro.experiments`` (fork workers inherit the registry and ignore it).
-_WorkItem = Tuple[int, str, Dict[str, Any], Optional[str]]
-
-#: Per-task execution metadata produced by workers and persisted alongside
-#: each artifact: {"wall_clock_s": float, "worker": pid}.
-TaskMeta = Dict[str, Any]
 
 
 def _canonical_result(value: Any) -> Any:
@@ -53,22 +49,52 @@ def _canonical_result(value: Any) -> Any:
     return json.loads(json.dumps(value, allow_nan=True))
 
 
-def _execute(item: _WorkItem) -> Tuple[int, Any, TaskMeta]:
-    """Worker entry point: run one config, tagging the result with its index
-    and with execution metadata (wall-clock seconds, worker pid)."""
-    index, task, params, module = item
-    if module is not None:
-        try:
-            importlib.import_module(module)
-        except ImportError:
-            pass  # fork workers already hold the registration
-    start = time.perf_counter()
-    result = run_task(task, params)
-    meta: TaskMeta = {
-        "wall_clock_s": time.perf_counter() - start,
-        "worker": os.getpid(),
-    }
-    return index, result, meta
+class _ProgressLine:
+    """The sweep-level ``k/N tasks, ETA`` line, shared by every backend.
+
+    ``k`` counts *all* finished configs -- cache prefills, broker dedupe
+    hits, and fresh executions alike -- so ``k/N`` is honest when the
+    artifact cache short-circuits part of the sweep; the ETA is estimated
+    from executed tasks only (cache hits are effectively free).
+    """
+
+    def __init__(
+        self, *, total: int, cached: int, enabled: bool, stream: Optional[TextIO] = None
+    ) -> None:
+        self.total = total
+        self.done = cached
+        self.cached = cached
+        self.enabled = enabled and total > 0
+        self.stream = stream if stream is not None else sys.stderr
+        self._executed = 0
+        self._started = time.perf_counter()
+        self._wrote = False
+
+    def step(self, *, cached: bool = False) -> None:
+        self.done += 1
+        if cached:
+            self.cached += 1
+        else:
+            self._executed += 1
+        if not self.enabled:
+            return
+        remaining = self.total - self.done
+        if self._executed:
+            elapsed = time.perf_counter() - self._started
+            eta = f"{elapsed / self._executed * remaining:6.1f}s"
+        else:
+            eta = "   ?  "
+        suffix = f" ({self.cached} cached)" if self.cached else ""
+        self.stream.write(
+            f"\r[sweep] {self.done}/{self.total} tasks{suffix}, ETA {eta}"
+        )
+        self.stream.flush()
+        self._wrote = True
+
+    def finish(self) -> None:
+        if self._wrote:
+            self.stream.write("\n")
+            self.stream.flush()
 
 
 class SweepRunner:
@@ -79,13 +105,23 @@ class SweepRunner:
     workers:
         Number of worker processes.  ``1`` (the default) runs every config
         in-process -- the serial path used by the test suite and by drivers
-        invoked without an explicit runner.
+        invoked without an explicit runner.  Ignored when an explicit
+        ``backend`` instance is given.
     artifact_dir:
         Root of the JSON artifact cache.  ``None`` disables persistence;
         results are then recomputed on every call.
     force:
         When true, ignore existing artifacts (but still overwrite them with
         the fresh results).
+    progress:
+        ``None`` (default) shows the sweep-level progress line on stderr for
+        parallel backends when stderr is a terminal; ``True`` forces it on
+        (including for ``workers=1`` long sweeps); ``False`` forces it off.
+    backend:
+        ``None`` derives the backend from ``workers`` (the historical
+        behaviour); a name (``"serial"``/``"pool"``/``"distributed"``) or a
+        configured :class:`~repro.runner.backends.ExecutionBackend` instance
+        selects one explicitly.
     """
 
     def __init__(
@@ -95,17 +131,17 @@ class SweepRunner:
         artifact_dir: Optional[Union[str, Path]] = None,
         force: bool = False,
         progress: Optional[bool] = None,
+        backend: Union[None, str, ExecutionBackend] = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = workers
         self.store = ArtifactStore(artifact_dir) if artifact_dir is not None else None
         self.force = force
-        #: Progress reporting: ``None`` (default) shows a sweep-level progress
-        #: line on stderr when ``workers > 1`` and stderr is a terminal;
-        #: ``True``/``False`` force it on/off.
         self.progress = progress
+        self.backend = resolve_backend(backend, workers=workers)
         #: Cache hits / task executions of the most recent :meth:`run` call.
+        #: Broker-side dedupe hits (distributed backend) count as cached.
         self.last_cached = 0
         self.last_executed = 0
         #: Per-config execution metadata of the most recent :meth:`run` call,
@@ -117,74 +153,57 @@ class SweepRunner:
         """Execute ``configs`` and return their results in config order."""
         results: List[Any] = [None] * len(configs)
         metas: List[Optional[TaskMeta]] = [None] * len(configs)
-        pending: List[_WorkItem] = []
+        pending: List[WorkItem] = []
         for index, config in enumerate(configs):
             cached = self.store.load(config) if self.store and not self.force else MISSING
             if cached is not MISSING:
                 results[index] = _canonical_result(cached)
             else:
                 # Resolving here (in the parent) both validates the task name
-                # early and captures the registering module for spawn workers.
+                # early and captures the registering module for workers that
+                # start from a fresh interpreter.
                 module = getattr(resolve_task(config.task), "__module__", None)
                 pending.append((index, config.task, dict(config.params), module))
         self.last_cached = len(configs) - len(pending)
         self.last_executed = len(pending)
 
-        for index, value, meta in self._execute_pending(pending):
-            value = _canonical_result(value)
-            if self.store is not None:
-                self.store.store(configs[index], value, meta=meta)
-            results[index] = value
-            metas[index] = meta
+        progress = _ProgressLine(
+            total=len(configs),
+            cached=self.last_cached,
+            enabled=self._progress_enabled(len(pending)),
+        )
+        executed = 0
+        try:
+            for index, value, meta in self.backend.execute(
+                pending, store=self.store, force=self.force
+            ):
+                value = _canonical_result(value)
+                if meta is not None:
+                    executed += 1
+                    if self.store is not None and not self.backend.persists:
+                        self.store.store(configs[index], value, meta=meta)
+                results[index] = value
+                metas[index] = meta
+                progress.step(cached=meta is None)
+        finally:
+            progress.finish()
+        # Broker-side dedupe may have served part of ``pending`` from the
+        # shared artifact cache mid-sweep; recount so the cached/executed
+        # split stays honest.
+        self.last_cached = len(configs) - executed
+        self.last_executed = executed
         self.last_metas = metas
         return results
 
-    def _show_progress(self, pending_count: int) -> bool:
+    def _progress_enabled(self, pending_count: int) -> bool:
         if self.progress is not None:
-            return self.progress and pending_count > 1
+            return self.progress
         return (
-            self.workers > 1
+            self.backend.parallel
             and pending_count > 1
             and hasattr(sys.stderr, "isatty")
             and sys.stderr.isatty()
         )
-
-    def _execute_pending(
-        self, pending: List[_WorkItem]
-    ) -> List[Tuple[int, Any, TaskMeta]]:
-        if not pending:
-            return []
-        if self.workers == 1 or len(pending) == 1:
-            return [_execute(item) for item in pending]
-        processes = min(self.workers, len(pending))
-        # Prefer fork where available: workers then inherit the full task
-        # registry outright.  Spawn platforms fall back to the module name
-        # shipped with each work item.
-        try:
-            context = multiprocessing.get_context("fork")
-        except ValueError:
-            context = multiprocessing.get_context()
-        show_progress = self._show_progress(len(pending))
-        total = len(pending)
-        started = time.perf_counter()
-        completed: List[Tuple[int, Any, TaskMeta]] = []
-        with context.Pool(processes=processes) as pool:
-            # Unordered: completion order does not matter because every
-            # result carries its config index.
-            for item in pool.imap_unordered(_execute, pending):
-                completed.append(item)
-                if show_progress:
-                    done = len(completed)
-                    elapsed = time.perf_counter() - started
-                    eta = elapsed / done * (total - done)
-                    sys.stderr.write(
-                        f"\r[sweep] {done}/{total} tasks, ETA {eta:6.1f}s"
-                    )
-                    sys.stderr.flush()
-        if show_progress:
-            sys.stderr.write("\n")
-            sys.stderr.flush()
-        return completed
 
     # ------------------------------------------------------------------ #
     def run_experiment(self, name: str, **kwargs: Any):

@@ -113,6 +113,86 @@ class TestArtifactStore:
         assert store.load(config) is None
 
 
+class TestArtifactStoreConcurrency:
+    def test_concurrent_writers_never_produce_torn_reads(self, tmp_path):
+        """Hammer one artifact path from several threads while reading it:
+        every read must see a complete document (the unique-temp-file +
+        os.replace write makes torn or interleaved writes impossible)."""
+        import threading
+
+        store = ArtifactStore(tmp_path)
+        config = SweepConfig("test.echo", {"value": 42})
+        payload = {"rows": list(range(200))}
+        errors = []
+
+        def write(worker):
+            for _ in range(30):
+                store.store(config, payload, meta={"worker": worker})
+
+        def read():
+            for _ in range(200):
+                loaded = store.load(config)
+                if loaded is not MISSING and loaded != payload:
+                    errors.append(loaded)
+
+        threads = [threading.Thread(target=write, args=(i,)) for i in range(4)]
+        threads += [threading.Thread(target=read) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert store.load(config) == payload
+        # No orphaned temp files once all writers finished.
+        assert list((tmp_path / "test.echo").glob("*.tmp")) == []
+
+    def test_failed_write_leaves_no_temp_file(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        config = SweepConfig("test.echo", {"value": 1})
+        with pytest.raises(TypeError):
+            store.store(config, object())
+        assert list((tmp_path / "test.echo").glob("*")) == []
+
+
+class TestProgressLine:
+    """The sweep-level k/N progress line, unified across backends."""
+
+    @staticmethod
+    def _stderr_of(capsys):
+        return capsys.readouterr().err
+
+    def test_serial_progress_opt_in(self, capsys):
+        # Regression: the line used to be silently pool-only; progress=True
+        # must show it for workers=1 sweeps too.
+        configs = [SweepConfig("test.echo", {"value": v}) for v in range(3)]
+        SweepRunner(progress=True).run(configs)
+        err = self._stderr_of(capsys)
+        assert "[sweep] 3/3 tasks" in err
+        assert "ETA" in err
+
+    def test_progress_counts_cache_prefills(self, tmp_path, capsys):
+        configs = [SweepConfig("test.echo", {"value": v}) for v in range(4)]
+        SweepRunner(artifact_dir=tmp_path).run(configs[:3])
+        capsys.readouterr()
+        runner = SweepRunner(artifact_dir=tmp_path, progress=True)
+        runner.run(configs)
+        err = self._stderr_of(capsys)
+        # k/N is honest: the final tick reports all 4 configs done, with the
+        # 3 cache hits called out.
+        assert "[sweep] 4/4 tasks (3 cached)" in err
+        assert (runner.last_cached, runner.last_executed) == (3, 1)
+
+    def test_progress_false_silences_parallel_sweeps(self, capsys):
+        configs = [SweepConfig("test.echo", {"value": v}) for v in range(4)]
+        SweepRunner(workers=2, progress=False).run(configs)
+        assert "[sweep]" not in self._stderr_of(capsys)
+
+    def test_progress_default_off_when_not_a_tty(self, capsys):
+        configs = [SweepConfig("test.echo", {"value": v}) for v in range(3)]
+        SweepRunner().run(configs)
+        assert "[sweep]" not in self._stderr_of(capsys)
+
+
 class TestSweepRunner:
     def test_results_in_config_order(self):
         configs = [SweepConfig("test.echo", {"value": v}) for v in (3, 1, 2)]
