@@ -21,6 +21,11 @@
 #                        (loopback broker + 2 spawned worker daemons) and
 #                        assert the table is byte-identical to the serial
 #                        run (seconds; a prerequisite of `make test`)
+#   make churn-demo    - dynamic-topology gate: assert an explicit churn=none
+#                        suite regenerates the E2 golden table byte-for-byte,
+#                        then run the committed churn example and assert its
+#                        re-convergence metrics are non-trivial (sub-minute;
+#                        a prerequisite of `make test`)
 
 PYTHON ?= python
 WORKERS ?= 4
@@ -37,9 +42,9 @@ PROFILE_OUT ?= profile_report.txt
 
 DIST_DEMO_SPEC ?= examples/scenario_benign_congest.json
 
-.PHONY: test bench bench-compare bench-smoke bench-smoke-compare profile sweep-demo scenario-demo dist-demo clean-artifacts
+.PHONY: test bench bench-compare bench-smoke bench-smoke-compare profile sweep-demo scenario-demo dist-demo churn-demo clean-artifacts
 
-test: scenario-demo dist-demo bench-smoke-compare
+test: scenario-demo dist-demo churn-demo bench-smoke-compare
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 
 scenario-demo:
@@ -52,6 +57,9 @@ dist-demo:
 	rm -f .dist-demo-serial.txt .dist-demo-distributed.txt; \
 	if [ $$status -ne 0 ]; then echo "dist-demo FAIL: distributed table differs from serial"; exit $$status; fi; \
 	echo "dist-demo ok: distributed (loopback broker + 2 workers) table identical to serial"
+
+churn-demo:
+	PYTHONPATH=src $(PYTHON) -m repro.tools.churn_demo
 
 bench:
 	PYTHONPATH=src $(PYTHON) -m repro.cli bench --repeats $(BENCH_REPEATS) --output-dir $(BENCH_DIR)

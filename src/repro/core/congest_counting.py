@@ -60,6 +60,7 @@ from repro.core.blacklist import PhaseBlacklist, split_trusted_suffix
 from repro.core.estimate import CountingOutcome, DecisionRecord
 from repro.core.parameters import CongestParameters
 from repro.graphs.graph import Graph
+from repro.simulator.churn import ChurnSchedule
 from repro.simulator.engine import RunResult, SynchronousEngine
 from repro.simulator.messages import Message
 from repro.simulator.network import Network
@@ -415,6 +416,7 @@ def run_congest_counting(
     max_rounds: Optional[int] = None,
     stop_when_all_decided: bool = True,
     evaluation_set: Optional[Set[int]] = None,
+    churn: Optional[ChurnSchedule] = None,
 ) -> CongestCountingRun:
     """Execute Algorithm 2 on ``graph`` and summarize the outcome.
 
@@ -440,6 +442,12 @@ def run_congest_counting(
     evaluation_set:
         Nodes over which outcome statistics are computed (defaults to all
         honest nodes; experiments may pass ``GoodTL``).
+    churn:
+        Optional mid-run topology schedule, applied at the *engine* level
+        (edge cuts, departures, fresh protocol slots for joiners).  The
+        protocol itself does not adapt -- Algorithm 2's phase structure
+        assumes a static graph, so churn measures its degradation: runs with
+        departures or cut phases may exhaust ``max_rounds`` undecided.
     """
     if params is None:
         params = CongestParameters(d=max(3, graph.max_degree()))
@@ -457,6 +465,7 @@ def run_congest_counting(
         adversary=adversary,
         seed=seed,
         max_rounds=max_rounds,
+        churn=churn,
     )
 
     # Both stop conditions read the engine's incrementally maintained

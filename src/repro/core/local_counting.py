@@ -62,6 +62,7 @@ from typing import Dict, FrozenSet, Iterable, KeysView, List, Optional, Sequence
 from repro.core.estimate import CountingOutcome, DecisionRecord
 from repro.core.parameters import LocalParameters
 from repro.simulator.byzantine import Adversary
+from repro.simulator.churn import ChurnSchedule
 from repro.graphs.graph import Graph
 from repro.simulator.engine import RunResult, SynchronousEngine
 from repro.simulator.messages import Message
@@ -358,12 +359,23 @@ class LocalView:
         reported_vertices: Sequence[int],
         *,
         max_degree: int,
+        allow_updates: bool = False,
     ) -> Tuple[bool, List[Tuple[int, Tuple[int, ...]]], List[int]]:
         """Merge received topology information.
 
         Returns ``(inconsistent, new_edge_sets, new_vertices)``; the new items
         form next round's delta broadcast.
+
+        With ``allow_updates=True`` (dynamic-topology runs) a claim that
+        conflicts with the settled one is accepted as a *re-announcement*
+        instead of flagged inconsistent, and the derived structures are
+        rebuilt from the settled claims (see :meth:`_integrate_dynamic`).
+        The default static path below is untouched by the dynamic feature.
         """
+        if allow_updates:
+            return self._integrate_dynamic(
+                reported_edges, reported_vertices, max_degree=max_degree
+            )
         inconsistent = False
         new_edge_sets: List[Tuple[int, Tuple[int, ...]]] = []
         new_vertices: List[int] = []
@@ -508,6 +520,288 @@ class LocalView:
             self._epoch += 1
         return inconsistent, new_edge_sets, new_vertices
 
+    # -- dynamic topology (churn) ---------------------------------------- #
+    def _resolve_record(self, entry) -> _ClaimRecord:
+        """Interner resolution of one payload entry (the static path inlines
+        this logic; the dynamic path shares it here)."""
+        by_id = self._interner.by_id
+        record = by_id.get(id(entry))
+        if record is not None:
+            return record
+        by_value = self._interner.by_value
+        node_id, edge_ids = entry
+        if (
+            isinstance(node_id, int)
+            and type(edge_ids) is tuple
+            and all(map(int.__instancecheck__, edge_ids))
+        ):
+            record = by_value.get(entry)
+            if record is None:
+                record = _ClaimRecord(node_id, edge_ids)
+                if record.valid:
+                    existing = by_value.get(record.entry)
+                    if existing is not None:
+                        record = existing
+                    else:
+                        by_value[record.entry] = record
+                        by_id[id(record.entry)] = record
+                by_value[entry] = record
+        else:
+            record = _ClaimRecord(node_id, edge_ids)
+            if record.valid:
+                existing = by_value.get(record.entry)
+                if existing is not None:
+                    record = existing
+                else:
+                    by_value[record.entry] = record
+                    by_id[id(record.entry)] = record
+        return record
+
+    def _integrate_dynamic(
+        self,
+        reported_edges: Sequence[Tuple[int, Tuple[int, ...]]],
+        reported_vertices: Sequence[int],
+        *,
+        max_degree: int,
+    ) -> Tuple[bool, List[Tuple[int, Tuple[int, ...]]], List[int]]:
+        """Integrate under churn semantics.
+
+        Differences from the static path: a conflicting claim for an
+        already-settled node is accepted as an update (nodes legitimately
+        re-announce changed edge sets; equivocation detection via Line 18 is
+        therefore downgraded in dynamic runs), and instead of incremental
+        adjacency/interior/distance maintenance -- which is unsound once
+        settled facts can be *retracted* mid-call -- every structure is
+        rebuilt from the settled claims at the end when anything changed (the
+        bounded rebuild-from-epoch fallback).
+
+        Claim integration stays monotone per *value*: each distinct claim
+        value is integrated at most once per view (the superseded value stays
+        in the seen set), so stale echoes of an old claim can never flip a
+        view back and re-propagate in waves.  The price is that a claim
+        flipping back to an exact earlier value is ignored; schedules that
+        need a node's claim restored re-spawn the node (see the engine's
+        join path) rather than re-announcing an old value.
+        """
+        inconsistent = False
+        new_edge_sets: List[Tuple[int, Tuple[int, ...]]] = []
+        new_vertices: List[int] = []
+        index = self._index
+        claim = self._claim
+        intern = self._intern
+        seen = self._seen_entries
+        changed = False
+        for entry in reported_edges:
+            record = self._resolve_record(entry)
+            rid = id(record.entry)
+            if rid in seen:
+                continue
+            if not record.valid or record.size > max_degree:
+                inconsistent = True
+                continue
+            node_id = record.node_id
+            slot = index.get(node_id)
+            if slot is not None and claim[slot] is not None:
+                if claim[slot] == record.canonical:
+                    seen.add(rid)
+                    continue
+                # Changed claim: accept the newer announcement.  The old
+                # canonical stays seen so replays of it are ignored.
+                seen.add(rid)
+            else:
+                seen.add(rid)
+                if slot is None:
+                    slot = intern(node_id)
+                    new_vertices.append(node_id)
+            self.edge_sets[node_id] = record.edge_set
+            claim[slot] = record.canonical
+            new_edge_sets.append(record.entry)
+            for v in record.edge_set:
+                if v not in index:
+                    intern(v)
+                    new_vertices.append(v)
+            changed = True
+        for node_id in reported_vertices:
+            if not isinstance(node_id, int):
+                inconsistent = True
+                continue
+            if node_id not in index:
+                intern(node_id)
+                new_vertices.append(node_id)
+                changed = True
+        if changed:
+            self._rebuild_all()
+            self._epoch += 1
+        return inconsistent, new_edge_sets, new_vertices
+
+    def _rebuild_all(self) -> None:
+        """Recompute every derived structure from the settled claims.
+
+        Adjacency masks (symmetrized), BFS layers/distances from the owner,
+        and the interior bookkeeping are all pure functions of the claims;
+        after a retraction the incremental counters cannot be repaired
+        soundly, so the dynamic paths pay one O(view) rebuild instead.
+        """
+        index = self._index
+        bits = self._bits
+        claim = self._claim
+        nslots = len(self._ids)
+        adj = [0] * nslots
+        for slot in range(nslots):
+            canonical = claim[slot]
+            if canonical is None:
+                continue
+            sb = bits[slot]
+            acc = adj[slot]
+            for v in canonical:
+                j = index[v]
+                adj[j] |= sb
+                acc |= bits[j]
+            adj[slot] = acc
+        self._adj = adj
+        # BFS from the owner (slot 0) over the rebuilt adjacency.
+        dist = [-1] * nslots
+        dist[0] = 0
+        visited = bits[0]
+        layer_masks = [bits[0]]
+        current = bits[0]
+        d = 0
+        while True:
+            nxt = 0
+            m = current
+            while m:
+                low = m & -m
+                m ^= low
+                nxt |= adj[low.bit_length() - 1]
+            nxt &= ~visited
+            if not nxt:
+                break
+            d += 1
+            visited |= nxt
+            layer_masks.append(nxt)
+            m = nxt
+            while m:
+                low = m & -m
+                m ^= low
+                dist[low.bit_length() - 1] = d
+            current = nxt
+        self._dist = dist
+        self._layer_masks = layer_masks
+        # Interior bookkeeping from scratch.
+        missing: Dict[int, int] = {}
+        waiting: Dict[int, List[int]] = {}
+        interior = 0
+        for slot in range(nslots):
+            canonical = claim[slot]
+            if canonical is None:
+                continue
+            miss = 0
+            for v in canonical:
+                j = index[v]
+                if claim[j] is None:
+                    miss += 1
+                    waiting.setdefault(j, []).append(slot)
+            if miss:
+                missing[slot] = miss
+            else:
+                interior |= bits[slot]
+        self._missing = missing
+        self._waiting = waiting
+        self._interior_mask = interior
+        out = 0
+        m = interior
+        while m:
+            low = m & -m
+            m ^= low
+            out |= adj[low.bit_length() - 1]
+        self._interior_out_mask = out & ~interior
+
+    def delete_edge(self, a: int, b: int) -> bool:
+        """Remove edge ``{a, b}`` from both endpoints' settled claims.
+
+        Called when the owner *knows* the edge is gone (an engine-level
+        topology change on an incident edge).  Each shrunk claim's canonical
+        is marked seen, so a later announcement of the same shrunk set
+        deduplicates; the old full canonicals also stay seen (stale echoes of
+        the pre-deletion claims are ignored -- see :meth:`_integrate_dynamic`
+        on monotone-per-value integration).  Returns whether anything changed.
+        """
+        changed = False
+        index = self._index
+        claim = self._claim
+        for x, y in ((a, b), (b, a)):
+            slot = index.get(x)
+            if slot is None or claim[slot] is None:
+                continue
+            edge_set = self.edge_sets[x]
+            if y not in edge_set:
+                continue
+            record = self._interner.intern(x, tuple(sorted(edge_set - {y})))
+            self.edge_sets[x] = record.edge_set
+            claim[slot] = record.canonical
+            self._seen_entries.add(id(record.entry))
+            changed = True
+        if changed:
+            self._rebuild_all()
+            self._epoch += 1
+        return changed
+
+    def retract_claim(self, node_id: int) -> bool:
+        """Unsettle ``node_id`` entirely: drop its claim and *unsee* it.
+
+        Unlike an update, a retraction re-opens the slot -- a later
+        announcement of the exact retracted value settles again.  The vertex
+        itself stays known (vertices are never forgotten).  Returns whether
+        a settled claim was dropped.
+        """
+        slot = self._index.get(node_id)
+        if slot is None or self._claim[slot] is None:
+            return False
+        canonical = self._claim[slot]
+        record = self._interner.by_value.get((node_id, canonical))
+        if record is not None and record.entry is not None:
+            self._seen_entries.discard(id(record.entry))
+        self._claim[slot] = None
+        del self.edge_sets[node_id]
+        self._rebuild_all()
+        self._epoch += 1
+        return True
+
+    def update_claim(self, node_id: int, edge_ids: Iterable[int]) -> bool:
+        """Force-settle ``node_id``'s claim to ``edge_ids``.
+
+        The owner's own claim must track engine-level topology changes even
+        when the target value was seen before (e.g. an edge removed and later
+        restored), so this bypasses the seen-set entirely.  Returns whether
+        the settled claim changed.
+        """
+        record = self._interner.intern(node_id, tuple(sorted(edge_ids)))
+        slot = self._index.get(node_id)
+        if slot is None:
+            slot = self._intern(node_id)
+        self._seen_entries.add(id(record.entry))
+        if self._claim[slot] == record.canonical:
+            return False
+        for v in record.edge_set:
+            if v not in self._index:
+                self._intern(v)
+        self.edge_sets[node_id] = record.edge_set
+        self._claim[slot] = record.canonical
+        self._rebuild_all()
+        self._epoch += 1
+        return True
+
+    def settled_entries(self) -> List[Tuple[int, Tuple[int, ...]]]:
+        """Interned payload entries of every settled claim (bootstrap dump)."""
+        intern = self._interner.intern
+        claim = self._claim
+        out: List[Tuple[int, Tuple[int, ...]]] = []
+        for node_id, slot in self._index.items():
+            canonical = claim[slot]
+            if canonical is not None:
+                out.append(intern(node_id, canonical).entry)
+        return out
+
     # -- structure queries ---------------------------------------------- #
     @property
     def vertices(self) -> KeysView[int]:
@@ -617,12 +911,20 @@ class LocalCountingProtocol(Protocol):
         params: LocalParameters,
         *,
         interner: Optional[ClaimInterner] = None,
+        dynamic: bool = False,
     ) -> None:
         self.params = params
         self._interner = interner if interner is not None else ClaimInterner()
         self.view = LocalView(
             ctx.node_id, ctx.neighbor_ids.values(), interner=self._interner
         )
+        # Dynamic-topology mode (churn runs): claims may be re-announced, and
+        # the mute check runs against the neighbors known to have been
+        # present last round (a just-added neighbor cannot have spoken yet).
+        self._dynamic = dynamic
+        if dynamic:
+            self._known_neighbors: Set[int] = set(ctx.neighbors)
+            self._pending_neighbors: List[int] = []
         self._decided = False
         self._estimate: Optional[float] = None
         self._decision_round: Optional[int] = None
@@ -779,7 +1081,18 @@ class LocalCountingProtocol(Protocol):
 
         # Which neighbors spoke this round?  (Line 5: "some neighbor is mute".)
         speakers = {m.sender for m in inbox if m.kind == "topology"}
-        mute_neighbor = any(v not in speakers for v in ctx.neighbors)
+        if self._dynamic:
+            known = self._known_neighbors
+            mute_neighbor = any(v not in speakers for v in known)
+            if self._pending_neighbors:
+                # Neighbors added by churn this round start counting toward
+                # the mute check from the *next* round (their first broadcast
+                # is only delivered at the end of this one).
+                known.update(self._pending_neighbors)
+                self._pending_neighbors.clear()
+                known.intersection_update(ctx.neighbors)
+        else:
+            mute_neighbor = any(v not in speakers for v in ctx.neighbors)
 
         inconsistent = False
         newly_added = 0
@@ -801,7 +1114,10 @@ class LocalCountingProtocol(Protocol):
             reported_edges, reported_vertices = payload
             try:
                 bad, new_edges, new_vertices = self.view.integrate(
-                    reported_edges, reported_vertices, max_degree=self.params.max_degree
+                    reported_edges,
+                    reported_vertices,
+                    max_degree=self.params.max_degree,
+                    allow_updates=self._dynamic,
                 )
             except (TypeError, ValueError):
                 inconsistent = True
@@ -819,6 +1135,37 @@ class LocalCountingProtocol(Protocol):
             return {}
 
         return Broadcast(self._delta_message(), ctx.neighbors)
+
+    def on_topology_change(
+        self,
+        ctx: NodeContext,
+        added_neighbors: Dict[int, int],
+        removed_neighbors: Dict[int, int],
+    ) -> None:
+        """React to engine-level churn on incident edges (dynamic runs only).
+
+        Removed edges are excised from the view (both endpoints' claims
+        shrink); added edges update the own claim and trigger a full-view
+        re-broadcast so a (re)joining neighbor can bootstrap -- every other
+        receiver deduplicates the dump by claim identity.
+        """
+        if self._decided:
+            return
+        view = self.view
+        changed = False
+        for idx in removed_neighbors:
+            self._known_neighbors.discard(idx)
+        for rid in removed_neighbors.values():
+            changed = view.delete_edge(ctx.node_id, rid) or changed
+        if added_neighbors:
+            self._pending_neighbors.extend(added_neighbors)
+            view.update_claim(ctx.node_id, ctx.neighbor_ids.values())
+            self._queue_delta(view.settled_entries(), sorted(view.vertices))
+        elif changed:
+            record = self._interner.intern(
+                ctx.node_id, tuple(sorted(ctx.neighbor_ids.values()))
+            )
+            self._queue_delta([record.entry], [])
 
 
 @dataclass
@@ -839,6 +1186,7 @@ def run_local_counting(
     seed: int = 0,
     max_rounds: Optional[int] = None,
     evaluation_set: Optional[Set[int]] = None,
+    churn: Optional[ChurnSchedule] = None,
 ) -> LocalCountingRun:
     """Execute Algorithm 1 on ``graph`` and summarize the outcome.
 
@@ -862,6 +1210,10 @@ def run_local_counting(
     evaluation_set:
         Nodes over which the outcome statistics are computed (defaults to all
         honest nodes; experiments pass the Lemma 1 ``Good`` set).
+    churn:
+        Optional mid-run topology schedule.  Enables the protocol's dynamic
+        mode (claim updates, churn-aware mute check); ``None`` takes the
+        exact static code paths.
     """
     if params is None:
         params = LocalParameters(max_degree=max(2, graph.max_degree()))
@@ -873,9 +1225,10 @@ def run_local_counting(
     # records, so a claim is parsed once per run instead of once per
     # (receiver, arrival).
     interner = ClaimInterner()
+    dynamic = churn is not None and bool(churn)
 
     def factory(ctx: NodeContext) -> Protocol:
-        return LocalCountingProtocol(ctx, params, interner=interner)
+        return LocalCountingProtocol(ctx, params, interner=interner, dynamic=dynamic)
 
     engine = SynchronousEngine(
         network,
@@ -883,6 +1236,7 @@ def run_local_counting(
         adversary=adversary,
         seed=seed,
         max_rounds=max_rounds,
+        churn=churn if dynamic else None,
     )
     result = engine.run()
 

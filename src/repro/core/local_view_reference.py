@@ -61,6 +61,11 @@ class SetBasedLocalView:
         self._waiting: Dict[int, List[int]] = {}
         self._interior: Set[int] = set()
         self._interior_out: Set[int] = set()
+        # Claims already integrated, as (node_id, canonical-tuple) values:
+        # the value-level analogue of the columnar view's identity-keyed
+        # seen-set.  Maintained by both integrate modes, consulted only by
+        # the dynamic one (static behavior is untouched).
+        self._integrated: Set[Tuple[int, Tuple[int, ...]]] = set()
         self._settle(own_id, self.edge_sets[own_id])
 
     # -- incremental maintenance ---------------------------------------- #
@@ -125,8 +130,13 @@ class SetBasedLocalView:
         reported_vertices: Sequence[int],
         *,
         max_degree: int,
+        allow_updates: bool = False,
     ) -> Tuple[bool, List[Tuple[int, Tuple[int, ...]]], List[int]]:
         """Merge received topology information (reference semantics)."""
+        if allow_updates:
+            return self._integrate_dynamic(
+                reported_edges, reported_vertices, max_degree=max_degree
+            )
         inconsistent = False
         new_edge_sets: List[Tuple[int, Tuple[int, ...]]] = []
         new_vertices: List[int] = []
@@ -147,6 +157,8 @@ class SetBasedLocalView:
                     map(int.__instancecheck__, edge_set)
                 ):
                     inconsistent = True
+                else:
+                    self._integrated.add((node_id, tuple(sorted(edge_set))))
                 continue
             if len(edge_set) > max_degree or node_id in edge_set:
                 inconsistent = True
@@ -155,7 +167,9 @@ class SetBasedLocalView:
                 inconsistent = True
                 continue
             self.edge_sets[node_id] = edge_set
-            new_edge_sets.append((node_id, tuple(sorted(edge_set))))
+            canonical = tuple(sorted(edge_set))
+            self._integrated.add((node_id, canonical))
+            new_edge_sets.append((node_id, canonical))
             if node_id not in vertices:
                 vertices.add(node_id)
                 new_vertices.append(node_id)
@@ -191,6 +205,168 @@ class SetBasedLocalView:
         if relax:
             self._relax_distances(relax)
         return inconsistent, new_edge_sets, new_vertices
+
+    # -- dynamic topology (churn) ---------------------------------------- #
+    def _integrate_dynamic(
+        self,
+        reported_edges: Sequence[Tuple[int, Tuple[int, ...]]],
+        reported_vertices: Sequence[int],
+        *,
+        max_degree: int,
+    ) -> Tuple[bool, List[Tuple[int, Tuple[int, ...]]], List[int]]:
+        """Churn-mode integrate (mirrors ``LocalView._integrate_dynamic``).
+
+        Conflicting claims for settled nodes are accepted as updates, claim
+        integration is monotone per value (a superseded value stays in the
+        integrated set and is silently ignored on replay), and every derived
+        structure is rebuilt from the settled claims when anything changed.
+        """
+        inconsistent = False
+        new_edge_sets: List[Tuple[int, Tuple[int, ...]]] = []
+        new_vertices: List[int] = []
+        integrated = self._integrated
+        vertices = self.vertices
+        changed = False
+        for entry in reported_edges:
+            node_id, edge_ids = entry
+            edge_set = frozenset(edge_ids)
+            valid = (
+                isinstance(node_id, int)
+                and node_id not in edge_set
+                and all(map(int.__instancecheck__, edge_set))
+            )
+            canonical = tuple(sorted(edge_set)) if valid else None
+            if valid and (node_id, canonical) in integrated:
+                continue
+            if not valid or len(edge_set) > max_degree:
+                inconsistent = True
+                continue
+            existing = self.edge_sets.get(node_id)
+            if existing is not None:
+                integrated.add((node_id, canonical))
+                if existing == edge_set:
+                    continue
+            else:
+                integrated.add((node_id, canonical))
+                if node_id not in vertices:
+                    vertices.add(node_id)
+                    new_vertices.append(node_id)
+            self.edge_sets[node_id] = edge_set
+            new_edge_sets.append((node_id, canonical))
+            for v in edge_set:
+                if v not in vertices:
+                    vertices.add(v)
+                    new_vertices.append(v)
+            changed = True
+        for node_id in reported_vertices:
+            if not isinstance(node_id, int):
+                inconsistent = True
+                continue
+            if node_id not in vertices:
+                vertices.add(node_id)
+                new_vertices.append(node_id)
+                changed = True
+        if changed:
+            self._rebuild_all()
+        return inconsistent, new_edge_sets, new_vertices
+
+    def _rebuild_all(self) -> None:
+        """Recompute adjacency, BFS layers, and interior from settled claims."""
+        adj: Dict[int, Set[int]] = {v: set() for v in self.vertices}
+        for node_id, edge_set in self.edge_sets.items():
+            node_adj = adj[node_id]
+            for v in edge_set:
+                node_adj.add(v)
+                adj[v].add(node_id)
+        self._adj = adj
+        dist: Dict[int, int] = {self.own_id: 0}
+        layers: List[Set[int]] = [{self.own_id}]
+        current: Set[int] = {self.own_id}
+        while True:
+            nxt: Set[int] = set()
+            for u in current:
+                for w in adj[u]:
+                    if w not in dist and w not in nxt:
+                        nxt.add(w)
+            if not nxt:
+                break
+            d = len(layers)
+            for w in nxt:
+                dist[w] = d
+            layers.append(nxt)
+            current = nxt
+        self._dist = dist
+        self._layers = layers
+        missing: Dict[int, int] = {}
+        waiting: Dict[int, List[int]] = {}
+        interior: Set[int] = set()
+        settled = self.edge_sets
+        for node_id, edge_set in settled.items():
+            miss = 0
+            for w in edge_set:
+                if w not in settled:
+                    miss += 1
+                    waiting.setdefault(w, []).append(node_id)
+            if miss:
+                missing[node_id] = miss
+            else:
+                interior.add(node_id)
+        self._missing = missing
+        self._waiting = waiting
+        self._interior = interior
+        out: Set[int] = set()
+        for v in interior:
+            for w in adj[v]:
+                if w not in interior:
+                    out.add(w)
+        self._interior_out = out
+
+    def delete_edge(self, a: int, b: int) -> bool:
+        """Remove edge ``{a, b}`` from both endpoints' settled claims."""
+        changed = False
+        for x, y in ((a, b), (b, a)):
+            edge_set = self.edge_sets.get(x)
+            if edge_set is None or y not in edge_set:
+                continue
+            new_set = edge_set - {y}
+            self.edge_sets[x] = new_set
+            self._integrated.add((x, tuple(sorted(new_set))))
+            changed = True
+        if changed:
+            self._rebuild_all()
+        return changed
+
+    def retract_claim(self, node_id: int) -> bool:
+        """Unsettle ``node_id`` entirely (drop its claim and *unsee* it)."""
+        edge_set = self.edge_sets.pop(node_id, None)
+        if edge_set is None:
+            return False
+        self._integrated.discard((node_id, tuple(sorted(edge_set))))
+        self._rebuild_all()
+        return True
+
+    def update_claim(self, node_id: int, edge_ids: Iterable[int]) -> bool:
+        """Force-settle ``node_id``'s claim to ``edge_ids`` (bypasses dedup)."""
+        canonical = tuple(sorted(edge_ids))
+        edge_set = frozenset(canonical)
+        self._integrated.add((node_id, canonical))
+        if self.edge_sets.get(node_id) == edge_set:
+            return False
+        if node_id not in self.vertices:
+            self.vertices.add(node_id)
+        for v in edge_set:
+            if v not in self.vertices:
+                self.vertices.add(v)
+        self.edge_sets[node_id] = edge_set
+        self._rebuild_all()
+        return True
+
+    def settled_entries(self) -> List[Tuple[int, Tuple[int, ...]]]:
+        """Canonical payload entries of every settled claim."""
+        return [
+            (node_id, tuple(sorted(edge_set)))
+            for node_id, edge_set in self.edge_sets.items()
+        ]
 
     # -- structure queries ---------------------------------------------- #
     def adjacency(self) -> Dict[int, Set[int]]:

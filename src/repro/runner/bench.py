@@ -106,6 +106,40 @@ def _bench_congest(
     }
 
 
+@sweep_task("bench.local_churn")
+def _bench_local_churn(
+    *, n: int, degree: int, count: int, start: int, absence: int, seed: int
+) -> Dict[str, Any]:
+    """One Algorithm 1 run under a seeded leave/re-join churn schedule.
+
+    Exercises the dynamics seam end to end: departures cut a node out
+    mid-run, re-joins spawn fresh protocol instances, and every surviving
+    node's ``LocalView`` re-converges through the dynamic integrate path.
+    The deterministic counters therefore cover the churn delta application
+    and the view-rebuild fallback, not just the static hot path.
+    """
+    from repro.core.local_counting import run_local_counting
+    from repro.core.parameters import LocalParameters
+    from repro.graphs.hnd import hnd_random_regular_graph
+    from repro.scenarios.churn import build_churn
+
+    graph = hnd_random_regular_graph(n, degree, seed=seed + n)
+    churn = build_churn(
+        "node-leave-join", graph, seed=seed, count=count, start=start, absence=absence
+    )
+    run = run_local_counting(
+        graph, params=LocalParameters(max_degree=degree), seed=seed, churn=churn
+    )
+    outcome = run.outcome
+    return {
+        "rounds": outcome.rounds_executed,
+        "messages": outcome.total_messages,
+        "bits": outcome.total_bits,
+        "decided_fraction": outcome.decided_fraction(over_evaluation_set=False),
+        "churn_events": run.result.metrics.churn_events,
+    }
+
+
 @sweep_task("bench.dist_loopback")
 def _bench_dist_loopback(
     *, n: int, degree: int, seeds: Sequence[int], workers: int
@@ -274,6 +308,51 @@ SCENARIOS: Tuple[BenchScenario, ...] = (
         "scenario-e3-dist-loopback",
         "bench.dist_loopback",
         {"n": 48, "degree": 8, "seeds": [0, 1, 2, 3], "workers": 2},
+    ),
+    # Appended with the dynamic-topology subsystem (PR 6): an E12-style
+    # Algorithm 1 run under a seeded leave/re-join schedule (the dynamic
+    # integrate + view-rebuild path at 256 nodes), and an E2-style congest
+    # scenario under seeded edge flips through the declarative path with an
+    # explicit round bound (Algorithm 2 does not adapt to churn; the bound
+    # keeps the degradation measurement finite).  Pinned like every
+    # parameterization above -- append new scenarios, never edit.
+    BenchScenario(
+        "e12-local-churn-n256",
+        "bench.local_churn",
+        {"n": 256, "degree": 8, "count": 4, "start": 6, "absence": 3, "seed": 0},
+    ),
+    BenchScenario(
+        "scenario-e2-churn-n128",
+        "scenario.run",
+        {
+            "spec": {
+                "graph": {
+                    "name": "hnd",
+                    "params": {"n": 128, "degree": 8},
+                    "seed_offset": 0,
+                },
+                "adversary": {"name": "beacon-flood", "params": {}, "seed_offset": 0},
+                "placement": {
+                    "name": "spread",
+                    "params": {"count": 4},
+                    "seed_offset": 0,
+                },
+                "protocol": {
+                    "name": "congest",
+                    "params": {"gamma": 0.5, "d": 8, "max_rounds": 300},
+                    "seed_offset": 0,
+                },
+                "churn": {
+                    "name": "edge-flip",
+                    "params": {"flips": 4, "start": 40, "duration": 20},
+                    "seed_offset": 0,
+                },
+                "params": {
+                    "evaluation": {"kind": "far", "radius": 1},
+                },
+            },
+            "seed": 128,
+        },
     ),
 )
 

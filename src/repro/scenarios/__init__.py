@@ -1,14 +1,16 @@
 """Declarative scenario API: composable registries for graphs x adversaries
-x placements x protocols.
+x placements x protocols x churn schedules.
 
 Every paper claim is "protocol P on graph family G under adversary A with
-placement L".  This package makes that sentence executable data:
+placement L" -- optionally "under churn schedule C".  This package makes
+that sentence executable data:
 
-* :mod:`repro.scenarios.registry` -- four string-keyed component registries,
+* :mod:`repro.scenarios.registry` -- five string-keyed component registries,
   populated by decorators in :mod:`~repro.scenarios.graphs`,
   :mod:`~repro.scenarios.behaviours`, :mod:`~repro.scenarios.placements`,
-  and :mod:`~repro.scenarios.protocols` (importing this package registers
-  everything, which is what spawn-method sweep workers rely on).
+  :mod:`~repro.scenarios.protocols`, and :mod:`~repro.scenarios.churn`
+  (importing this package registers everything, which is what spawn-method
+  sweep workers rely on).
 * :mod:`repro.scenarios.spec` -- the JSON-round-trippable :class:`Scenario`
   dataclass, compiling to ``SweepConfig`` lists that ride the existing
   sweep runner and artifact cache unchanged.
@@ -21,6 +23,7 @@ See SCENARIOS.md for the spec schema and the registry extension recipe.
 
 from repro.scenarios.registry import (
     ADVERSARIES,
+    CHURN,
     GRAPHS,
     PLACEMENTS,
     PROTOCOLS,
@@ -31,6 +34,7 @@ from repro.scenarios.registry import (
 )
 from repro.scenarios.graphs import build_graph
 from repro.scenarios.behaviours import make_adversary
+from repro.scenarios.churn import build_churn
 from repro.scenarios.placements import place_byzantine
 from repro.scenarios.protocols import run_protocol
 from repro.scenarios.spec import SCENARIO_TASK, ComponentSpec, Scenario
@@ -39,6 +43,7 @@ from repro.scenarios.execute import MaterializedCell, execute_cell, materialize
 
 __all__ = [
     "ADVERSARIES",
+    "CHURN",
     "GRAPHS",
     "PLACEMENTS",
     "PROTOCOLS",
@@ -52,6 +57,7 @@ __all__ = [
     "SuiteRow",
     "UnknownComponentError",
     "all_registries",
+    "build_churn",
     "build_graph",
     "execute_cell",
     "make_adversary",

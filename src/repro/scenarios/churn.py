@@ -1,0 +1,157 @@
+"""Churn-schedule registrations for the scenario API (the fifth axis).
+
+Each entry is a uniform builder ``fn(graph, *, seed, **params) ->
+Optional[ChurnSchedule]``: it sees the *materialized* graph (so generators can
+sample existing edges or cut a bisection) plus the cell seed, and returns the
+:class:`~repro.simulator.churn.ChurnSchedule` the engine applies mid-run --
+or ``None`` for the static default, which keeps the run on the exact
+pre-churn code paths.  Schedules are derived deterministically from the seed
+via :func:`~repro.simulator.rng.split_seed`, so a scenario spec plus a seed
+fully reproduces the dynamic topology.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.graphs.graph import Graph
+from repro.scenarios.registry import CHURN
+from repro.simulator.churn import ChurnSchedule
+from repro.simulator.rng import split_seed
+
+__all__ = ["build_churn"]
+
+
+def build_churn(
+    name: str, graph: Graph, *, seed: int, **params: object
+) -> Optional[ChurnSchedule]:
+    """Build the registered churn schedule ``name`` for ``graph``."""
+    return CHURN.build(name, graph, seed=seed, **params)
+
+
+def _merge(
+    events: Dict[int, Dict[str, List]], round_number: int, key: str, items: Sequence
+) -> None:
+    events.setdefault(round_number, {}).setdefault(key, []).extend(items)
+
+
+@CHURN.register("none")
+def _none(graph: Graph, *, seed: int = 0) -> None:
+    """Static topology (the default): no mid-run deltas, pre-churn code paths."""
+    return None
+
+
+@CHURN.register("edge-flip")
+def _edge_flip(
+    graph: Graph,
+    *,
+    seed: int = 0,
+    flips: int = 2,
+    start: int = 2,
+    duration: int = 2,
+    repeats: int = 1,
+    period: Optional[int] = None,
+) -> Optional[ChurnSchedule]:
+    """Seeded edge flips: cut ``flips`` existing edges, restore them later.
+
+    Each cycle ``r`` (``repeats`` of them, ``period`` rounds apart, default
+    ``duration + 2``) samples ``flips`` distinct edges of the *original*
+    graph, removes them before round ``start + r * period``, and re-adds the
+    same edges ``duration`` rounds later.  Node count never changes, so this
+    isolates the protocols' reaction to link volatility.
+    """
+    edges = [(u, v) for u in range(graph.n) for v in graph.adjacency[u] if u < v]
+    if not edges or flips <= 0 or repeats <= 0:
+        return None
+    rng = random.Random(split_seed(seed, "churn", "edge-flip"))
+    cycle_gap = (duration + 2) if period is None else int(period)
+    events: Dict[int, Dict[str, List]] = {}
+    for cycle in range(int(repeats)):
+        chosen = rng.sample(edges, min(int(flips), len(edges)))
+        cut_round = int(start) + cycle * cycle_gap
+        _merge(events, cut_round, "remove_edges", chosen)
+        _merge(events, cut_round + int(duration), "add_edges", chosen)
+    return ChurnSchedule.from_events(events)
+
+
+@CHURN.register("node-leave-join", node_id_params=("nodes",))
+def _node_leave_join(
+    graph: Graph,
+    *,
+    seed: int = 0,
+    count: int = 1,
+    start: int = 3,
+    absence: int = 3,
+    repeats: int = 1,
+    period: Optional[int] = None,
+    nodes: Optional[Sequence[int]] = None,
+    rejoin: bool = True,
+) -> Optional[ChurnSchedule]:
+    """Seeded node departures with later re-joins restoring original edges.
+
+    Each cycle picks ``count`` nodes (seeded sample, or the explicit
+    ``nodes`` list), removes them before round ``start + r * period``
+    (default period ``absence + 2``), and -- unless ``rejoin`` is false --
+    re-admits them ``absence`` rounds later together with their original
+    incident edges.  Re-joining honest nodes come back as *fresh* protocol
+    instances, so re-convergence is measured from a cold start.
+    """
+    if count <= 0 and not nodes:
+        return None
+    rng = random.Random(split_seed(seed, "churn", "node-leave-join"))
+    cycle_gap = (int(absence) + 2) if period is None else int(period)
+    events: Dict[int, Dict[str, List]] = {}
+    for cycle in range(max(1, int(repeats))):
+        if nodes is not None:
+            chosen = [int(u) for u in nodes]
+        else:
+            chosen = rng.sample(range(graph.n), min(int(count), graph.n))
+        leave_round = int(start) + cycle * cycle_gap
+        _merge(events, leave_round, "leave_nodes", chosen)
+        if rejoin:
+            rejoin_round = leave_round + int(absence)
+            _merge(events, rejoin_round, "join_nodes", chosen)
+            restored = {
+                (u, v) if u < v else (v, u)
+                for u in chosen
+                for v in graph.adjacency[u]
+            }
+            _merge(events, rejoin_round, "add_edges", sorted(restored))
+    return ChurnSchedule.from_events(events)
+
+
+@CHURN.register("burst-partition", node_id_params=("left",))
+def _burst_partition(
+    graph: Graph,
+    *,
+    seed: int = 0,
+    at: int = 2,
+    heal_after: int = 3,
+    left: Optional[Sequence[int]] = None,
+) -> Optional[ChurnSchedule]:
+    """Transient bisection: cut every crossing edge at once, heal later.
+
+    Splits the nodes into two halves (a seeded random half, or the explicit
+    ``left`` list), removes every edge crossing the cut before round ``at``,
+    and restores all of them ``heal_after`` rounds later.  The burst is the
+    worst single-round delta a schedule can express short of departures.
+    """
+    if left is not None:
+        left_set = {int(u) for u in left}
+    else:
+        rng = random.Random(split_seed(seed, "churn", "burst-partition"))
+        left_set = set(rng.sample(range(graph.n), graph.n // 2))
+    crossing: List[Tuple[int, int]] = [
+        (u, v)
+        for u in range(graph.n)
+        for v in graph.adjacency[u]
+        if u < v and ((u in left_set) != (v in left_set))
+    ]
+    if not crossing:
+        return None
+    events: Dict[int, Dict[str, List]] = {
+        int(at): {"remove_edges": crossing},
+        int(at) + int(heal_after): {"add_edges": crossing},
+    }
+    return ChurnSchedule.from_events(events)

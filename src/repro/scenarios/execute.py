@@ -12,6 +12,7 @@ the regenerated tables are byte-identical to the pre-scenario ones.
 
 from __future__ import annotations
 
+import math
 from collections import Counter
 from dataclasses import dataclass
 from typing import Any, Dict, Mapping, Optional, Set, Union
@@ -21,6 +22,7 @@ from repro.graphs.expansion import good_set
 from repro.graphs.graph import Graph
 from repro.graphs.neighborhoods import ball_of_set
 from repro.runner.registry import sweep_task
+from repro.scenarios.churn import build_churn
 from repro.scenarios.graphs import build_graph
 from repro.scenarios.placements import place_byzantine
 from repro.scenarios.protocols import run_protocol
@@ -155,6 +157,48 @@ def _collect_metrics(cell: MaterializedCell) -> Dict[str, Any]:
             num_byzantine=len(cell.byzantine),
             round_budget=round_budget,
         ),
+        **_churn_metrics(cell),
+    }
+
+
+def _churn_metrics(cell: MaterializedCell) -> Dict[str, Any]:
+    """Dynamic-topology metrics (present for every cell; None-valued when the
+    run had no churn, so static tables and reducers are unaffected)."""
+    result = getattr(cell.run, "result", None)
+    metrics = getattr(result, "metrics", None)
+    last_churn = getattr(metrics, "last_churn_round", None)
+    outcome = cell.run.outcome
+    if last_churn is None:
+        return {
+            "churn_events": getattr(metrics, "churn_events", 0),
+            "rounds_to_reconverge": None,
+            "stale_estimate_error": None,
+        }
+
+    departed = getattr(result, "departed", frozenset())
+    # Rounds the network needed after the last delta before going quiet: the
+    # final executed round only re-confirms quiescence, hence the -1.
+    reconverge = max(0, (outcome.rounds_executed - 1) - last_churn)
+    # Surviving nodes that decided *before* the last delta hold estimates of
+    # a topology that no longer exists; score them against the live size.
+    n_live = max(outcome.n - len(departed), 2)
+    log_live = math.log(n_live)
+    stale_errors = [
+        abs(record.estimate - log_live) / log_live
+        for record in outcome.records.values()
+        if record.decided
+        and record.estimate is not None
+        and record.decision_round is not None
+        and record.decision_round < last_churn
+        and record.node not in departed
+    ]
+    stale_error = (
+        sum(stale_errors) / len(stale_errors) if stale_errors else 0.0
+    )
+    return {
+        "churn_events": metrics.churn_events,
+        "rounds_to_reconverge": reconverge,
+        "stale_estimate_error": stale_error,
     }
 
 
@@ -181,6 +225,12 @@ def materialize(
         **placement_params,
     )
     evaluation = _evaluation_set(scenario.params.get("evaluation"), graph, byzantine)
+    churn = build_churn(
+        scenario.churn.name,
+        graph,
+        seed=seed + scenario.churn.seed_offset,
+        **scenario.churn.params,
+    )
     run = run_protocol(
         scenario.protocol.name,
         graph,
@@ -189,6 +239,7 @@ def materialize(
         behaviour_params=scenario.adversary.params,
         seed=seed,
         evaluation_set=evaluation,
+        churn=churn,
         **scenario.protocol.params,
     )
     cell = MaterializedCell(

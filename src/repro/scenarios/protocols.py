@@ -19,6 +19,7 @@ from repro.core.parameters import CongestParameters, LocalParameters
 from repro.graphs.graph import Graph
 from repro.scenarios.behaviours import make_adversary
 from repro.scenarios.registry import PROTOCOLS
+from repro.simulator.churn import ChurnSchedule
 
 __all__ = ["run_protocol"]
 
@@ -32,6 +33,7 @@ def run_protocol(
     behaviour_params: Mapping[str, Any],
     seed: int,
     evaluation_set: Optional[Set[int]] = None,
+    churn: Optional[ChurnSchedule] = None,
     **params: Any,
 ):
     """Run the registered protocol ``name`` and return its run object."""
@@ -43,6 +45,7 @@ def run_protocol(
         behaviour_params=behaviour_params,
         seed=seed,
         evaluation_set=evaluation_set,
+        churn=churn,
         **params,
     )
 
@@ -57,6 +60,7 @@ def _local(
     seed: int,
     evaluation_set: Optional[Set[int]] = None,
     max_rounds: Optional[int] = None,
+    churn: Optional[ChurnSchedule] = None,
     **params: Any,
 ) -> LocalCountingRun:
     """Algorithm 1: deterministic LOCAL counting (Theorem 1)."""
@@ -72,6 +76,7 @@ def _local(
         seed=seed,
         max_rounds=max_rounds,
         evaluation_set=evaluation_set,
+        churn=churn,
     )
 
 
@@ -86,6 +91,7 @@ def _congest(
     evaluation_set: Optional[Set[int]] = None,
     max_rounds: Optional[int] = None,
     stop_when_all_decided: bool = True,
+    churn: Optional[ChurnSchedule] = None,
     **params: Any,
 ) -> CongestCountingRun:
     """Algorithm 2: randomized small-message CONGEST counting (Theorem 2)."""
@@ -102,4 +108,5 @@ def _congest(
         max_rounds=max_rounds,
         stop_when_all_decided=stop_when_all_decided,
         evaluation_set=evaluation_set,
+        churn=churn,
     )

@@ -24,6 +24,7 @@ __all__ = [
     "ADVERSARIES",
     "PLACEMENTS",
     "PROTOCOLS",
+    "CHURN",
     "all_registries",
 ]
 
@@ -114,19 +115,21 @@ class ComponentRegistry:
         return [self._entries[name] for name in self.names()]
 
 
-#: The four axes of a scenario.  Populated by the sibling component modules
+#: The five axes of a scenario.  Populated by the sibling component modules
 #: (imported from ``repro.scenarios.__init__``) at package import time.
 GRAPHS = ComponentRegistry("graph family")
 ADVERSARIES = ComponentRegistry("adversary behaviour")
 PLACEMENTS = ComponentRegistry("placement")
 PROTOCOLS = ComponentRegistry("protocol")
+CHURN = ComponentRegistry("churn schedule")
 
 
 def all_registries() -> Dict[str, ComponentRegistry]:
-    """The four registries keyed by their scenario-spec field name."""
+    """The five registries keyed by their scenario-spec field name."""
     return {
         "graph": GRAPHS,
         "adversary": ADVERSARIES,
         "placement": PLACEMENTS,
         "protocol": PROTOCOLS,
+        "churn": CHURN,
     }

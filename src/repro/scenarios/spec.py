@@ -1,8 +1,8 @@
 """The declarative scenario spec: one JSON document per paper-style claim.
 
-A :class:`Scenario` names one component from each of the four registries
-(graph family x adversary behaviour x placement x protocol), carries their
-parameters, and lists the seeds to run.  It is plain data: it round-trips
+A :class:`Scenario` names one component from each of the five registries
+(graph family x adversary behaviour x placement x protocol x churn
+schedule), carries their parameters, and lists the seeds to run.  It is plain data: it round-trips
 through ``canonical_json`` untouched, validates against the registries
 without constructing anything, and **compiles to a list of
 :class:`~repro.runner.config.SweepConfig`** (one per seed, all referencing
@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.runner.config import SweepConfig
-from repro.scenarios.registry import all_registries
+from repro.scenarios.registry import CHURN, all_registries
 
 __all__ = ["ComponentSpec", "Scenario", "SCENARIO_TASK"]
 
@@ -96,8 +96,13 @@ class Scenario:
     Attributes
     ----------
     graph, adversary, placement, protocol:
-        Component references into the four registries.  The placement's
+        Component references into the registries.  The placement's
         ``count`` parameter is the Byzantine budget (0 = benign run).
+    churn:
+        Churn-schedule reference (fifth axis).  Defaults to ``none`` --
+        a static topology -- and is *omitted* from serialized dicts when
+        left at the default, so pre-churn specs, golden tables, and
+        artifact-cache content hashes are untouched.
     params:
         Scenario-level options consumed by the generic executor:
         ``evaluation`` (which nodes the outcome statistics evaluate),
@@ -113,6 +118,7 @@ class Scenario:
     adversary: ComponentSpec
     placement: ComponentSpec
     protocol: ComponentSpec
+    churn: ComponentSpec = field(default_factory=lambda: ComponentSpec("none"))
     params: Dict[str, Any] = field(default_factory=dict)
     seeds: Tuple[int, ...] = (0,)
     name: str = ""
@@ -128,7 +134,7 @@ class Scenario:
     # Serialization
     # ------------------------------------------------------------------ #
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        out = {
             "name": self.name,
             "graph": self.graph.to_dict(),
             "adversary": self.adversary.to_dict(),
@@ -137,6 +143,11 @@ class Scenario:
             "params": dict(self.params),
             "seeds": list(self.seeds),
         }
+        # The churn axis is serialized only when it deviates from the static
+        # default: existing specs, goldens, and cache hashes stay byte-stable.
+        if self.churn != ComponentSpec("none"):
+            out["churn"] = self.churn.to_dict()
+        return out
 
     @classmethod
     def from_dict(cls, value: Mapping[str, Any]) -> "Scenario":
@@ -146,7 +157,7 @@ class Scenario:
         missing = required - set(value)
         if missing:
             raise ValueError(f"scenario spec is missing fields: {sorted(missing)}")
-        unknown = set(value) - required - {"name", "params", "seeds"}
+        unknown = set(value) - required - {"name", "params", "seeds", "churn"}
         if unknown:
             raise ValueError(f"unknown scenario spec keys: {sorted(unknown)}")
         return cls(
@@ -154,6 +165,7 @@ class Scenario:
             adversary=ComponentSpec.from_dict(value["adversary"]),
             placement=ComponentSpec.from_dict(value["placement"]),
             protocol=ComponentSpec.from_dict(value["protocol"]),
+            churn=ComponentSpec.from_dict(value.get("churn", "none")),
             params=dict(value.get("params", {})),
             seeds=tuple(value.get("seeds", (0,))),
             name=str(value.get("name", "")),
@@ -173,11 +185,40 @@ class Scenario:
         """Check every component name against its registry.
 
         Raises :class:`~repro.scenarios.registry.UnknownComponentError`
-        (a ``ValueError``) carrying the list of valid names.
+        (a ``ValueError``) carrying the list of valid names.  Churn
+        schedules naming explicit node ids are additionally range-checked
+        against the graph size (when the graph spec carries ``n``), with the
+        offending spec path in the error -- mirroring the compile-time
+        non-finite rejection.
         """
         for axis, registry in all_registries().items():
             registry.get(getattr(self, axis).name)
+        self._validate_churn_node_ids()
         return self
+
+    def _validate_churn_node_ids(self) -> None:
+        """Reject churn params naming node ids outside ``[0, n)``.
+
+        Which churn params hold node ids is declared by the registry entry
+        (the ``node_id_params`` tag), so new schedule generators opt into the
+        check without edits here.  Graphs whose spec does not carry ``n``
+        (e.g. a hypercube given by ``dimension``) defer to the engine's
+        runtime range check.
+        """
+        n = self.graph.params.get("n")
+        if not isinstance(n, int):
+            return
+        entry = CHURN.get(self.churn.name)
+        for param in entry.tags.get("node_id_params", ()):
+            ids = self.churn.params.get(param)
+            if ids is None:
+                continue
+            for index, node in enumerate(ids):
+                if not isinstance(node, int) or not 0 <= node < n:
+                    raise ValueError(
+                        f"scenario.churn.params.{param}[{index}]: node id "
+                        f"{node!r} outside graph range [0, {n})"
+                    )
 
     def compile(self) -> List[SweepConfig]:
         """One ``scenario.run`` sweep config per seed (validated).

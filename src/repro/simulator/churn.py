@@ -1,0 +1,129 @@
+"""Churn schedules: declarative mid-run topology deltas.
+
+A :class:`ChurnSchedule` maps round numbers to :class:`TopologyDelta`
+instances.  The engine applies the delta for round ``r`` *before* the honest
+phase of round ``r`` (and after the stop-condition check), so protocols
+observe the new topology via their contexts for the whole round.
+
+Deltas are purely structural: edge arrivals/departures plus node
+leaves/joins.  A leaving node's incident edges are cut implicitly; a joining
+node re-enters with whatever edges the delta (or later deltas) add for it.
+Schedules are data, not behaviour -- they are built once per run from a
+seeded generator (see :mod:`repro.scenarios.churn`) and are therefore
+reproducible and JSON-round-trippable at the scenario layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+__all__ = ["TopologyDelta", "ChurnSchedule"]
+
+
+@dataclass(frozen=True)
+class TopologyDelta:
+    """One round's worth of topology changes.
+
+    Attributes
+    ----------
+    add_edges / remove_edges:
+        Undirected edges as ``(u, v)`` index pairs.  Removal of an absent
+        edge and addition of a present edge are ignored (idempotent), so
+        generators need not track exact engine state.
+    join_nodes:
+        Node indices re-entering the network this round.  Only nodes that
+        previously *left* may join (the index space is fixed at graph
+        construction); a joining honest node gets a fresh protocol instance
+        and context slot.
+    leave_nodes:
+        Node indices leaving the network this round.  All incident edges are
+        cut; a leaving honest node's protocol is discarded and its
+        in-flight messages are dropped (departed, not halted).
+    """
+
+    add_edges: Tuple[Tuple[int, int], ...] = ()
+    remove_edges: Tuple[Tuple[int, int], ...] = ()
+    join_nodes: Tuple[int, ...] = ()
+    leave_nodes: Tuple[int, ...] = ()
+
+    def __bool__(self) -> bool:
+        return bool(
+            self.add_edges or self.remove_edges or self.join_nodes or self.leave_nodes
+        )
+
+
+def _normalize_edges(edges: Iterable[Iterable[int]]) -> Tuple[Tuple[int, int], ...]:
+    """Canonicalize an edge list to sorted int pairs (order-stable)."""
+    out = []
+    for edge in edges:
+        a, b = edge
+        a, b = int(a), int(b)
+        if a == b:
+            raise ValueError(f"churn edge ({a}, {b}) is a self-loop")
+        out.append((a, b) if a < b else (b, a))
+    return tuple(out)
+
+
+@dataclass(frozen=True)
+class ChurnSchedule:
+    """Map from round number (>= 1) to the delta applied before that round."""
+
+    deltas: Mapping[int, TopologyDelta] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        cleaned: Dict[int, TopologyDelta] = {}
+        for round_number, delta in self.deltas.items():
+            round_number = int(round_number)
+            if round_number < 1:
+                raise ValueError(
+                    f"churn deltas apply from round 1 on; got round {round_number}"
+                )
+            if delta:
+                cleaned[round_number] = delta
+        object.__setattr__(self, "deltas", cleaned)
+
+    @staticmethod
+    def from_events(
+        events: Mapping[int, Mapping[str, Iterable]],
+    ) -> "ChurnSchedule":
+        """Build a schedule from plain ``{round: {field: [...]}}`` data."""
+        deltas: Dict[int, TopologyDelta] = {}
+        for round_number, fields in events.items():
+            deltas[int(round_number)] = TopologyDelta(
+                add_edges=_normalize_edges(fields.get("add_edges", ())),
+                remove_edges=_normalize_edges(fields.get("remove_edges", ())),
+                join_nodes=tuple(int(u) for u in fields.get("join_nodes", ())),
+                leave_nodes=tuple(int(u) for u in fields.get("leave_nodes", ())),
+            )
+        return ChurnSchedule(deltas)
+
+    def delta_for_round(self, round_number: int) -> Optional[TopologyDelta]:
+        """The delta to apply before ``round_number``, if any."""
+        return self.deltas.get(round_number)
+
+    @property
+    def last_round(self) -> int:
+        """The last round with a scheduled delta (0 when empty)."""
+        return max(self.deltas, default=0)
+
+    def rounds(self) -> Tuple[int, ...]:
+        """Sorted rounds that carry a delta."""
+        return tuple(sorted(self.deltas))
+
+    def node_indices(self) -> Tuple[int, ...]:
+        """Every node index referenced anywhere in the schedule (sorted)."""
+        seen = set()
+        for delta in self.deltas.values():
+            for a, b in delta.add_edges:
+                seen.add(a)
+                seen.add(b)
+            for a, b in delta.remove_edges:
+                seen.add(a)
+                seen.add(b)
+            seen.update(delta.join_nodes)
+            seen.update(delta.leave_nodes)
+        return tuple(sorted(seen))
+
+    def __bool__(self) -> bool:
+        return bool(self.deltas)

@@ -36,10 +36,12 @@ then Byzantine senders).
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import Callable, Dict, FrozenSet, List, Mapping, Optional, Tuple
+from bisect import insort
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, List, Mapping, Optional, Set, Tuple
 
 from repro.simulator.byzantine import Adversary, AdversaryView, ByzantineOutbox, SilentAdversary
+from repro.simulator.churn import ChurnSchedule, TopologyDelta
 from repro.simulator.messages import DeliveredMessage, Message
 from repro.simulator.metrics import NodeMessageStats, SimulationMetrics
 from repro.simulator.network import Network
@@ -54,13 +56,20 @@ ProtocolFactory = Callable[[NodeContext], Protocol]
 
 @dataclass
 class RunResult:
-    """Outcome of a simulation run."""
+    """Outcome of a simulation run.
+
+    ``departed`` holds the nodes that left via churn and had not rejoined by
+    the end of the run.  A departed honest node is *not* halted: its protocol
+    entry in ``protocols`` is the state frozen at departure (or, after a
+    rejoin, the fresh instance spawned on rejoin).
+    """
 
     network: Network
     rounds_executed: int
     protocols: Dict[int, Protocol]
     metrics: SimulationMetrics
     completed: bool
+    departed: FrozenSet[int] = field(default_factory=frozenset)
 
     @property
     def honest_nodes(self) -> Tuple[int, ...]:
@@ -91,6 +100,7 @@ class SynchronousEngine:
         seed: int = 0,
         max_rounds: int = 100_000,
         stop_condition: Optional[Callable[[Dict[int, Protocol], int], bool]] = None,
+        churn: Optional[ChurnSchedule] = None,
     ) -> None:
         """Create an engine.
 
@@ -111,6 +121,12 @@ class SynchronousEngine:
             Optional predicate ``(protocols, round) -> bool``; when true the
             run stops.  The default stops when every honest node reports
             ``halted``.
+        churn:
+            Optional :class:`ChurnSchedule` of mid-run topology deltas.  The
+            delta for round ``r`` is applied after the stop check and before
+            the honest phase of round ``r``, so protocols see the changed
+            topology for the whole round.  ``None`` (and the empty schedule)
+            takes the exact static code paths.
         """
         self.network = network
         self.protocol_factory = protocol_factory
@@ -118,6 +134,7 @@ class SynchronousEngine:
         self.seed = seed
         self.max_rounds = max_rounds
         self.stop_condition = stop_condition
+        self.churn = churn if churn else None
 
         graph = network.graph
         adjacency = graph.adjacency
@@ -127,7 +144,12 @@ class SynchronousEngine:
         # filter: ``_neighbors[u]`` is the graph's own sorted neighbor tuple,
         # ``_neighbor_sets[u]`` the matching frozenset, and
         # ``_neighbor_ids[u]`` the neighbor-index -> identifier map.
-        self._neighbors: List[Tuple[int, ...]] = adjacency
+        # Under churn the outer list is copied so that per-slot rewrites
+        # never touch the graph's own adjacency; the static path keeps the
+        # shared reference (the table is never written to).
+        self._neighbors: List[Tuple[int, ...]] = (
+            list(adjacency) if self.churn is not None else adjacency
+        )
         self._neighbor_sets: List[FrozenSet[int]] = [
             frozenset(nbrs) for nbrs in adjacency
         ]
@@ -211,6 +233,14 @@ class SynchronousEngine:
             ctx_list[u] = self._contexts[u]
         active: List[int] = list(protocols_map)
 
+        # Churn state.  ``departed`` holds currently-absent nodes,
+        # ``pending_start`` honest joiners awaiting their start callback;
+        # both stay empty (and cost nothing) in static runs.
+        churn = self.churn
+        churn_last = churn.last_round if churn is not None else 0
+        departed: Set[int] = set()
+        pending_start: Set[int] = set()
+
         # Honest outboxes as shown to the adversary: one persistent dict in
         # honest-node order whose entries are refreshed for active nodes
         # (halted nodes keep their {} entry); a shallow per-round snapshot is
@@ -240,6 +270,12 @@ class SynchronousEngine:
                 ctx = ctx_list[u]
                 ctx.round = round_number
                 if start:
+                    outbox = protocol.on_start(ctx)
+                elif pending_start and u in pending_start:
+                    # A node that joined via churn this round runs its start
+                    # callback in place of a regular round (it has no inbox
+                    # yet); churn-free runs never populate ``pending_start``.
+                    pending_start.discard(u)
                     outbox = protocol.on_start(ctx)
                 else:
                     if slow is not None:
@@ -409,11 +445,19 @@ class SynchronousEngine:
                     if ex:
                         inbox += ex
                     byz_inboxes[b] = inbox
+            # Departed nodes are invisible to the adversary: no protocol
+            # state, no outbox entry (``adv_outboxes`` already dropped the
+            # key at departure).  Static runs never take the filtered branch.
+            honest_protocols = protocols_map
+            if departed:
+                honest_protocols = {
+                    u: p for u, p in protocols_map.items() if u not in departed
+                }
             view = AdversaryView(
                 round=round_number,
                 graph=graph,
                 byzantine=byzantine,
-                honest_protocols=protocols_map,
+                honest_protocols=honest_protocols,
                 honest_outboxes=dict(adv_outboxes),
                 byzantine_inboxes=byz_inboxes,
                 rng=self._adversary_rng,
@@ -446,6 +490,169 @@ class SynchronousEngine:
                     still_active.append(u)
             return still_active
 
+        def apply_delta(round_number: int, delta: TopologyDelta) -> None:
+            """Apply one round's topology delta to every shared table.
+
+            Order matters: leaves first (cutting their incident edges),
+            then scheduled edge removals, then joins become eligible edge
+            endpoints, then edge additions, then fresh protocol slots are
+            spawned for honest joiners reading the final neighbor tables.
+            A node cannot leave and rejoin within the same delta (joins are
+            resolved against the departed set *before* the leaves apply).
+            """
+            neighbor_sets = self._neighbor_sets
+            neighbor_ids = self._neighbor_ids
+            neighbors = self._neighbors
+            added_map: Dict[int, Dict[int, int]] = {}
+            removed_map: Dict[int, Dict[int, int]] = {}
+            events = 0
+
+            def check_index(u: int) -> int:
+                if not 0 <= u < n:
+                    raise ValueError(
+                        f"churn delta for round {round_number} references node "
+                        f"index {u}, outside the graph's range [0, {n})"
+                    )
+                return u
+
+            def purge_in_flight(receiver: int, sender: int) -> None:
+                # Drop last round's not-yet-consumed envelopes crossing the
+                # removed edge.  Inverted (fast) delivery drops the broadcast
+                # automatically once ``sender`` leaves ``nbrs[receiver]``;
+                # only the targeted buckets need explicit filtering.
+                buckets = slow if slow is not None else extra
+                bucket = buckets.get(receiver)
+                if bucket:
+                    kept = [e for e in bucket if e.sender != sender]
+                    if len(kept) != len(bucket):
+                        if kept:
+                            buckets[receiver] = kept
+                        else:
+                            del buckets[receiver]
+
+            def cut_edge(a: int, b: int) -> None:
+                nonlocal events
+                if b not in neighbor_sets[a]:
+                    return
+                events += 1
+                for x, y in ((a, b), (b, a)):
+                    neighbor_sets[x] = neighbor_sets[x] - {y}
+                    neighbors[x] = tuple(v for v in neighbors[x] if v != y)
+                    neighbor_ids[x].pop(y, None)
+                    ctx = ctx_list[x]
+                    if ctx is not None:
+                        ctx.neighbors = neighbors[x]
+                    added = added_map.get(x)
+                    if not (added and added.pop(y, None) is not None):
+                        removed_map.setdefault(x, {})[y] = node_ids[y]
+                    purge_in_flight(x, y)
+
+            def link_edge(a: int, b: int) -> None:
+                nonlocal events
+                if a in departed or b in departed or a == b:
+                    return
+                if b in neighbor_sets[a]:
+                    return
+                events += 1
+                for x, y in ((a, b), (b, a)):
+                    neighbor_sets[x] = neighbor_sets[x] | {y}
+                    neighbors[x] = tuple(sorted(neighbor_sets[x]))
+                    neighbor_ids[x][y] = node_ids[y]
+                    ctx = ctx_list[x]
+                    if ctx is not None:
+                        ctx.neighbors = neighbors[x]
+                    removed = removed_map.get(x)
+                    if not (removed and removed.pop(y, None) is not None):
+                        added_map.setdefault(x, {})[y] = node_ids[y]
+
+            # Joins are resolved before the leaves apply: only a previously
+            # departed node may (re)join.
+            joining = [
+                u
+                for u in dict.fromkeys(check_index(u) for u in delta.join_nodes)
+                if u in departed
+            ]
+
+            for u in delta.leave_nodes:
+                check_index(u)
+                if u in departed:
+                    continue
+                for v in tuple(neighbors[u]):
+                    cut_edge(u, v)
+                departed.add(u)
+                events += 1
+                added_map.pop(u, None)
+                removed_map.pop(u, None)
+                if proto_list[u] is not None:
+                    try:
+                        active.remove(u)
+                    except ValueError:
+                        pass  # already halted
+                    pending_start.discard(u)
+                    if track_adversary:
+                        # Departed, not halted: the adversary no longer sees
+                        # an entry for this node at all (a halted node keeps
+                        # its {} entry).
+                        adv_outboxes.pop(u, None)
+                # Drop the node's own in-flight broadcast and its inbox.
+                env[u] = None
+                if slow is not None:
+                    slow.pop(u, None)
+                else:
+                    extra.pop(u, None)
+
+            for a, b in delta.remove_edges:
+                cut_edge(check_index(a), check_index(b))
+
+            for u in joining:
+                departed.discard(u)
+                events += 1
+
+            for a, b in delta.add_edges:
+                link_edge(check_index(a), check_index(b))
+
+            for u in joining:
+                if u in byzantine:
+                    continue
+                ctx = NodeContext(
+                    index=u,
+                    node_id=node_ids[u],
+                    neighbors=neighbors[u],
+                    neighbor_ids=neighbor_ids[u],
+                    rng=random.Random(
+                        split_seed(self.seed, "node", u, "join", round_number)
+                    ),
+                    round=round_number,
+                )
+                protocol = self.protocol_factory(ctx)
+                ctx_list[u] = ctx
+                proto_list[u] = protocol
+                self._contexts[u] = ctx
+                protocols_map[u] = protocol
+                insort(active, u)
+                decision_rounds.pop(u, None)
+                pending_start.add(u)
+                if track_adversary:
+                    adv_outboxes[u] = {}
+                # Joiners get on_start, not a topology-change notification.
+                added_map.pop(u, None)
+                removed_map.pop(u, None)
+
+            for u in sorted(set(added_map) | set(removed_map)):
+                protocol = proto_list[u]
+                if (
+                    protocol is None
+                    or u in departed
+                    or u in pending_start
+                    or protocol.halted
+                ):
+                    continue
+                protocol.on_topology_change(
+                    ctx_list[u], added_map.get(u, {}), removed_map.get(u, {})
+                )
+
+            metrics.record_churn(round_number, events)
+
         # Round 0: on_start for every honest node.
         metrics.start_round()
         deliveries, fast, any_halted = run_phase(0, active, True)
@@ -468,9 +675,20 @@ class SynchronousEngine:
         completed = False
         executed = 0
         for round_number in range(1, limit + 1):
-            if (not active) if stop is None else stop(protocols_map, executed):
+            # The default stop waits for any still-scheduled churn: a join
+            # can repopulate an empty active list (``churn_last`` is 0 for
+            # static runs, leaving the condition unchanged).
+            if (
+                (not active and executed >= churn_last)
+                if stop is None
+                else stop(protocols_map, executed)
+            ):
                 completed = True
                 break
+            if churn is not None:
+                delta = churn.delta_for_round(round_number)
+                if delta is not None:
+                    apply_delta(round_number, delta)
             metrics.start_round()
             deliveries, fast, any_halted = run_phase(round_number, active, False)
             byz_outboxes = adversary_step(round_number)
@@ -487,7 +705,9 @@ class SynchronousEngine:
             executed = round_number
         else:
             completed = (
-                (not active) if stop is None else stop(protocols_map, executed)
+                (not active and executed >= churn_last)
+                if stop is None
+                else stop(protocols_map, executed)
             )
 
         return RunResult(
@@ -496,4 +716,5 @@ class SynchronousEngine:
             protocols=protocols_map,
             metrics=metrics,
             completed=completed,
+            departed=frozenset(departed),
         )

@@ -63,6 +63,12 @@ class SimulationMetrics:
     messages_per_round: List[int] = field(default_factory=list)
     per_node: Dict[int, NodeMessageStats] = field(default_factory=dict)
     decision_rounds: Dict[int, int] = field(default_factory=dict)
+    # Churn accounting (all zero/empty for static runs): total topology
+    # events applied, the rounds at which deltas fired, and the last such
+    # round -- the anchor for the reconvergence metrics at the scenario tier.
+    churn_events: int = 0
+    churn_rounds: List[int] = field(default_factory=list)
+    last_churn_round: Optional[int] = None
 
     def node_stats(self, node: int) -> NodeMessageStats:
         """Per-node stats record, created lazily."""
@@ -118,6 +124,15 @@ class SimulationMetrics:
         """Open the accounting bucket of a new round."""
         self.messages_per_round.append(0)
         self.rounds_executed += 1
+
+    def record_churn(self, round_number: int, events: int) -> None:
+        """Account ``events`` topology changes applied before ``round_number``."""
+        if events <= 0:
+            return
+        self.churn_events += events
+        if not self.churn_rounds or self.churn_rounds[-1] != round_number:
+            self.churn_rounds.append(round_number)
+        self.last_churn_round = round_number
 
     def record_decision(self, node: int, round_number: int) -> None:
         """Record the first round at which ``node`` reported a decision."""

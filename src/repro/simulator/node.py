@@ -164,3 +164,21 @@ class Protocol(ABC):
     def decision_round(self) -> Optional[int]:
         """Round at which the node decided, if it tracks it (default None)."""
         return getattr(self, "_decision_round", None)
+
+    def on_topology_change(
+        self,
+        ctx: NodeContext,
+        added_neighbors: Dict[int, int],
+        removed_neighbors: Dict[int, int],
+    ) -> None:
+        """Notification that incident edges changed between rounds.
+
+        Only invoked by engines running a churn schedule; static runs never
+        call it.  ``added_neighbors`` / ``removed_neighbors`` map the affected
+        neighbor *index* (port) to that neighbor's identifier.  When the hook
+        runs, ``ctx.neighbors`` / ``ctx.neighbor_ids`` already reflect the new
+        topology (removed neighbors are gone from them).  Default: ignore the
+        change -- protocols written for static graphs keep working, they just
+        never adapt.
+        """
+        return None

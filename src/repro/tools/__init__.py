@@ -1,0 +1,6 @@
+"""Executable maintenance/verification tools (``python -m repro.tools.*``).
+
+Each module here is a small, self-contained gate wired into the Makefile --
+e.g. :mod:`repro.tools.churn_demo` backs ``make churn-demo``.  They are not
+part of the library API.
+"""

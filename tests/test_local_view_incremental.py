@@ -341,3 +341,177 @@ class TestBitsetMatchesSetBasedReference:
                 assert got == expected
                 assert_views_equal(bit_b, ref_b)
             pending_b = []
+
+
+# --------------------------------------------------------------------------- #
+# Dynamic-topology (churn) parity: deletions, retractions, re-announcements
+# --------------------------------------------------------------------------- #
+def drive_both_dynamic(bitset, reference, entries, vertices, max_degree=MAX_DEGREE):
+    """``drive_both`` for the churn path: ``allow_updates=True`` plus a
+    from-scratch re-verification of the bitset view after every delta."""
+    try:
+        got = bitset.integrate(
+            entries, vertices, max_degree=max_degree, allow_updates=True
+        )
+    except (TypeError, ValueError) as bitset_exc:
+        with pytest.raises(type(bitset_exc)):
+            reference.integrate(
+                entries, vertices, max_degree=max_degree, allow_updates=True
+            )
+        assert_views_equal(bitset, reference)
+        assert_matches_scratch(bitset)
+        return None
+    expected = reference.integrate(
+        entries, vertices, max_degree=max_degree, allow_updates=True
+    )
+    assert got == expected
+    assert_views_equal(bitset, reference)
+    assert_matches_scratch(bitset)
+    return got
+
+
+class TestDynamicChurnParity:
+    """Bitset vs set-based reference under the dynamic (churn) operations."""
+
+    def make_pair(self, own_id, neighbors):
+        return LocalView(own_id, neighbors), SetBasedLocalView(own_id, neighbors)
+
+    def test_randomized_churn_interleavings(self):
+        # Deletions, retractions, forced updates, stale re-announcements, and
+        # malformed Byzantine payloads interleaved in one seeded stream; both
+        # implementations must agree observable-for-observable after every
+        # operation, and the bitset view must match a from-scratch rebuild.
+        for seed in range(20):
+            rng = random.Random(50_000 + seed)
+            degree = rng.randrange(2, MAX_DEGREE + 1)
+            bitset, reference = self.make_pair(100, [101 + i for i in range(degree)])
+            history = []
+            for step in range(25):
+                roll = rng.random()
+                settled = sorted(bitset.edge_sets)
+                if roll < 0.45 or not settled:
+                    entries = [
+                        random_edge_entry(rng, bitset, fresh_base=2000 + 100 * step)
+                        for _ in range(rng.randrange(1, 4))
+                    ]
+                    history.extend(entries)
+                    drive_both_dynamic(
+                        bitset, reference, entries, random_vertices(rng, 2000 + 100 * step)
+                    )
+                elif roll < 0.60:
+                    # Cut a settled edge (sometimes a phantom one).
+                    a = rng.choice(settled)
+                    edges = sorted(bitset.edge_sets[a])
+                    b = rng.choice(edges) if edges and rng.random() < 0.8 else 999_999
+                    assert bitset.delete_edge(a, b) == reference.delete_edge(a, b)
+                elif roll < 0.72:
+                    node = rng.choice(settled if rng.random() < 0.8 else [888_888])
+                    assert bitset.retract_claim(node) == reference.retract_claim(node)
+                elif roll < 0.84:
+                    node = rng.choice(settled)
+                    pool = [v for v in sorted(bitset.vertices) if v != node]
+                    new_edges = tuple(
+                        sorted(rng.sample(pool, k=min(len(pool), rng.randrange(1, MAX_DEGREE))))
+                    )
+                    assert bitset.update_claim(node, new_edges) == reference.update_claim(
+                        node, new_edges
+                    )
+                elif history:
+                    # Stale echo: replay previously delivered payloads.
+                    replay = rng.sample(history, k=min(len(history), rng.randrange(1, 4)))
+                    drive_both_dynamic(bitset, reference, replay, [])
+                assert_views_equal(bitset, reference)
+                assert_matches_scratch(bitset)
+
+    def test_delete_edge_then_reannouncement_is_ignored(self):
+        # Monotone-per-value semantics: after an edge deletion shrinks both
+        # endpoints' claims, echoes of the pre-deletion claims must not flip
+        # the views back (they were already integrated once).
+        bitset, reference = self.make_pair(0, [1])
+        drive_both_dynamic(bitset, reference, [(5, (6, 7)), (6, (5, 7))], [])
+        assert bitset.delete_edge(5, 6) is True
+        assert reference.delete_edge(5, 6) is True
+        assert_views_equal(bitset, reference)
+        assert bitset.edge_sets[5] == frozenset({7})
+        assert drive_both_dynamic(
+            bitset, reference, [(5, (6, 7)), (6, (5, 7))], []
+        ) == (False, [], [])
+        assert bitset.edge_sets[5] == frozenset({7})
+        assert bitset.edge_sets[6] == frozenset({7})
+
+    def test_retract_then_reannouncement_reintegrates(self):
+        # Retraction *unsees* the claim, so a later re-announcement (e.g. a
+        # re-joining node re-broadcasting its topology) settles it again.
+        bitset, reference = self.make_pair(0, [1])
+        drive_both_dynamic(bitset, reference, [(5, (6, 7))], [])
+        assert bitset.retract_claim(5) is True
+        assert reference.retract_claim(5) is True
+        assert 5 not in bitset.edge_sets
+        assert_views_equal(bitset, reference)
+        assert drive_both_dynamic(bitset, reference, [(5, (6, 7))], []) == (
+            False,
+            [(5, (6, 7))],
+            [],
+        )
+        assert bitset.edge_sets[5] == frozenset({6, 7})
+
+    def test_conflicting_claim_is_update_in_dynamic_mode(self):
+        # In static mode a conflicting claim is flagged inconsistent; under
+        # churn it is accepted as a topology update (in both implementations).
+        bitset, reference = self.make_pair(0, [1])
+        drive_both_dynamic(bitset, reference, [(5, (6, 7))], [])
+        got = drive_both_dynamic(bitset, reference, [(5, (6, 8))], [])
+        assert got == (False, [(5, (6, 8))], [8])
+        assert bitset.edge_sets[5] == frozenset({6, 8})
+        # ...but the superseded claim stays seen: echoing it does nothing.
+        assert drive_both_dynamic(bitset, reference, [(5, (6, 7))], []) == (
+            False,
+            [],
+            [],
+        )
+        assert bitset.edge_sets[5] == frozenset({6, 8})
+
+    def test_malformed_payloads_mid_churn(self):
+        # Byzantine garbage delivered *between* structural deltas must be
+        # flagged (never integrated) without corrupting either view.
+        bitset, reference = self.make_pair(0, [1, 2])
+        drive_both_dynamic(bitset, reference, [(1, (0, 5)), (5, (1, 6))], [])
+        assert bitset.delete_edge(1, 5) is True
+        assert reference.delete_edge(1, 5) is True
+        malformed = [
+            ([("evil", (1, 2))], ["ghost"]),
+            ([(3.5, (1, 2))], []),
+            ([(30, ("x", 31))], []),
+            ([(30, tuple(range(40, 40 + MAX_DEGREE + 2)))], []),  # degree bound
+            ([(30, (30, 31))], []),  # self-loop
+        ]
+        for entries, vertices in malformed:
+            got = drive_both_dynamic(bitset, reference, entries, vertices)
+            assert got is not None and got[0] is True and got[1] == []
+        # A fresh honest claim after the garbage still integrates.
+        assert drive_both_dynamic(bitset, reference, [(6, (2, 5))], []) == (
+            False,
+            [(6, (2, 5))],
+            [],
+        )
+
+    def test_update_claim_flip_back_applies(self):
+        # update_claim bypasses the seen-set: restoring the exact pre-churn
+        # edge set (a healed link) must take effect even though that canonical
+        # value was integrated before.
+        bitset, reference = self.make_pair(0, [1])
+        drive_both_dynamic(bitset, reference, [(5, (6, 7))], [])
+        assert bitset.update_claim(5, (6,)) == reference.update_claim(5, (6,)) == True
+        assert bitset.edge_sets[5] == frozenset({6})
+        assert_views_equal(bitset, reference)
+        assert bitset.update_claim(5, (6, 7)) == reference.update_claim(5, (6, 7)) == True
+        assert bitset.edge_sets[5] == frozenset({6, 7})
+        assert_views_equal(bitset, reference)
+        assert_matches_scratch(bitset)
+
+    def test_settled_entries_agree(self):
+        bitset, reference = self.make_pair(0, [1])
+        drive_both_dynamic(bitset, reference, [(5, (6, 7)), (6, (5, 7))], [])
+        bitset.delete_edge(5, 7)
+        reference.delete_edge(5, 7)
+        assert set(bitset.settled_entries()) == set(reference.settled_entries())
