@@ -26,6 +26,13 @@
 #                        then run the committed churn example and assert its
 #                        re-convergence metrics are non-trivial (sub-minute;
 #                        a prerequisite of `make test`)
+#   make chaos-demo    - chaos-hardening gate: run a seeded E3 mini-sweep on
+#                        the distributed backend under a randomized fault
+#                        schedule, SIGKILL the broker mid-sweep, resume with
+#                        --resume, and assert the final table is byte-identical
+#                        to the serial run (a couple of minutes worst case;
+#                        wrapped in a hard `timeout`; a prerequisite of
+#                        `make test`)
 
 PYTHON ?= python
 WORKERS ?= 4
@@ -41,10 +48,14 @@ SMOKE_THRESHOLD ?= 0.10
 PROFILE_OUT ?= profile_report.txt
 
 DIST_DEMO_SPEC ?= examples/scenario_benign_congest.json
+# Hard wall-clock ceiling for the chaos gate: the demo injects hangs and
+# kills a broker, so a wedged resume must become a loud timeout, not a
+# stuck CI job.
+CHAOS_TIMEOUT ?= 240
 
-.PHONY: test bench bench-compare bench-smoke bench-smoke-compare profile sweep-demo scenario-demo dist-demo churn-demo clean-artifacts
+.PHONY: test bench bench-compare bench-smoke bench-smoke-compare profile sweep-demo scenario-demo dist-demo churn-demo chaos-demo clean-artifacts
 
-test: scenario-demo dist-demo churn-demo bench-smoke-compare
+test: scenario-demo dist-demo churn-demo chaos-demo bench-smoke-compare
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 
 scenario-demo:
@@ -60,6 +71,9 @@ dist-demo:
 
 churn-demo:
 	PYTHONPATH=src $(PYTHON) -m repro.tools.churn_demo
+
+chaos-demo:
+	PYTHONPATH=src timeout -k 10 $(CHAOS_TIMEOUT) $(PYTHON) -m repro.tools.chaos_demo
 
 bench:
 	PYTHONPATH=src $(PYTHON) -m repro.cli bench --repeats $(BENCH_REPEATS) --output-dir $(BENCH_DIR)

@@ -99,6 +99,13 @@ def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
         "--force", action="store_true", help="recompute even when artifacts exist"
     )
     parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue an interrupted sweep: report what the sweep journal in "
+        "--artifact-dir recorded and re-execute only the configs whose "
+        "artifacts are missing (requires --artifact-dir)",
+    )
+    parser.add_argument(
         "--backend",
         choices=("serial", "pool", "distributed"),
         default=None,
@@ -121,6 +128,30 @@ def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
         "--workers when no --listen is given)",
     )
     parser.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="distributed: broker lease TTL (default 30; lower it to detect "
+        "dead workers faster in chaos/demo runs)",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="distributed: re-dispatches per task before the sweep fails "
+        "(default 2; raise it under fault injection)",
+    )
+    parser.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="SPEC",
+        help="distributed: deterministic fault-injection plan -- inline JSON "
+        "(starts with '{') or a path to a JSON file (see RUNNER.md, "
+        "'Fault injection & resume')",
+    )
+    parser.add_argument(
         "--progress",
         action="store_true",
         help="always show the sweep-level k/N progress line (default: only "
@@ -128,15 +159,37 @@ def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _parse_fault_plan(spec: str):
+    """``--fault-plan``: inline JSON object or a path to a JSON file."""
+    from repro.runner import FaultPlan
+
+    if spec.lstrip().startswith("{"):
+        document = json.loads(spec)
+    else:
+        with open(spec, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    return FaultPlan.from_dict(document)
+
+
 def _runner_from_args(args: argparse.Namespace):
     """Build the SweepRunner the shared execution flags describe."""
     from repro.runner import DistributedBackend, SweepRunner
     from repro.runner.distributed import parse_address
 
-    if args.backend != "distributed" and (
-        args.listen is not None or args.spawn_workers is not None
-    ):
-        raise SystemExit("--listen/--spawn-workers require --backend distributed")
+    distributed_only = {
+        "--listen": args.listen is not None,
+        "--spawn-workers": args.spawn_workers is not None,
+        "--lease-ttl": args.lease_ttl is not None,
+        "--max-retries": args.max_retries is not None,
+        "--fault-plan": args.fault_plan is not None,
+    }
+    if args.backend != "distributed" and any(distributed_only.values()):
+        used = "/".join(flag for flag, on in distributed_only.items() if on)
+        raise SystemExit(f"{used} require(s) --backend distributed")
+    if args.resume and args.artifact_dir is None:
+        raise SystemExit("--resume requires --artifact-dir (nothing to resume from)")
+    if args.resume and args.force:
+        raise SystemExit("--resume and --force are contradictory")
     backend = args.backend
     if backend == "distributed":
         if args.listen is not None:
@@ -145,13 +198,21 @@ def _runner_from_args(args: argparse.Namespace):
         else:
             listen = ("127.0.0.1", 0)
             spawn = args.spawn_workers if args.spawn_workers is not None else args.workers
-        backend = DistributedBackend(listen=listen, spawn_workers=spawn)
+        extra = {}
+        if args.lease_ttl is not None:
+            extra["lease_ttl_s"] = args.lease_ttl
+        if args.max_retries is not None:
+            extra["max_retries"] = args.max_retries
+        if args.fault_plan is not None:
+            extra["fault_plan"] = _parse_fault_plan(args.fault_plan)
+        backend = DistributedBackend(listen=listen, spawn_workers=spawn, **extra)
     return SweepRunner(
         workers=args.workers,
         artifact_dir=args.artifact_dir,
         force=args.force,
         progress=True if args.progress else None,
         backend=backend,
+        resume=args.resume,
     )
 
 
@@ -219,6 +280,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--worker-id",
         default=None,
         help="identity reported to the broker (default: host:pid)",
+    )
+    worker_parser.add_argument(
+        "--giveup-attempts",
+        type=_positive_int,
+        default=8,
+        metavar="N",
+        help="with --exit-when-drained: give up after N consecutive failed "
+        "connection attempts (counted on the reconnect backoff)",
+    )
+    worker_parser.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="SPEC",
+        help="deterministic fault-injection plan (inline JSON or file path); "
+        "normally forwarded automatically by a chaos sweep's backend",
+    )
+    worker_parser.add_argument(
+        "--fault-salt",
+        default="",
+        metavar="SALT",
+        help="decision-stream separator for --fault-plan (one per worker "
+        "process, e.g. worker-0)",
     )
     worker_parser.add_argument(
         "--verbose", action="store_true", help="log connection/lease events"
@@ -387,15 +470,21 @@ def _command_sweep(args: argparse.Namespace) -> int:
 
 
 def _command_worker(args: argparse.Namespace) -> int:
+    from repro.runner import FaultInjector
     from repro.runner.distributed import WorkerDaemon, parse_address
 
     host, port = parse_address(args.connect)
+    injector = None
+    if args.fault_plan is not None:
+        injector = FaultInjector(_parse_fault_plan(args.fault_plan), salt=args.fault_salt)
     daemon = WorkerDaemon(
         host,
         port,
         procs=args.workers,
         worker_id=args.worker_id,
         exit_when_drained=args.exit_when_drained,
+        giveup_attempts=args.giveup_attempts,
+        injector=injector,
         verbose=args.verbose,
     )
     try:

@@ -20,19 +20,28 @@ from repro.runner.backends import (
 )
 from repro.runner.config import SweepConfig, canonical_json
 from repro.runner.distributed import Broker, BrokerError, DistributedBackend, WorkerDaemon
+from repro.runner.distributed.broker import InjectedBrokerCrash
+from repro.runner.faults import Backoff, FaultInjector, FaultPlan, InjectedFault
+from repro.runner.journal import SweepJournal
 from repro.runner.registry import registered_tasks, resolve_task, run_task, sweep_task
 from repro.runner.sweep import SweepRunner
 
 __all__ = [
     "ArtifactStore",
+    "Backoff",
     "Broker",
     "BrokerError",
     "DistributedBackend",
     "ExecutionBackend",
+    "FaultInjector",
+    "FaultPlan",
+    "InjectedBrokerCrash",
+    "InjectedFault",
     "MISSING",
     "PoolBackend",
     "SerialBackend",
     "SweepConfig",
+    "SweepJournal",
     "SweepRunner",
     "WorkerDaemon",
     "canonical_json",

@@ -21,9 +21,10 @@ from __future__ import annotations
 
 import json
 import os
+import sys
 import tempfile
 from pathlib import Path
-from typing import Any, List, Optional, Union
+from typing import Any, List, Optional, Set, Union
 
 from repro.runner.config import SweepConfig
 
@@ -47,24 +48,45 @@ class ArtifactStore:
 
     def __init__(self, root: Union[str, Path]) -> None:
         self.root = Path(root)
+        # Paths already warned about this process, so a corrupt artifact
+        # consulted by both load() and load_meta() nags once, not per call.
+        self._warned: Set[Path] = set()
 
     def path_for(self, config: SweepConfig) -> Path:
         """Artifact path of ``config`` (exists only after :meth:`store`)."""
         return self.root / config.task / f"{config.key()}.json"
 
+    def _warn_corrupt(self, path: Path, reason: str) -> None:
+        """A present-but-unusable artifact is a silent data-loss hazard --
+        say so (once per path) before treating it as a cache miss."""
+        if path in self._warned:
+            return
+        self._warned.add(path)
+        sys.stderr.write(
+            f"[artifacts] ignoring corrupt artifact {path}: {reason}; "
+            "treating as a cache miss\n"
+        )
+        sys.stderr.flush()
+
     def load(self, config: SweepConfig) -> Any:
         """The cached result of ``config``, or :data:`MISSING`.
 
-        Unreadable or corrupt artifacts count as misses: the runner will
-        recompute and overwrite them.
+        Unreadable or corrupt artifacts count as misses -- the runner
+        recomputes and overwrites them -- but a file that *exists* and
+        cannot be used (truncated write survivor, hand-edited JSON, wrong
+        shape) is reported on stderr rather than silently re-executed.
         """
         path = self.path_for(config)
         try:
             with path.open("r", encoding="utf-8") as handle:
                 document = json.load(handle)
-        except (OSError, ValueError):
+        except FileNotFoundError:
+            return MISSING
+        except (OSError, ValueError) as exc:
+            self._warn_corrupt(path, f"{type(exc).__name__}: {exc}")
             return MISSING
         if not isinstance(document, dict) or "result" not in document:
+            self._warn_corrupt(path, "document is not an artifact object")
             return MISSING
         return document["result"]
 
@@ -76,7 +98,12 @@ class ArtifactStore:
         ``meta`` (execution metadata such as per-task wall-clock seconds and
         the worker pid) is stored alongside the result but never affects the
         config hash or the value :meth:`load` returns -- cached re-reads stay
-        indistinguishable from fresh computations.
+        indistinguishable from fresh computations.  That includes **key
+        order**: the document is serialized preserving the result's own dict
+        order (not ``sort_keys``), because JSON objects round-trip their
+        order through ``json.load`` and downstream table rendering derives
+        column order from it -- a cache hit that alphabetized the keys would
+        render a different table than the fresh run that produced it.
 
         The write is atomic and safe under concurrent writers: the document
         goes to a uniquely named temp file in the artifact's directory
@@ -96,7 +123,7 @@ class ArtifactStore:
         )
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(document, handle, sort_keys=True)
+                json.dump(document, handle)
             os.chmod(tmp_name, 0o666 & ~_UMASK)
             os.replace(tmp_name, path)
         except BaseException:
@@ -108,14 +135,22 @@ class ArtifactStore:
         return path
 
     def load_meta(self, config: SweepConfig) -> Optional[dict]:
-        """Execution metadata stored with ``config``'s artifact, if any."""
+        """Execution metadata stored with ``config``'s artifact, if any.
+
+        Corrupt artifacts behave like :meth:`load`: warned about once,
+        then treated as absent.
+        """
         path = self.path_for(config)
         try:
             with path.open("r", encoding="utf-8") as handle:
                 document = json.load(handle)
-        except (OSError, ValueError):
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError) as exc:
+            self._warn_corrupt(path, f"{type(exc).__name__}: {exc}")
             return None
         if not isinstance(document, dict):
+            self._warn_corrupt(path, "document is not an artifact object")
             return None
         meta = document.get("meta")
         return meta if isinstance(meta, dict) else None

@@ -181,6 +181,50 @@ def _bench_dist_loopback(
     }
 
 
+@sweep_task("bench.chaos_loopback")
+def _bench_chaos_loopback(
+    *, n: int, degree: int, seeds: Sequence[int], workers: int
+) -> Dict[str, Any]:
+    """``bench.dist_loopback`` with the fault-injection hooks threaded.
+
+    Identical workload, but the backend carries an **all-zero**
+    :class:`~repro.runner.faults.FaultPlan`: every injection hook is
+    constructed, threaded through broker and workers, and consulted on every
+    protocol line -- and never fires.  The wall-clock delta against
+    ``scenario-e3-dist-loopback`` is therefore the chaos machinery's
+    injector-off overhead, pinned on the trajectory so the hooks stay free
+    when disabled.
+    """
+    from repro.runner.distributed import DistributedBackend
+    from repro.runner.faults import FaultPlan
+    from repro.runner.sweep import SweepRunner
+    from repro.scenarios.spec import Scenario
+
+    scenario = Scenario.from_dict(
+        {
+            "name": f"chaos-loopback-e3-n{n}",
+            "graph": {"name": "hnd", "params": {"n": n, "degree": degree}, "seed_offset": 0},
+            "adversary": {"name": "silent", "params": {}, "seed_offset": 0},
+            "placement": {"name": "random", "params": {"count": 0}, "seed_offset": 0},
+            "protocol": {"name": "congest", "params": {"d": degree}, "seed_offset": 0},
+            "params": {},
+            "seeds": list(seeds),
+        }
+    )
+    runner = SweepRunner(
+        backend=DistributedBackend(
+            spawn_workers=workers, fault_plan=FaultPlan(seed=0), quiet=True
+        )
+    )
+    rows = runner.run(scenario.compile())
+    return {
+        "rounds": sum(row["rounds"] for row in rows),
+        "messages": sum(row["messages"] for row in rows),
+        "bits": sum(row["bits"] for row in rows),
+        "cells": len(rows),
+    }
+
+
 # --------------------------------------------------------------------------- #
 # Pinned scenarios
 # --------------------------------------------------------------------------- #
@@ -353,6 +397,17 @@ SCENARIOS: Tuple[BenchScenario, ...] = (
             },
             "seed": 128,
         },
+    ),
+    # Appended with chaos hardening (PR 7): the PR-5 loopback workload with
+    # the fault-injection machinery threaded through broker and workers but
+    # every rate at zero.  The delta against ``scenario-e3-dist-loopback``
+    # is the injector-off overhead of the chaos hooks (per-line injector
+    # checks, journal writes, event log), pinned so "disabled" keeps meaning
+    # "free".  Pinned like every parameterization above -- append, never edit.
+    BenchScenario(
+        "scenario-e3-chaos-loopback",
+        "bench.chaos_loopback",
+        {"n": 48, "degree": 8, "seeds": [0, 1, 2, 3], "workers": 2},
     ),
 )
 

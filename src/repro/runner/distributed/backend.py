@@ -22,15 +22,18 @@ Listen (``spawn_workers == 0``)
 
 from __future__ import annotations
 
+import itertools
+import json
 import os
 import subprocess
 import sys
 from pathlib import Path
-from typing import Any, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.runner.backends import CompletedItem, ExecutionBackend, WorkItem
 from repro.runner.distributed.broker import Broker, BrokerError
 from repro.runner.distributed.protocol import format_address
+from repro.runner.faults import FaultInjector, FaultPlan
 
 __all__ = ["DistributedBackend", "spawn_loopback_worker"]
 
@@ -41,12 +44,17 @@ def spawn_loopback_worker(
     procs: int = 1,
     exit_when_drained: bool = True,
     verbose: bool = False,
+    fault_plan: Optional[FaultPlan] = None,
+    fault_salt: str = "",
 ) -> "subprocess.Popen[bytes]":
     """Start a worker-daemon process connected to ``address``.
 
     The child runs ``python -m repro.cli worker`` with ``PYTHONPATH``
     extended to wherever this ``repro`` package was imported from, so the
     loopback path works from a source checkout without installation.
+    ``fault_plan`` (with its stream-separating ``fault_salt``) is forwarded
+    on the command line so the child builds the same deterministic
+    :class:`~repro.runner.faults.FaultInjector` schedule.
     """
     import repro
 
@@ -70,6 +78,10 @@ def spawn_loopback_worker(
         command.append("--exit-when-drained")
     if verbose:
         command.append("--verbose")
+    if fault_plan is not None:
+        command.extend(["--fault-plan", json.dumps(fault_plan.to_dict())])
+        if fault_salt:
+            command.extend(["--fault-salt", fault_salt])
     return subprocess.Popen(
         command, env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL
     )
@@ -89,6 +101,17 @@ class DistributedBackend(ExecutionBackend):
         Local processes per spawned worker daemon.
     lease_ttl_s / max_retries / chunk_size:
         Broker lease semantics (see :class:`Broker`).
+    fault_plan:
+        Optional :class:`~repro.runner.faults.FaultPlan` to thread through
+        the whole backend: the broker consults it under the ``"broker"``
+        salt, and every spawned loopback worker receives it (with a
+        per-spawn ``worker-<ordinal>`` salt, so a respawned worker draws a
+        fresh decision stream instead of deterministically re-crashing).
+        ``None`` -- the production default -- injects nothing.
+    respawn_factor:
+        Respawn budget for crashed loopback workers, as a multiple of
+        ``spawn_workers`` (beyond it the sweep fails rather than stalls).
+        Chaos tests raise it so injected crash storms stay survivable.
     quiet:
         Suppress the stderr announcement of the broker address.
     """
@@ -101,8 +124,7 @@ class DistributedBackend(ExecutionBackend):
     #: store step for this backend.
     persists = True
 
-    #: Respawn budget for crashed loopback workers, as a multiple of
-    #: ``spawn_workers`` (beyond it the sweep fails rather than stalls).
+    #: Default ``respawn_factor`` (see above).
     RESPAWN_FACTOR = 2
 
     def __init__(
@@ -114,21 +136,33 @@ class DistributedBackend(ExecutionBackend):
         lease_ttl_s: float = 30.0,
         max_retries: int = 2,
         chunk_size: Optional[int] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        respawn_factor: Optional[int] = None,
         quiet: bool = False,
     ) -> None:
         if spawn_workers < 0:
             raise ValueError(f"spawn_workers must be >= 0, got {spawn_workers}")
         if worker_procs < 1:
             raise ValueError(f"worker_procs must be >= 1, got {worker_procs}")
+        if respawn_factor is not None and respawn_factor < 0:
+            raise ValueError(f"respawn_factor must be >= 0, got {respawn_factor}")
         self.listen = listen
         self.spawn_workers = spawn_workers
         self.worker_procs = worker_procs
         self.lease_ttl_s = lease_ttl_s
         self.max_retries = max_retries
         self.chunk_size = chunk_size
+        self.fault_plan = fault_plan
+        self.respawn_factor = (
+            self.RESPAWN_FACTOR if respawn_factor is None else respawn_factor
+        )
         self.quiet = quiet
         #: Broker stats of the most recent sweep (retries, cache hits, ...).
         self.last_stats: dict = {}
+        #: Broker structured event log of the most recent sweep.
+        self.last_events: List[Dict[str, Any]] = []
+        #: Broker-side injected-fault counts of the most recent sweep.
+        self.last_faults: Dict[str, int] = {}
 
     def describe(self) -> str:
         if self.spawn_workers:
@@ -146,6 +180,11 @@ class DistributedBackend(ExecutionBackend):
         if not pending:
             return
         host, port = self.listen
+        broker_injector = (
+            FaultInjector(self.fault_plan, salt="broker")
+            if self.fault_plan is not None
+            else None
+        )
         broker = Broker(
             pending,
             store=store,
@@ -155,10 +194,23 @@ class DistributedBackend(ExecutionBackend):
             lease_ttl_s=self.lease_ttl_s,
             max_retries=self.max_retries,
             chunk_size=self.chunk_size,
+            injector=broker_injector,
         )
         address = broker.start()
         workers: List["subprocess.Popen[bytes]"] = []
-        respawns_left = self.RESPAWN_FACTOR * self.spawn_workers
+        respawns_left = self.respawn_factor * self.spawn_workers
+        # Every spawn (initial or respawn) gets the next ordinal, so each
+        # worker process draws an independent deterministic fault stream.
+        spawn_ordinals = itertools.count()
+
+        def spawn_one() -> "subprocess.Popen[bytes]":
+            return spawn_loopback_worker(
+                address,
+                procs=self.worker_procs,
+                exit_when_drained=True,
+                fault_plan=self.fault_plan,
+                fault_salt=f"worker-{next(spawn_ordinals)}",
+            )
 
         def watch_workers() -> None:
             # Replace loopback workers that died mid-sweep; a bounded budget
@@ -170,22 +222,15 @@ class DistributedBackend(ExecutionBackend):
                 if respawns_left <= 0:
                     raise BrokerError(
                         f"loopback workers keep dying (respawn budget of "
-                        f"{self.RESPAWN_FACTOR * self.spawn_workers} exhausted); "
+                        f"{self.respawn_factor * self.spawn_workers} exhausted); "
                         "see the broker retry stats for the failing task"
                     )
                 respawns_left -= 1
-                workers[i] = spawn_loopback_worker(
-                    address, procs=self.worker_procs, exit_when_drained=True
-                )
+                workers[i] = spawn_one()
 
         try:
             if self.spawn_workers:
-                workers.extend(
-                    spawn_loopback_worker(
-                        address, procs=self.worker_procs, exit_when_drained=True
-                    )
-                    for _ in range(self.spawn_workers)
-                )
+                workers.extend(spawn_one() for _ in range(self.spawn_workers))
             elif not self.quiet:
                 # A wildcard bind (0.0.0.0 / ::) is not a connectable
                 # address; substitute this machine's hostname so the
@@ -205,6 +250,8 @@ class DistributedBackend(ExecutionBackend):
             yield from broker.results(poll=watch_workers if workers else None)
         finally:
             self.last_stats = dict(broker.stats)
+            self.last_events = list(broker.events)
+            self.last_faults = dict(broker.fault_counts)
             broker.stop()
             for process in workers:
                 if process.poll() is None:

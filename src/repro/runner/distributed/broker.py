@@ -44,15 +44,31 @@ from repro.runner.distributed.protocol import (
     reader_for,
     send_message,
 )
+from repro.runner.faults import FaultInjector
 
-__all__ = ["Broker", "BrokerError"]
+__all__ = ["Broker", "BrokerError", "InjectedBrokerCrash"]
 
 #: Sentinel pushed on the completion queue when the sweep fails.
 _FAILED = object()
 
+#: Structured event-log cap; beyond it events are counted, not stored.
+EVENTS_CAP = 500
+
+#: Attempts (first try included) for persisting one artifact before the
+#: failure is declared sweep-fatal.  Transient filesystem errors -- a busy
+#: network mount, an injected ``artifact-write`` fault -- should cost a
+#: short retry, not the sweep.
+PERSIST_ATTEMPTS = 5
+
 
 class BrokerError(RuntimeError):
     """A sweep-fatal broker condition (task retries exhausted, ...)."""
+
+
+class InjectedBrokerCrash(BrokerError):
+    """The fault injector's ``crash-broker`` site fired: the broker dies
+    mid-sweep (after persisting, before publishing).  Recovery is the
+    ordinary resume path: re-run the sweep with ``--resume``."""
 
 
 class _TaskState:
@@ -100,6 +116,10 @@ class Broker:
     chunk_size:
         Hard cap on tasks per lease (``None``: honor the worker's requested
         capacity, which defaults to its local process count).
+    injector:
+        Optional :class:`~repro.runner.faults.FaultInjector` for the
+        broker-side fault sites (wire faults on broker sends, artifact-write
+        failures, broker crashes).  ``None`` disables injection.
     """
 
     def __init__(
@@ -113,6 +133,7 @@ class Broker:
         lease_ttl_s: float = 30.0,
         max_retries: int = 2,
         chunk_size: Optional[int] = None,
+        injector: Optional[FaultInjector] = None,
     ) -> None:
         if lease_ttl_s <= 0:
             raise ValueError(f"lease_ttl_s must be > 0, got {lease_ttl_s}")
@@ -125,8 +146,15 @@ class Broker:
         self.lease_ttl_s = lease_ttl_s
         self.max_retries = max_retries
         self.chunk_size = chunk_size
+        self.injector = injector
         self._bind = (host, port)
         self.address: Optional[Tuple[str, int]] = None
+        #: Structured event log (lease grants, expiries, retries, dedupe
+        #: hits, ...), capped at :data:`EVENTS_CAP`; surfaced in the sweep
+        #: journal and on ``DistributedBackend.last_events``.
+        self.events: List[Dict[str, Any]] = []
+        self._events_dropped = 0
+        self._t0 = time.monotonic()
 
         self._tasks: Dict[int, _TaskState] = {}
         self._queue: deque = deque()
@@ -160,10 +188,37 @@ class Broker:
         }
 
     # ------------------------------------------------------------------ #
+    # Structured event log
+    # ------------------------------------------------------------------ #
+    def _event_locked(self, kind: str, **fields: Any) -> None:
+        """Append one event (callers hold ``self._lock``)."""
+        if len(self.events) >= EVENTS_CAP:
+            self._events_dropped += 1
+            return
+        event = {"t": round(time.monotonic() - self._t0, 3), "event": kind}
+        event.update(fields)
+        self.events.append(event)
+
+    def _event(self, kind: str, **fields: Any) -> None:
+        with self._lock:
+            self._event_locked(kind, **fields)
+
+    @property
+    def events_dropped(self) -> int:
+        """Events beyond the cap (counted so the log is honest about it)."""
+        return self._events_dropped
+
+    @property
+    def fault_counts(self) -> Dict[str, int]:
+        """Broker-side injected-fault counts (empty without an injector)."""
+        return dict(self.injector.injected) if self.injector is not None else {}
+
+    # ------------------------------------------------------------------ #
     # Lifecycle
     # ------------------------------------------------------------------ #
     def start(self) -> Tuple[str, int]:
         """Bind, start the accept/reaper threads, return the bound address."""
+        self._t0 = time.monotonic()
         self._listener = socket.create_server(self._bind)
         self._listener.settimeout(0.2)
         self.address = self._listener.getsockname()[:2]
@@ -259,6 +314,12 @@ class Broker:
                 ]
                 for lease in expired:
                     self.stats["expired_leases"] += 1
+                    self._event_locked(
+                        "lease-expired",
+                        lease=lease.lease_id,
+                        worker=lease.worker_id,
+                        tasks=sorted(lease.pending),
+                    )
                     self._requeue_lease_locked(
                         lease, reason=f"lease expired after {self.lease_ttl_s:.1f}s"
                     )
@@ -283,9 +344,11 @@ class Broker:
                         "type": "goodbye",
                         "error": f"expected hello with protocol {PROTOCOL_VERSION}",
                     },
+                    injector=self.injector,
                 )
                 return
             worker_id = str(hello.get("worker_id", "?"))
+            self._event("worker-connect", worker=worker_id)
             send_message(
                 conn,
                 {
@@ -293,6 +356,7 @@ class Broker:
                     "protocol": PROTOCOL_VERSION,
                     "lease_ttl_s": self.lease_ttl_s,
                 },
+                injector=self.injector,
             )
             while not self._stop.is_set():
                 message = read_message(reader)
@@ -319,9 +383,16 @@ class Broker:
                 for lease_id in conn_leases:
                     lease = self._leases.get(lease_id)
                     if lease is not None:
+                        self._event_locked(
+                            "requeue-on-disconnect",
+                            lease=lease_id,
+                            worker=worker_id,
+                            tasks=sorted(lease.pending),
+                        )
                         self._requeue_lease_locked(
                             lease, reason=f"worker {worker_id} disconnected"
                         )
+                self._event_locked("worker-disconnect", worker=worker_id)
                 if conn in self._connections:
                     self._connections.remove(conn)
             try:
@@ -365,6 +436,7 @@ class Broker:
                     continue
                 if state.index in hits:
                     self._mark_done_locked(state, cache_hit=True)
+                    self._event_locked("dedupe-hit", task=state.index)
                     publish.append((state.index, hits[state.index], None))
                     continue
                 state.dispatches += 1
@@ -385,6 +457,12 @@ class Broker:
                 conn_leases.add(lease_id)
                 self.stats["leases"] += 1
                 self.stats["dispatched"] += len(granted)
+                self._event_locked(
+                    "lease-grant",
+                    lease=lease_id,
+                    worker=worker_id,
+                    tasks=[state.index for state in granted],
+                )
                 reply = {
                     "type": "tasks",
                     "lease": lease_id,
@@ -400,7 +478,7 @@ class Broker:
                 }
         for item in publish:
             self._completed.put(item)
-        send_message(conn, reply)
+        send_message(conn, reply, injector=self.injector)
 
     def _on_result(self, message: Dict[str, Any]) -> None:
         index = message.get("id")
@@ -413,29 +491,59 @@ class Broker:
                 return
             if state.done:
                 self.stats["duplicate_results"] += 1
+                self._event_locked("duplicate-result", task=index)
                 return
             self._mark_done_locked(state)
         # Persist (disk I/O, so outside the lock) *before* publication:
         # dispatch-time dedupe of a duplicate config later in this sweep
-        # must find the artifact already on disk.  A failed store is
-        # sweep-fatal: the task is already marked done, so swallowing the
-        # error would leave its completion unpublished and the consumer
-        # waiting forever.
-        try:
-            if self.store is not None:
-                self.store.store(
-                    state.config(), result, meta=meta if isinstance(meta, dict) else {}
-                )
-        except Exception as exc:  # noqa: BLE001 - surfaced via results()
+        # must find the artifact already on disk.  Transient write failures
+        # get a short bounded retry; an exhausted budget is sweep-fatal --
+        # the task is already marked done, so swallowing the error would
+        # leave its completion unpublished and the consumer waiting forever.
+        if self.store is not None and not self._persist_with_retry(state, result, meta):
+            return
+        if self.injector is not None and self.injector.crash_broker():
+            # The nastiest crash point: the artifact is on disk but the
+            # completion never reaches the consumer.  Resume must recover
+            # purely from the artifact cache.
+            self._event("fault-broker-crash", task=state.index)
             with self._lock:
                 self._fail_locked(
-                    BrokerError(
-                        f"failed to persist artifact for task {state.task!r} "
-                        f"(config index {state.index}): {exc}"
+                    InjectedBrokerCrash(
+                        "injected fault: broker crashed after persisting task "
+                        f"{state.index}; re-run with --resume to recover"
                     )
                 )
             return
         self._completed.put((state.index, result, meta if isinstance(meta, dict) else {}))
+
+    def _persist_with_retry(self, state: _TaskState, result: Any, meta: Any) -> bool:
+        """Store one artifact, retrying transient failures; False = fatal."""
+        assert self.store is not None
+        error: Optional[Exception] = None
+        for attempt in range(1, PERSIST_ATTEMPTS + 1):
+            try:
+                if self.injector is not None and self.injector.fail_artifact_write():
+                    raise OSError("injected fault: artifact write failed")
+                self.store.store(
+                    state.config(), result, meta=meta if isinstance(meta, dict) else {}
+                )
+                return True
+            except Exception as exc:  # noqa: BLE001 - surfaced via results()
+                error = exc
+                self._event("persist-retry", task=state.index, attempt=attempt,
+                            error=str(exc))
+                if attempt < PERSIST_ATTEMPTS:
+                    time.sleep(0.05 * attempt)
+        with self._lock:
+            self._fail_locked(
+                BrokerError(
+                    f"failed to persist artifact for task {state.task!r} "
+                    f"(config index {state.index}) after {PERSIST_ATTEMPTS} "
+                    f"attempt(s): {error}"
+                )
+            )
+        return False
 
     def _on_error(self, message: Dict[str, Any], worker_id: str) -> None:
         index = message.get("id")
@@ -454,6 +562,9 @@ class Broker:
                 return
             self.stats["worker_errors"] += 1
             detail = message.get("error", "worker error")
+            self._event_locked(
+                "worker-error", task=index, worker=worker_id, error=str(detail)[:200]
+            )
             self._retry_or_fail_locked(state, f"worker {worker_id}: {detail}")
 
     def _renew(self, lease_id: Any) -> None:
@@ -492,6 +603,9 @@ class Broker:
 
     def _retry_or_fail_locked(self, state: _TaskState, reason: str) -> None:
         if state.dispatches > self.max_retries:
+            self._event_locked(
+                "retries-exhausted", task=state.index, attempts=state.dispatches
+            )
             self._fail_locked(
                 BrokerError(
                     f"task {state.task!r} (config index {state.index}) failed "
@@ -501,6 +615,9 @@ class Broker:
             )
             return
         self.stats["retries"] += 1
+        self._event_locked(
+            "retry", task=state.index, attempt=state.dispatches, reason=reason[:200]
+        )
         # Front of the queue: a recovered task should not wait behind the
         # whole remaining sweep.
         self._queue.appendleft(state.index)

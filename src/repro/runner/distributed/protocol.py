@@ -49,14 +49,26 @@ __all__ = [
 PROTOCOL_VERSION = 1
 
 
-def send_message(sock: socket.socket, message: Dict[str, Any]) -> None:
+def send_message(
+    sock: socket.socket, message: Dict[str, Any], *, injector: Optional[Any] = None
+) -> None:
     """Write one message as a JSON line.
 
     ``allow_nan=True`` mirrors the runner's result canonicalization: a task
     result that survives ``_canonical_result`` also survives the wire.
+
+    ``injector`` (a :class:`~repro.runner.faults.FaultInjector`) routes the
+    encoded line through the fault-injection hooks: the line may then be
+    delayed, duplicated, truncated, or replaced by a dropped connection
+    (an ``OSError``), exercising the exact recovery paths a flaky network
+    would.  ``None`` -- the production default -- sends directly.
     """
     line = json.dumps(message, separators=(",", ":"), allow_nan=True) + "\n"
-    sock.sendall(line.encode("utf-8"))
+    data = line.encode("utf-8")
+    if injector is not None:
+        injector.send(sock, data)
+    else:
+        sock.sendall(data)
 
 
 def reader_for(sock: socket.socket) -> TextIO:

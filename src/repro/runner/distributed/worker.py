@@ -11,10 +11,21 @@ lease TTL, so long tasks never expire while the worker is alive.
 
 The daemon is persistent by default: when a sweep drains (or the broker
 goes away between sweeps) it disconnects and keeps polling the address, so
-one worker pool can serve many successive sweeps.  ``exit_when_drained``
-flips it into one-shot mode for loopback helpers and demos: it exits after
-the first drained sweep, or once the broker stays unreachable for
-``giveup_after_s``.
+one worker pool can serve many successive sweeps.  Reconnects and
+empty-queue polls both use **exponential backoff with jitter and a capped
+ceiling** (:class:`~repro.runner.faults.Backoff`): a fleet of workers
+facing a restarted broker spreads its reconnect attempts instead of
+stampeding it, while a drained-but-alive broker is still polled promptly.
+``exit_when_drained`` flips the daemon into one-shot mode for loopback
+helpers and demos: it exits after the first drained sweep, or after
+``giveup_attempts`` consecutive failed connection attempts (counted on the
+backoff, not on wall-clock), so orphaned loopback workers cannot outlive a
+crashed parent.
+
+A :class:`~repro.runner.faults.FaultInjector` (optional, off by default)
+threads the chaos sites through the daemon: refused connects, wire faults
+on every sent line, worker crashes (``os._exit``) and heartbeat-suppressed
+hangs mid-lease, and slowed tasks.
 """
 
 from __future__ import annotations
@@ -33,6 +44,7 @@ from repro.runner.distributed.protocol import (
     reader_for,
     send_message,
 )
+from repro.runner.faults import CRASH_EXIT_CODE, Backoff, FaultInjector
 
 __all__ = ["WorkerDaemon", "execute_leased_item"]
 
@@ -64,13 +76,21 @@ class WorkerDaemon:
     exit_when_drained:
         One-shot mode: return after the first drained sweep instead of
         polling for the next one.
-    reconnect_delay_s / poll_interval_s:
-        Backoff while the broker is unreachable / while the queue is empty
-        but the sweep is not drained.
-    giveup_after_s:
-        In one-shot mode only: exit (code 1) when no broker has been
-        reachable for this long, so orphaned loopback workers cannot
-        outlive a crashed parent.
+    reconnect_delay_s / reconnect_max_s:
+        Base and ceiling of the exponential reconnect backoff while the
+        broker is unreachable (a completed handshake resets the streak).
+    poll_interval_s / poll_max_s:
+        Base and ceiling of the poll backoff while the queue is empty but
+        the sweep is not drained (a granted lease resets the streak).
+    giveup_attempts:
+        In one-shot mode only: exit (code 1) after this many consecutive
+        failed connection attempts, so orphaned loopback workers cannot
+        outlive a crashed parent.  Counted on the backoff's failure streak,
+        not on wall iterations.
+    injector:
+        Optional :class:`~repro.runner.faults.FaultInjector` threading the
+        worker-side chaos sites (refused connects, wire faults, crashes,
+        hangs, slow tasks) through the daemon.
     verbose:
         Log connection / lease events to ``log_stream`` (default stderr).
     """
@@ -84,29 +104,41 @@ class WorkerDaemon:
         worker_id: Optional[str] = None,
         exit_when_drained: bool = False,
         reconnect_delay_s: float = 0.5,
+        reconnect_max_s: float = 15.0,
         poll_interval_s: float = 0.2,
-        giveup_after_s: float = 30.0,
+        poll_max_s: float = 2.0,
+        giveup_attempts: int = 8,
+        injector: Optional[FaultInjector] = None,
         verbose: bool = False,
         log_stream: Optional[Any] = None,
     ) -> None:
         if procs < 1:
             raise ValueError(f"procs must be >= 1, got {procs}")
+        if giveup_attempts < 1:
+            raise ValueError(f"giveup_attempts must be >= 1, got {giveup_attempts}")
         self.host = host
         self.port = port
         self.procs = procs
         self.worker_id = worker_id or f"{socket.gethostname()}:{os.getpid()}"
         self.exit_when_drained = exit_when_drained
         self.reconnect_delay_s = reconnect_delay_s
+        self.reconnect_max_s = max(reconnect_delay_s, reconnect_max_s)
         self.poll_interval_s = poll_interval_s
-        self.giveup_after_s = giveup_after_s
+        self.poll_max_s = max(poll_interval_s, poll_max_s)
+        self.giveup_attempts = giveup_attempts
+        self.injector = injector
         self.verbose = verbose
         self.log_stream = log_stream
         self._stop = threading.Event()
         self._send_lock = threading.Lock()
+        self._suppress_heartbeats = threading.Event()
         self._pool = None
         self._welcomed = False
         #: Tasks executed (including errored) since the daemon started.
         self.tasks_run = 0
+        #: Consecutive failed connection attempts (mirrors the backoff
+        #: streak; exposed for tests and post-mortems).
+        self.connect_failures = 0
 
     # ------------------------------------------------------------------ #
     def stop(self) -> None:
@@ -115,17 +147,13 @@ class WorkerDaemon:
 
     def run(self) -> int:
         """The daemon loop; returns a process exit code."""
-        unreachable_since: Optional[float] = None
+        backoff = Backoff(base_s=self.reconnect_delay_s, cap_s=self.reconnect_max_s)
         try:
             while not self._stop.is_set():
-                try:
-                    sock = socket.create_connection((self.host, self.port), timeout=5.0)
-                except OSError:
-                    if self._give_up(unreachable_since):
+                sock = self._connect(backoff)
+                if sock is None:
+                    if self._backoff_or_give_up(backoff):
                         return 1
-                    if unreachable_since is None:
-                        unreachable_since = time.monotonic()
-                    self._stop.wait(self.reconnect_delay_s)
                     continue
                 # Generous hello/welcome deadline; _session tightens it to a
                 # multiple of the broker's lease TTL once known.  Without a
@@ -147,12 +175,13 @@ class WorkerDaemon:
                     # Only a broker that completed the handshake counts as
                     # "reachable": a TCP connect to some other service (or a
                     # protocol-mismatched broker) must not reset the give-up
-                    # clock, or a one-shot worker would hammer it forever.
-                    unreachable_since = None
-                elif self._give_up(unreachable_since):
+                    # streak, or a one-shot worker would hammer it forever.
+                    backoff.reset()
+                    self.connect_failures = 0
+                elif self._backoff_or_give_up(backoff):
                     return 1
-                elif unreachable_since is None:
-                    unreachable_since = time.monotonic()
+                else:
+                    continue
                 if drained:
                     self._log("sweep drained")
                     if self.exit_when_drained:
@@ -162,12 +191,32 @@ class WorkerDaemon:
         finally:
             self._close_pool()
 
-    def _give_up(self, unreachable_since: Optional[float]) -> bool:
-        if not self.exit_when_drained or unreachable_since is None:
-            return False
-        if time.monotonic() - unreachable_since > self.giveup_after_s:
-            self._log("no valid broker reachable, giving up")
+    def _connect(self, backoff: Backoff) -> Optional[socket.socket]:
+        """One connection attempt; ``None`` on (possibly injected) failure."""
+        if self.injector is not None and self.injector.refuse_connect():
+            self._log("fault: connect refused by injector")
+            return None
+        # The connect timeout grows with the failure streak: a broker that
+        # is merely slow to accept gets more patience on each retry, while
+        # the first attempts stay snappy.
+        timeout = min(10.0, 2.0 * (backoff.attempts + 1))
+        try:
+            return socket.create_connection((self.host, self.port), timeout=timeout)
+        except OSError:
+            return None
+
+    def _backoff_or_give_up(self, backoff: Backoff) -> bool:
+        """Record one failed attempt; True when a one-shot worker gives up."""
+        delay = backoff.next_delay()
+        self.connect_failures = backoff.attempts
+        if self.exit_when_drained and backoff.attempts >= self.giveup_attempts:
+            self._log(
+                f"no valid broker reachable after {backoff.attempts} "
+                "attempt(s), giving up"
+            )
             return True
+        self._log(f"broker unreachable, retrying in {delay:.1f}s")
+        self._stop.wait(delay)
         return False
 
     # ------------------------------------------------------------------ #
@@ -197,6 +246,7 @@ class WorkerDaemon:
         # session aborts into the reconnect loop).
         sock.settimeout(max(10.0, 4.0 * lease_ttl_s))
         self._log(f"connected to {self.host}:{self.port}")
+        poll = Backoff(base_s=self.poll_interval_s, cap_s=self.poll_max_s)
         while not self._stop.is_set():
             self._send(sock, {"type": "lease", "capacity": self.procs})
             message = read_message(reader)
@@ -206,10 +256,11 @@ class WorkerDaemon:
             if kind == "empty":
                 if message.get("done"):
                     return True
-                self._stop.wait(self.poll_interval_s)
+                self._stop.wait(poll.next_delay())
                 continue
             if kind != "tasks":
                 return False
+            poll.reset()
             self._run_lease(sock, message, heartbeat_interval)
         return False
 
@@ -233,6 +284,7 @@ class WorkerDaemon:
             for outcome in self._execute_items(items):
                 index, result, meta, error, tb = outcome
                 self.tasks_run += 1
+                self._inject_task_faults(index)
                 if error is not None:
                     self._send(
                         sock,
@@ -262,6 +314,31 @@ class WorkerDaemon:
             done.set()
             heartbeater.join(timeout=1.0)
 
+    def _inject_task_faults(self, index: int) -> None:
+        """Per-task chaos sites, applied between execution and reporting."""
+        injector = self.injector
+        if injector is None or not injector.enabled:
+            return
+        delay = injector.slow_task()
+        if delay:
+            time.sleep(delay)
+        if injector.crash_worker():
+            # A real crash: no goodbye, no result.  The broker sees the
+            # dropped connection and requeues the lease.
+            self._log(f"fault: crashing before reporting task {index}")
+            os._exit(CRASH_EXIT_CODE)
+        hang = injector.hang_worker()
+        if hang:
+            # A hung (but alive) worker: heartbeats stop, the lease is left
+            # to expire, and the eventually-reported result arrives as a
+            # zombie duplicate the broker must ignore.
+            self._log(f"fault: hanging {hang:.1f}s on task {index}")
+            self._suppress_heartbeats.set()
+            try:
+                time.sleep(hang)
+            finally:
+                self._suppress_heartbeats.clear()
+
     def _execute_items(self, items: List[WorkItem]):
         if self.procs > 1 and len(items) > 1:
             pool = self._ensure_pool()
@@ -278,6 +355,8 @@ class WorkerDaemon:
         done: threading.Event,
     ) -> None:
         while not done.wait(interval):
+            if self._suppress_heartbeats.is_set():
+                continue
             try:
                 self._send(sock, {"type": "heartbeat", "lease": lease_id})
             except OSError:
@@ -288,7 +367,7 @@ class WorkerDaemon:
         # Results (main thread) and heartbeats (side thread) share the
         # socket; serialize the line writes.
         with self._send_lock:
-            send_message(sock, message)
+            send_message(sock, message, injector=self.injector)
 
     def _ensure_pool(self):
         if self._pool is None:

@@ -1,0 +1,309 @@
+"""Deterministic fault injection for the distributed sweep runner.
+
+The paper's protocols tolerate Byzantine nodes *inside* the simulation; this
+module gives the infrastructure that runs the experiments the same
+discipline.  A :class:`FaultPlan` is a JSON-round-trippable schedule of
+fault *rates* (plus a seed); a :class:`FaultInjector` turns it into concrete
+injection decisions that the broker, the worker daemons, and the wire
+protocol consult at well-defined sites:
+
+===================  =======================================================
+site                 effect when it fires
+===================  =======================================================
+``drop-connection``  close the socket instead of sending a protocol line
+``truncate-line``    send a prefix of the line (no newline), then drop
+``duplicate-line``   send the protocol line twice
+``delay-line``       sleep ``delay_s`` before sending the line
+``refuse-connect``   fail a worker's connect attempt without dialing
+``crash-worker``     hard-exit the worker process mid-lease (``os._exit``)
+``hang-worker``      suppress heartbeats and stall ``hang_s`` mid-lease
+``slow-task``        sleep ``slow_s`` before reporting a task result
+``artifact-write``   make one broker-side artifact store write raise
+``crash-broker``     fail the sweep broker after accepting a result
+===================  =======================================================
+
+Decisions are **deterministic**: the n-th consultation of a site draws a
+unit value from ``sha256(seed | salt | site | n)`` and fires iff it is below
+the site's rate.  The same plan therefore produces the same schedule per
+(salt, site) stream -- the ``salt`` separates the broker from each spawned
+worker, so a respawned worker does not deterministically re-crash at the
+same decision and wedge the sweep.  With no plan (or an all-zero plan)
+every hook short-circuits, so the production path pays one attribute check.
+
+:class:`Backoff` lives here too: seedable exponential backoff with jitter,
+used by the worker daemon's reconnect and poll loops (the flip side of
+chaos tolerance -- a reconnect storm against a restarted broker is itself a
+fault amplifier).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import random
+import threading
+import time
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Optional
+
+__all__ = ["FaultPlan", "FaultInjector", "InjectedFault", "Backoff"]
+
+#: Exit code of a worker process killed by an injected ``crash-worker``
+#: fault (distinguishable from real crashes in loopback-worker post-mortems).
+CRASH_EXIT_CODE = 70
+
+#: Rate fields of :class:`FaultPlan` (everything except the seed and the
+#: duration knobs), mapped to their injection site names.
+_RATE_SITES = {
+    "drop_connection": "drop-connection",
+    "truncate_line": "truncate-line",
+    "duplicate_line": "duplicate-line",
+    "delay_line": "delay-line",
+    "refuse_connect": "refuse-connect",
+    "crash_worker": "crash-worker",
+    "hang_worker": "hang-worker",
+    "slow_task": "slow-task",
+    "fail_artifact_write": "artifact-write",
+    "crash_broker": "crash-broker",
+}
+
+_DURATION_FIELDS = ("delay_s", "hang_s", "slow_s")
+
+
+class InjectedFault(OSError):
+    """An injected wire fault (subclasses ``OSError`` so every handler that
+    already survives a real connection failure survives the injected one)."""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, JSON-round-trippable fault schedule (all rates default 0).
+
+    Rates are per-consultation probabilities in ``[0, 1]``; ``*_s`` fields
+    are the durations the matching faults use when they fire.  A plan with
+    every rate at zero is a valid "injector threaded but disabled"
+    configuration -- the chaos bench entry uses exactly that to keep the
+    hook overhead on the performance trajectory.
+    """
+
+    seed: int = 0
+    # Wire faults, consulted once per protocol line sent (broker and worker).
+    drop_connection: float = 0.0
+    truncate_line: float = 0.0
+    duplicate_line: float = 0.0
+    delay_line: float = 0.0
+    delay_s: float = 0.05
+    # Connection faults, consulted per worker connect attempt.
+    refuse_connect: float = 0.0
+    # Worker faults, consulted per leased task.
+    crash_worker: float = 0.0
+    hang_worker: float = 0.0
+    hang_s: float = 2.0
+    slow_task: float = 0.0
+    slow_s: float = 0.25
+    # Broker faults: per artifact write / per accepted result.
+    fail_artifact_write: float = 0.0
+    crash_broker: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise ValueError(f"FaultPlan.seed must be an int, got {self.seed!r}")
+        for name in _RATE_SITES:
+            rate = getattr(self, name)
+            if not isinstance(rate, (int, float)) or not 0.0 <= float(rate) <= 1.0:
+                raise ValueError(
+                    f"FaultPlan.{name} must be a probability in [0, 1], got {rate!r}"
+                )
+        for name in _DURATION_FIELDS:
+            value = getattr(self, name)
+            if (
+                not isinstance(value, (int, float))
+                or not math.isfinite(value)
+                or value < 0
+            ):
+                raise ValueError(
+                    f"FaultPlan.{name} must be a finite duration >= 0, got {value!r}"
+                )
+
+    @property
+    def active(self) -> bool:
+        """Whether any fault can ever fire (any rate > 0)."""
+        return any(getattr(self, name) > 0 for name in _RATE_SITES)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The full plan as a JSON-compatible dict (stable field order)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, document: Any) -> "FaultPlan":
+        """Parse a plan, rejecting unknown keys (typos must not silently
+        disable the fault they meant to enable)."""
+        if not isinstance(document, dict):
+            raise ValueError(f"fault plan must be a JSON object, got {document!r}")
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(document) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown fault plan field(s) {unknown}; known: {sorted(known)}"
+            )
+        return cls(**document)
+
+
+class FaultInjector:
+    """Turn a :class:`FaultPlan` into deterministic injection decisions.
+
+    Parameters
+    ----------
+    plan:
+        The schedule.  ``None`` (or an all-zero plan) disables every hook.
+    salt:
+        Decision-stream separator: the broker uses ``"broker"``, each
+        spawned loopback worker gets ``"worker-<ordinal>"``.  Streams with
+        different salts are independent under the same seed.
+    """
+
+    def __init__(self, plan: Optional[FaultPlan] = None, salt: str = "") -> None:
+        self.plan = plan if plan is not None else FaultPlan()
+        self.salt = salt
+        self.enabled = self.plan.active
+        self._lock = threading.Lock()
+        self._counts: Dict[str, int] = {}
+        #: Per-site counts of faults actually injected so far.
+        self.injected: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # The deterministic schedule
+    # ------------------------------------------------------------------ #
+    def fires(self, site: str, rate: float) -> bool:
+        """Whether the next consultation of ``site`` injects (rate-gated)."""
+        if rate <= 0.0:
+            return False
+        with self._lock:
+            count = self._counts.get(site, 0) + 1
+            self._counts[site] = count
+            token = f"{self.plan.seed}|{self.salt}|{site}|{count}".encode("utf-8")
+            digest = hashlib.sha256(token).digest()
+            unit = int.from_bytes(digest[:8], "big") / 2.0**64
+            fired = unit < rate
+            if fired:
+                self.injected[site] = self.injected.get(site, 0) + 1
+            return fired
+
+    # ------------------------------------------------------------------ #
+    # Wire faults (used by protocol.send_message)
+    # ------------------------------------------------------------------ #
+    def send(self, sock: Any, data: bytes) -> None:
+        """Send ``data`` on ``sock``, applying the plan's wire faults.
+
+        May raise :class:`InjectedFault` (an ``OSError``) after closing the
+        socket -- exactly what a dropped TCP connection looks like to the
+        caller, so the surrounding retry/requeue machinery is exercised for
+        real.
+        """
+        if not self.enabled:
+            sock.sendall(data)
+            return
+        plan = self.plan
+        if self.fires("drop-connection", plan.drop_connection):
+            self._kill(sock)
+            raise InjectedFault("injected fault: connection dropped before send")
+        if self.fires("truncate-line", plan.truncate_line) and len(data) > 2:
+            try:
+                sock.sendall(data[: len(data) // 2])
+            except OSError:
+                pass
+            self._kill(sock)
+            raise InjectedFault("injected fault: line truncated mid-send")
+        if self.fires("delay-line", plan.delay_line):
+            time.sleep(plan.delay_s)
+        if self.fires("duplicate-line", plan.duplicate_line):
+            sock.sendall(data)
+        sock.sendall(data)
+
+    @staticmethod
+    def _kill(sock: Any) -> None:
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------ #
+    # Point decisions (callers act on the verdict)
+    # ------------------------------------------------------------------ #
+    def refuse_connect(self) -> bool:
+        return self.enabled and self.fires("refuse-connect", self.plan.refuse_connect)
+
+    def crash_worker(self) -> bool:
+        return self.enabled and self.fires("crash-worker", self.plan.crash_worker)
+
+    def hang_worker(self) -> Optional[float]:
+        if self.enabled and self.fires("hang-worker", self.plan.hang_worker):
+            return self.plan.hang_s
+        return None
+
+    def slow_task(self) -> Optional[float]:
+        if self.enabled and self.fires("slow-task", self.plan.slow_task):
+            return self.plan.slow_s
+        return None
+
+    def fail_artifact_write(self) -> bool:
+        return self.enabled and self.fires(
+            "artifact-write", self.plan.fail_artifact_write
+        )
+
+    def crash_broker(self) -> bool:
+        return self.enabled and self.fires("crash-broker", self.plan.crash_broker)
+
+
+class Backoff:
+    """Exponential backoff with jitter and a capped ceiling.
+
+    The undjittered delay for attempt ``n`` (0-based) is
+    ``min(cap_s, base_s * factor**n)``; :meth:`next_delay` multiplies it by
+    a jitter factor uniform in ``[1 - jitter, 1 + jitter]`` and advances the
+    attempt counter.  Jitter decorrelates a fleet of workers reconnecting
+    to a restarted broker; pass a ``seed`` for a reproducible sequence in
+    tests.
+    """
+
+    def __init__(
+        self,
+        *,
+        base_s: float = 0.5,
+        cap_s: float = 15.0,
+        factor: float = 2.0,
+        jitter: float = 0.25,
+        seed: Optional[int] = None,
+    ) -> None:
+        if base_s <= 0 or cap_s < base_s:
+            raise ValueError(
+                f"need 0 < base_s <= cap_s, got base_s={base_s}, cap_s={cap_s}"
+            )
+        if factor < 1.0:
+            raise ValueError(f"factor must be >= 1, got {factor}")
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {jitter}")
+        self.base_s = base_s
+        self.cap_s = cap_s
+        self.factor = factor
+        self.jitter = jitter
+        self._rng = random.Random(seed)
+        #: Consecutive failures so far (advanced by :meth:`next_delay`,
+        #: cleared by :meth:`reset`).  Give-up guards count this.
+        self.attempts = 0
+
+    def peek(self) -> float:
+        """The undjittered delay the next :meth:`next_delay` is based on."""
+        return min(self.cap_s, self.base_s * self.factor**self.attempts)
+
+    def next_delay(self) -> float:
+        """Record one failure and return the jittered delay to wait."""
+        delay = self.peek()
+        self.attempts += 1
+        if self.jitter:
+            delay *= 1.0 + self._rng.uniform(-self.jitter, self.jitter)
+        return delay
+
+    def reset(self) -> None:
+        """A success: clear the failure streak."""
+        self.attempts = 0

@@ -1,0 +1,221 @@
+"""Crash-safe sweep manifests: the ``--resume`` half of chaos hardening.
+
+A :class:`SweepJournal` is one JSON document per sweep, living at the root
+of the artifact directory (``sweep-<id>.journal.json``).  It records the
+sweep's identity (a content hash over the full, ordered config list --
+changing any task or param yields a different sweep), the per-task keys,
+and the completion state as results land, plus -- on a clean finish -- the
+broker's structured event log, its stats, and the injected-fault counts.
+
+Every update is written with the same temp-file + ``os.replace`` discipline
+as :meth:`~repro.runner.artifacts.ArtifactStore.store`, so a killed broker
+(or a power cut) leaves either the previous state or the new one, never a
+truncated document.  The journal is *advisory*: the artifact cache remains
+the source of truth for results, so ``--resume`` re-executes exactly the
+configs whose artifacts are missing or corrupt, and a journal that lags a
+few completions (or is lost outright) costs re-checks, never correctness.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.runner.config import SweepConfig
+
+__all__ = ["SweepJournal"]
+
+JOURNAL_VERSION = 1
+_PREFIX = "sweep-"
+_SUFFIX = ".journal.json"
+
+
+def _utc_now() -> str:
+    return datetime.now(timezone.utc).isoformat(timespec="seconds")
+
+
+def sweep_identity(configs: Sequence[SweepConfig]) -> str:
+    """Content hash of an ordered config list (the sweep's identity).
+
+    Order matters: the journal's ``done`` entries are config-list indices,
+    so a permuted list is a different sweep.
+    """
+    digest = hashlib.sha256()
+    for config in configs:
+        digest.update(config.canonical().encode("utf-8"))
+        digest.update(b"\n")
+    return digest.hexdigest()[:16]
+
+
+class SweepJournal:
+    """One sweep's crash-safe progress manifest."""
+
+    def __init__(self, path: Union[str, Path], sweep_id: str, total: int) -> None:
+        self.path = Path(path)
+        self.sweep_id = sweep_id
+        self.total = total
+        self._doc: Optional[Dict[str, Any]] = None
+
+    @classmethod
+    def for_configs(
+        cls, directory: Union[str, Path], configs: Sequence[SweepConfig]
+    ) -> "SweepJournal":
+        sweep_id = sweep_identity(configs)
+        path = Path(directory) / f"{_PREFIX}{sweep_id}{_SUFFIX}"
+        return cls(path, sweep_id, len(configs))
+
+    @classmethod
+    def incomplete_in(cls, directory: Union[str, Path]) -> List[Path]:
+        """Journals of interrupted sweeps under ``directory`` (for hints)."""
+        root = Path(directory)
+        if not root.is_dir():
+            return []
+        found = []
+        for path in sorted(root.glob(f"{_PREFIX}*{_SUFFIX}")):
+            document = cls._read(path)
+            if document is not None and not document.get("complete"):
+                found.append(path)
+        return found
+
+    # ------------------------------------------------------------------ #
+    # Reading
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _read(path: Path) -> Optional[Dict[str, Any]]:
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if (
+            not isinstance(document, dict)
+            or document.get("version") != JOURNAL_VERSION
+            or not isinstance(document.get("done"), list)
+        ):
+            return None
+        return document
+
+    def load(self) -> Optional[Dict[str, Any]]:
+        """The persisted state, or ``None`` when absent/corrupt/foreign.
+
+        A corrupt journal is treated exactly like a missing one (the
+        artifact cache is the source of truth); a version or identity
+        mismatch likewise.
+        """
+        document = self._read(self.path)
+        if document is None or document.get("sweep_id") != self.sweep_id:
+            return None
+        return document
+
+    # ------------------------------------------------------------------ #
+    # Writing
+    # ------------------------------------------------------------------ #
+    def begin(
+        self,
+        tasks: Sequence[SweepConfig],
+        *,
+        resume: bool = False,
+    ) -> Optional[Dict[str, Any]]:
+        """Start (or restart) the manifest; returns the prior state, if any.
+
+        The completion state always restarts empty -- the caller re-marks
+        tasks as the cache prefill and the backend report them -- so the
+        journal never claims completions the artifact store cannot back.
+        """
+        prior = self.load()
+        self._doc = {
+            "version": JOURNAL_VERSION,
+            "sweep_id": self.sweep_id,
+            "created": prior["created"] if prior else _utc_now(),
+            "updated": _utc_now(),
+            "total": self.total,
+            "tasks": [
+                {"index": index, "task": config.task, "key": config.key()}
+                for index, config in enumerate(tasks)
+            ],
+            "done": [],
+            "cached": [],
+            "complete": False,
+            "resumed": (prior.get("resumed", 0) + 1 if prior else 0) if resume else 0,
+            "error": None,
+            "stats": None,
+            "events": None,
+            "faults": None,
+        }
+        self._flush()
+        return prior
+
+    def mark_done(self, index: int, *, cached: bool = False, flush: bool = True) -> None:
+        """Record one completed config (by its position in the config list)."""
+        doc = self._require_doc()
+        doc["done"].append(index)
+        if cached:
+            doc["cached"].append(index)
+        if flush:
+            self._flush()
+
+    def mark_many(self, indices: Sequence[int], *, cached: bool = False) -> None:
+        """Batch :meth:`mark_done` (one atomic write for a cache prefill)."""
+        if not indices:
+            return
+        for index in indices:
+            self.mark_done(index, cached=cached, flush=False)
+        self._flush()
+
+    def finish(
+        self,
+        *,
+        stats: Optional[Dict[str, Any]] = None,
+        events: Optional[Sequence[Dict[str, Any]]] = None,
+        faults: Optional[Dict[str, int]] = None,
+    ) -> None:
+        """Mark the sweep complete and attach the broker's telemetry."""
+        doc = self._require_doc()
+        doc["complete"] = True
+        doc["stats"] = dict(stats) if stats else None
+        doc["events"] = [dict(event) for event in events] if events else None
+        doc["faults"] = dict(faults) if faults else None
+        self._flush()
+
+    def abort(self, error: str) -> None:
+        """Record why the sweep died; the journal stays incomplete."""
+        if self._doc is None:
+            return
+        self._doc["error"] = str(error)
+        self._flush()
+
+    @property
+    def done_count(self) -> int:
+        return len(self._doc["done"]) if self._doc is not None else 0
+
+    # ------------------------------------------------------------------ #
+    def _require_doc(self) -> Dict[str, Any]:
+        if self._doc is None:
+            raise RuntimeError("SweepJournal.begin() must run before updates")
+        return self._doc
+
+    def _flush(self) -> None:
+        """Atomic rewrite (uniquely named temp file + ``os.replace``)."""
+        doc = self._require_doc()
+        doc["done"] = sorted(set(doc["done"]))
+        doc["cached"] = sorted(set(doc["cached"]))
+        doc["updated"] = _utc_now()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(self.path.parent), prefix=self.path.name + ".", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(doc, handle, sort_keys=True)
+            os.replace(tmp_name, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise

@@ -34,6 +34,7 @@ from repro.runner.backends import (
     resolve_backend,
 )
 from repro.runner.config import SweepConfig
+from repro.runner.journal import SweepJournal
 from repro.runner.registry import resolve_task
 
 __all__ = ["SweepRunner"]
@@ -122,6 +123,15 @@ class SweepRunner:
         behaviour); a name (``"serial"``/``"pool"``/``"distributed"``) or a
         configured :class:`~repro.runner.backends.ExecutionBackend` instance
         selects one explicitly.
+    resume:
+        Continue an interrupted sweep: announce what the sweep journal in
+        ``artifact_dir`` recorded, then re-execute only the configs whose
+        artifacts are missing (the artifact cache, not the journal, decides
+        -- so resume is correct even when the sweep died between a persist
+        and the matching journal update).  Requires ``artifact_dir`` and is
+        incompatible with ``force``.  Without ``resume`` the journal is
+        still maintained; the flag only changes the announcement and the
+        recorded resume count -- a plain re-run recovers identically.
     """
 
     def __init__(
@@ -132,14 +142,23 @@ class SweepRunner:
         force: bool = False,
         progress: Optional[bool] = None,
         backend: Union[None, str, ExecutionBackend] = None,
+        resume: bool = False,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if resume and artifact_dir is None:
+            raise ValueError("resume requires an artifact_dir (nothing to resume from)")
+        if resume and force:
+            raise ValueError(
+                "resume and force are contradictory: resume reuses completed "
+                "artifacts, force discards them"
+            )
         self.workers = workers
         self.store = ArtifactStore(artifact_dir) if artifact_dir is not None else None
         self.force = force
         self.progress = progress
         self.backend = resolve_backend(backend, workers=workers)
+        self.resume = resume
         #: Cache hits / task executions of the most recent :meth:`run` call.
         #: Broker-side dedupe hits (distributed backend) count as cached.
         self.last_cached = 0
@@ -147,6 +166,12 @@ class SweepRunner:
         #: Per-config execution metadata of the most recent :meth:`run` call,
         #: in config order (``None`` for cache hits, which did not execute).
         self.last_metas: List[Optional[TaskMeta]] = []
+        #: Journal path of the most recent :meth:`run` call (``None`` when
+        #: persistence is disabled).
+        self.last_journal_path: Optional[Path] = None
+        #: Broker structured events of the most recent :meth:`run` call
+        #: (empty for backends without an event log).
+        self.last_events: List[Any] = []
 
     # ------------------------------------------------------------------ #
     def run(self, configs: Sequence[SweepConfig]) -> List[Any]:
@@ -154,10 +179,12 @@ class SweepRunner:
         results: List[Any] = [None] * len(configs)
         metas: List[Optional[TaskMeta]] = [None] * len(configs)
         pending: List[WorkItem] = []
+        prefilled: List[int] = []
         for index, config in enumerate(configs):
             cached = self.store.load(config) if self.store and not self.force else MISSING
             if cached is not MISSING:
                 results[index] = _canonical_result(cached)
+                prefilled.append(index)
             else:
                 # Resolving here (in the parent) both validates the task name
                 # early and captures the registering module for workers that
@@ -167,6 +194,7 @@ class SweepRunner:
         self.last_cached = len(configs) - len(pending)
         self.last_executed = len(pending)
 
+        journal = self._begin_journal(configs, prefilled)
         progress = _ProgressLine(
             total=len(configs),
             cached=self.last_cached,
@@ -184,9 +212,22 @@ class SweepRunner:
                         self.store.store(configs[index], value, meta=meta)
                 results[index] = value
                 metas[index] = meta
+                if journal is not None:
+                    journal.mark_done(index, cached=meta is None)
                 progress.step(cached=meta is None)
+        except BaseException as exc:
+            if journal is not None:
+                journal.abort(repr(exc))
+            raise
         finally:
             progress.finish()
+        self.last_events = list(getattr(self.backend, "last_events", []))
+        if journal is not None:
+            journal.finish(
+                stats=getattr(self.backend, "last_stats", None),
+                events=self.last_events,
+                faults=getattr(self.backend, "last_faults", None),
+            )
         # Broker-side dedupe may have served part of ``pending`` from the
         # shared artifact cache mid-sweep; recount so the cached/executed
         # split stays honest.
@@ -194,6 +235,32 @@ class SweepRunner:
         self.last_executed = executed
         self.last_metas = metas
         return results
+
+    def _begin_journal(
+        self, configs: Sequence[SweepConfig], prefilled: Sequence[int]
+    ) -> Optional[SweepJournal]:
+        """Open the sweep's crash-safe manifest (no-op without persistence)."""
+        if self.store is None or not configs:
+            self.last_journal_path = None
+            return None
+        journal = SweepJournal.for_configs(self.store.root, configs)
+        prior = journal.begin(configs, resume=self.resume)
+        journal.mark_many(prefilled, cached=True)
+        self.last_journal_path = journal.path
+        if self.resume:
+            if prior is not None and not prior.get("complete"):
+                recovered = len(prior.get("done", ()))
+                detail = f"journal recorded {recovered}/{prior.get('total')} done"
+            elif prior is not None:
+                detail = "previous run completed cleanly"
+            else:
+                detail = "no journal found, starting fresh"
+            sys.stderr.write(
+                f"[sweep] resuming sweep {journal.sweep_id}: {detail}; "
+                f"{len(prefilled)}/{len(configs)} task(s) already cached\n"
+            )
+            sys.stderr.flush()
+        return journal
 
     def _progress_enabled(self, pending_count: int) -> bool:
         if self.progress is not None:

@@ -1,0 +1,259 @@
+"""``make chaos-demo``: the chaos-hardening acceptance gate.
+
+One scripted disaster, end to end:
+
+1. **Serial reference.**  A generated E3-style benign scenario (n=48, ten
+   seeds) is run in-process on the serial backend; its rendered table is the
+   ground truth.
+2. **Chaos run, killed midway.**  The same spec runs as a subprocess on the
+   distributed backend (two loopback workers) under a seeded
+   :class:`~repro.runner.faults.FaultPlan` that drops connections, truncates
+   and duplicates protocol lines, refuses connects, crashes and hangs
+   workers, slows every task, and fails artifact writes.  The demo polls the
+   sweep journal and SIGKILLs the whole sweep process -- broker included --
+   once at least two tasks have completed.
+3. **Resume.**  ``scenario run --resume`` restarts the sweep (fresh broker,
+   fresh workers, same fault plan).  It must report prior progress, serve
+   the pre-kill completions from the artifact cache, finish the rest, and
+   print a table **byte-identical** to the serial reference.
+
+Anything else -- a wedged resume, a divergent table, a journal that never
+completes -- is a hard failure.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+#: src/repro/tools/chaos_demo.py -> repository root.
+ROOT = Path(__file__).resolve().parents[3]
+
+#: Seeded chaos schedule for the demo run.  ``crash_broker`` stays 0 -- the
+#: demo kills the broker for real, from outside -- and ``slow_task`` is 1.0
+#: so every task sleeps, guaranteeing a wide window to land the kill in.
+FAULT_PLAN = {
+    "seed": 7,
+    "drop_connection": 0.03,
+    "truncate_line": 0.02,
+    "duplicate_line": 0.05,
+    "delay_line": 0.10,
+    "delay_s": 0.05,
+    "refuse_connect": 0.15,
+    "crash_worker": 0.04,
+    "hang_worker": 0.03,
+    "hang_s": 2.5,
+    "slow_task": 1.0,
+    "slow_s": 0.35,
+    "fail_artifact_write": 0.15,
+}
+
+#: The sweep: E3-style benign congest cells, small enough that the serial
+#: reference is seconds, numerous enough that the kill lands mid-sweep.
+SCENARIO = {
+    "name": "chaos-demo-e3",
+    "graph": {"name": "hnd", "params": {"n": 48, "degree": 8}, "seed_offset": 0},
+    "adversary": {"name": "silent", "params": {}, "seed_offset": 0},
+    "placement": {"name": "random", "params": {"count": 0}, "seed_offset": 0},
+    "protocol": {"name": "congest", "params": {"d": 8}, "seed_offset": 0},
+    "params": {},
+    "seeds": list(range(10)),
+}
+
+#: Journal completions to wait for before killing the sweep process.
+KILL_AFTER_DONE = 2
+
+
+def _fail(message: str) -> int:
+    print(f"chaos-demo FAIL: {message}")
+    return 1
+
+
+def _serial_reference() -> str:
+    """The ground-truth table, rendered exactly like ``scenario run`` does."""
+    from repro.analysis.tables import render_table
+    from repro.runner import SweepRunner
+    from repro.scenarios import Scenario
+
+    scenario = Scenario.from_dict(SCENARIO)
+    rows = SweepRunner().run(scenario.compile())
+    return render_table(
+        [{"seed": seed, **metrics} for seed, metrics in zip(scenario.seeds, rows)],
+        title=scenario.name,
+    )
+
+
+def _journal_path(artifact_dir: Path) -> Path:
+    from repro.runner import SweepJournal
+    from repro.scenarios import Scenario
+
+    return SweepJournal.for_configs(
+        artifact_dir, Scenario.from_dict(SCENARIO).compile()
+    ).path
+
+
+def _read_journal(path: Path) -> Optional[dict]:
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+
+
+def _sweep_command(spec: Path, plan: Path, artifact_dir: Path, *, resume: bool) -> List[str]:
+    command = [
+        sys.executable,
+        "-m",
+        "repro.cli",
+        "scenario",
+        "run",
+        str(spec),
+        "--backend",
+        "distributed",
+        "--spawn-workers",
+        "2",
+        "--artifact-dir",
+        str(artifact_dir),
+        "--fault-plan",
+        str(plan),
+        "--lease-ttl",
+        "2",
+        "--max-retries",
+        "10",
+    ]
+    if resume:
+        command.append("--resume")
+    return command
+
+
+def _run_and_kill(spec: Path, plan: Path, artifact_dir: Path) -> Tuple[bool, str]:
+    """Start the chaos sweep, SIGKILL it mid-flight; (killed?, diagnostics)."""
+    journal = _journal_path(artifact_dir)
+    process = subprocess.Popen(
+        _sweep_command(spec, plan, artifact_dir, resume=False),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        cwd=str(ROOT),
+    )
+    deadline = time.monotonic() + 120.0
+    try:
+        while time.monotonic() < deadline:
+            document = _read_journal(journal)
+            if document is not None and len(document.get("done", ())) >= KILL_AFTER_DONE:
+                process.send_signal(signal.SIGKILL)
+                process.wait(timeout=10.0)
+                return True, ""
+            if process.poll() is not None:
+                _, err = process.communicate()
+                return False, (
+                    f"sweep process exited (code {process.returncode}) before "
+                    f"{KILL_AFTER_DONE} journal completions:\n"
+                    + err.decode("utf-8", "replace")[-2000:]
+                )
+            time.sleep(0.05)
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=10.0)
+    return False, "timed out waiting for the journal to record progress"
+
+
+def _resume(spec: Path, plan: Path, artifact_dir: Path) -> Tuple[Optional[str], str]:
+    """Resume the killed sweep; (stdout table or None, diagnostics)."""
+    try:
+        completed = subprocess.run(
+            _sweep_command(spec, plan, artifact_dir, resume=True),
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            cwd=str(ROOT),
+            timeout=150.0,
+        )
+    except subprocess.TimeoutExpired:
+        return None, "resume run timed out"
+    stderr = completed.stderr.decode("utf-8", "replace")
+    if completed.returncode != 0:
+        return None, f"resume run failed (code {completed.returncode}):\n{stderr[-2000:]}"
+    stdout = completed.stdout.decode("utf-8", "replace")
+    # The table is everything before the trailing "[scenario] k cached, ..."
+    # summary line the CLI appends when an artifact dir is in play.
+    table_lines = []
+    for line in stdout.splitlines():
+        if line.startswith("[scenario]"):
+            break
+        table_lines.append(line)
+    if "resuming sweep" not in stderr:
+        return None, f"resume run never announced the resume:\n{stderr[-2000:]}"
+    return "\n".join(table_lines).rstrip("\n"), stderr
+
+
+def main() -> int:
+    print("chaos-demo: building serial reference table...")
+    reference = _serial_reference()
+
+    with tempfile.TemporaryDirectory(prefix="chaos-demo-") as tmp:
+        tmpdir = Path(tmp)
+        spec = tmpdir / "scenario.json"
+        spec.write_text(json.dumps(SCENARIO, indent=2), encoding="utf-8")
+        plan = tmpdir / "fault_plan.json"
+        plan.write_text(json.dumps(FAULT_PLAN, indent=2), encoding="utf-8")
+        artifact_dir = tmpdir / "artifacts"
+
+        print(
+            "chaos-demo: running distributed sweep under fault injection, "
+            f"killing the broker after {KILL_AFTER_DONE} completions..."
+        )
+        killed, diagnostics = _run_and_kill(spec, plan, artifact_dir)
+        if not killed:
+            return _fail(diagnostics)
+        document = _read_journal(_journal_path(artifact_dir))
+        if document is None:
+            return _fail("no readable journal survived the kill")
+        pre_kill_done = len(document.get("done", ()))
+        if document.get("complete"):
+            return _fail("journal claims completion despite the mid-sweep kill")
+        print(
+            f"chaos-demo: broker killed with {pre_kill_done}/"
+            f"{document.get('total')} task(s) journaled; resuming..."
+        )
+
+        table, stderr = _resume(spec, plan, artifact_dir)
+        if table is None:
+            return _fail(stderr)
+        if table != reference:
+            return _fail(
+                "resumed table differs from the serial reference\n"
+                f"--- serial ---\n{reference}\n--- resumed ---\n{table}"
+            )
+        document = _read_journal(_journal_path(artifact_dir))
+        if document is None or not document.get("complete"):
+            return _fail("journal is not complete after the resume")
+        if document.get("resumed", 0) < 1:
+            return _fail("journal did not record the resume")
+        if len(document.get("cached", ())) < 1:
+            return _fail(
+                "resume re-executed everything; pre-kill artifacts were not reused"
+            )
+        if not document.get("events"):
+            return _fail("journal carries no broker events from the resumed sweep")
+
+        print(
+            "chaos-demo ok: broker killed mid-sweep after "
+            f"{pre_kill_done} completion(s); --resume reused "
+            f"{len(document['cached'])} cached task(s), finished "
+            f"{len(document['done'])}/{document['total']}, and the final table "
+            "is byte-identical to the serial run"
+        )
+        faults = document.get("faults")
+        if faults:
+            fired = ", ".join(f"{site} x{count}" for site, count in sorted(faults.items()))
+            print(f"chaos-demo: broker-side injected faults: {fired}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
