@@ -33,6 +33,13 @@
 #                        to the serial run (a couple of minutes worst case;
 #                        wrapped in a hard `timeout`; a prerequisite of
 #                        `make test`)
+#   make hub-demo      - sweep-hub gate: start a standing hub + 2 persistent
+#                        workers, submit two overlapping sweeps concurrently
+#                        against one shared artifact root, SIGKILL one client
+#                        mid-sweep and recover it with --resume, and assert
+#                        both tables are byte-identical to the serial run
+#                        (sub-minute typical; wrapped in a hard `timeout`;
+#                        a prerequisite of `make test`)
 
 PYTHON ?= python
 WORKERS ?= 4
@@ -52,10 +59,13 @@ DIST_DEMO_SPEC ?= examples/scenario_benign_congest.json
 # kills a broker, so a wedged resume must become a loud timeout, not a
 # stuck CI job.
 CHAOS_TIMEOUT ?= 240
+# Same idea for the hub gate: a hub that never drains a submission or a
+# worker that ignores SIGTERM must fail fast, not hang CI.
+HUB_TIMEOUT ?= 240
 
-.PHONY: test bench bench-compare bench-smoke bench-smoke-compare profile sweep-demo scenario-demo dist-demo churn-demo chaos-demo clean-artifacts
+.PHONY: test bench bench-compare bench-smoke bench-smoke-compare profile sweep-demo scenario-demo dist-demo churn-demo chaos-demo hub-demo clean-artifacts
 
-test: scenario-demo dist-demo churn-demo chaos-demo bench-smoke-compare
+test: scenario-demo dist-demo churn-demo chaos-demo hub-demo bench-smoke-compare
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 
 scenario-demo:
@@ -74,6 +84,9 @@ churn-demo:
 
 chaos-demo:
 	PYTHONPATH=src timeout -k 10 $(CHAOS_TIMEOUT) $(PYTHON) -m repro.tools.chaos_demo
+
+hub-demo:
+	PYTHONPATH=src timeout -k 10 $(HUB_TIMEOUT) $(PYTHON) -m repro.tools.hub_demo
 
 bench:
 	PYTHONPATH=src $(PYTHON) -m repro.cli bench --repeats $(BENCH_REPEATS) --output-dir $(BENCH_DIR)

@@ -48,6 +48,33 @@ Sub-commands:
     wall-clock regression (see RUNNER.md, "Performance")::
 
         repro-byzantine-counting bench --compare
+
+``hub``
+    The standing multi-tenant sweep service (see RUNNER.md, "Sweep Hub").
+    ``hub serve`` runs the daemon (shared worker fleet, concurrent
+    submissions, fair-share dispatch, optional ``--http`` dashboard);
+    ``hub status`` queries a running hub; ``hub dash`` serves the
+    dashboard standalone over an artifact root::
+
+        repro-byzantine-counting hub serve --listen :9876 --artifact-dir .sweeps
+        repro-byzantine-counting scenario run spec.json --connect host:9876 \
+            --artifact-dir .sweeps
+        repro-byzantine-counting hub status --connect host:9876
+
+``sweeps``
+    List the sweep journals under an artifact root with their status
+    (done/total, resumable, error) -- the building block ``hub status``
+    and the dashboard reuse::
+
+        repro-byzantine-counting sweeps --artifact-dir .sweeps
+
+``runs``
+    Query the results database derived from artifacts + journals:
+    ``runs list`` (history), ``runs show REF`` (one run's params, result,
+    meta), ``runs diff REF_A REF_B`` (field-by-field comparison)::
+
+        repro-byzantine-counting runs list --artifact-dir .sweeps
+        repro-byzantine-counting runs diff ab12 cd34 --artifact-dir .sweeps
 """
 
 from __future__ import annotations
@@ -157,6 +184,20 @@ def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
         help="always show the sweep-level k/N progress line (default: only "
         "parallel backends on a terminal)",
     )
+    parser.add_argument(
+        "--connect",
+        metavar="HOST:PORT",
+        default=None,
+        help="submit the sweep to a standing hub ('hub serve') instead of "
+        "running a private broker; implies --backend distributed",
+    )
+    parser.add_argument(
+        "--priority",
+        type=int,
+        default=0,
+        help="hub submission priority (with --connect): higher preempts "
+        "other sweeps at the next lease grant",
+    )
 
 
 def _parse_fault_plan(spec: str):
@@ -183,15 +224,31 @@ def _runner_from_args(args: argparse.Namespace):
         "--max-retries": args.max_retries is not None,
         "--fault-plan": args.fault_plan is not None,
     }
-    if args.backend != "distributed" and any(distributed_only.values()):
+    if args.connect is not None:
+        # A hub submission: the hub owns the broker-side knobs.
+        if args.backend not in (None, "distributed"):
+            raise SystemExit(f"--connect conflicts with --backend {args.backend}")
+        conflicting = [flag for flag, on in distributed_only.items() if on]
+        if conflicting:
+            raise SystemExit(
+                f"{'/'.join(conflicting)} conflict(s) with --connect: a "
+                "standing hub owns its broker configuration ('hub serve')"
+            )
+    elif args.backend != "distributed" and any(distributed_only.values()):
         used = "/".join(flag for flag, on in distributed_only.items() if on)
         raise SystemExit(f"{used} require(s) --backend distributed")
+    if args.priority and args.connect is None:
+        raise SystemExit("--priority requires --connect (hub submission)")
     if args.resume and args.artifact_dir is None:
         raise SystemExit("--resume requires --artifact-dir (nothing to resume from)")
     if args.resume and args.force:
         raise SystemExit("--resume and --force are contradictory")
     backend = args.backend
-    if backend == "distributed":
+    if args.connect is not None:
+        backend = DistributedBackend(
+            connect=parse_address(args.connect), priority=args.priority
+        )
+    elif backend == "distributed":
         if args.listen is not None:
             listen = parse_address(args.listen)
             spawn = args.spawn_workers or 0
@@ -304,6 +361,13 @@ def build_parser() -> argparse.ArgumentParser:
         "process, e.g. worker-0)",
     )
     worker_parser.add_argument(
+        "--lease-capacity",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="tasks to request per lease (default: --workers)",
+    )
+    worker_parser.add_argument(
         "--verbose", action="store_true", help="log connection/lease events"
     )
 
@@ -386,6 +450,104 @@ def build_parser() -> argparse.ArgumentParser:
             "report to PATH (forces --workers 1)"
         ),
     )
+
+    hub_parser = sub.add_parser(
+        "hub", help="standing multi-tenant sweep service (see RUNNER.md)"
+    )
+    hub_sub = hub_parser.add_subparsers(dest="hub_command", required=True)
+    hub_serve = hub_sub.add_parser(
+        "serve", help="run the hub daemon (shared fleet, concurrent sweeps)"
+    )
+    hub_serve.add_argument(
+        "--listen",
+        metavar="HOST:PORT",
+        default="127.0.0.1:0",
+        help="bind address for workers and submissions (port 0: pick a free "
+        "port; the chosen address is announced on stdout)",
+    )
+    hub_serve.add_argument(
+        "--artifact-dir",
+        default=None,
+        help="shared artifact root: every submission dedupes against and "
+        "persists into it (strongly recommended)",
+    )
+    hub_serve.add_argument(
+        "--lease-ttl", type=float, default=30.0, metavar="SECONDS",
+        help="broker lease TTL (default 30)",
+    )
+    hub_serve.add_argument(
+        "--max-retries", type=int, default=2, metavar="N",
+        help="default re-dispatch budget per task (default 2)",
+    )
+    hub_serve.add_argument(
+        "--chunk-size", type=_positive_int, default=None, metavar="N",
+        help="cap tasks per lease (default: the worker's requested capacity)",
+    )
+    hub_serve.add_argument(
+        "--http",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="also serve the HTML dashboard on this port (0: pick a free one)",
+    )
+    hub_serve.add_argument(
+        "--bench-dir",
+        default=None,
+        help="directory of BENCH_<date>.json files for the dashboard's "
+        "bench-trajectory page",
+    )
+    hub_status = hub_sub.add_parser("status", help="query a running hub")
+    hub_status.add_argument(
+        "--connect", required=True, metavar="HOST:PORT", help="the hub address"
+    )
+    hub_status.add_argument(
+        "--artifact-dir",
+        default=None,
+        help="also list the sweep journals under this artifact root",
+    )
+    hub_dash = hub_sub.add_parser(
+        "dash", help="serve the HTML dashboard standalone (no hub required)"
+    )
+    hub_dash.add_argument(
+        "--artifact-dir", default=None, help="artifact root for run history"
+    )
+    hub_dash.add_argument(
+        "--connect",
+        default=None,
+        metavar="HOST:PORT",
+        help="a running hub to show live queue/fleet state from",
+    )
+    hub_dash.add_argument(
+        "--port", type=int, default=8765, help="HTTP port (default 8765)"
+    )
+    hub_dash.add_argument(
+        "--bench-dir", default=None, help="directory of BENCH_<date>.json files"
+    )
+
+    sweeps_parser = sub.add_parser(
+        "sweeps", help="list sweep journals under an artifact root"
+    )
+    sweeps_parser.add_argument(
+        "--artifact-dir", required=True, help="artifact root holding the journals"
+    )
+
+    runs_parser = sub.add_parser(
+        "runs", help="query run history (artifacts + journals; see RUNNER.md)"
+    )
+    runs_sub = runs_parser.add_subparsers(dest="runs_command", required=True)
+    runs_list = runs_sub.add_parser("list", help="list stored runs")
+    runs_list.add_argument("--artifact-dir", required=True)
+    runs_list.add_argument("--task", default=None, help="restrict to one task")
+    runs_list.add_argument(
+        "--sweep", default=None, help="restrict to one sweep id (see 'sweeps')"
+    )
+    runs_show = runs_sub.add_parser("show", help="show one run in full")
+    runs_show.add_argument("ref", help="artifact key prefix (or task/prefix)")
+    runs_show.add_argument("--artifact-dir", required=True)
+    runs_diff = runs_sub.add_parser("diff", help="compare two runs field by field")
+    runs_diff.add_argument("ref_a", help="first run (key prefix or task/prefix)")
+    runs_diff.add_argument("ref_b", help="second run")
+    runs_diff.add_argument("--artifact-dir", required=True)
     return parser
 
 
@@ -470,6 +632,9 @@ def _command_sweep(args: argparse.Namespace) -> int:
 
 
 def _command_worker(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
     from repro.runner import FaultInjector
     from repro.runner.distributed import WorkerDaemon, parse_address
 
@@ -481,12 +646,18 @@ def _command_worker(args: argparse.Namespace) -> int:
         host,
         port,
         procs=args.workers,
+        lease_capacity=args.lease_capacity,
         worker_id=args.worker_id,
         exit_when_drained=args.exit_when_drained,
         giveup_attempts=args.giveup_attempts,
         injector=injector,
         verbose=args.verbose,
     )
+    # Graceful fleet scale-down: SIGTERM finishes the task in flight,
+    # abandons the unstarted rest of the lease back to the broker, and
+    # exits -- instead of dying mid-lease and costing a TTL expiry.
+    if threading.current_thread() is threading.main_thread():
+        signal.signal(signal.SIGTERM, lambda *_: daemon.request_shutdown())
     try:
         return daemon.run()
     except KeyboardInterrupt:
@@ -605,6 +776,175 @@ def _command_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sweep_table(records) -> str:
+    """The journal listing shared by ``sweeps`` and ``hub status``."""
+    rows = [
+        {
+            "sweep": record["sweep"],
+            "status": record["status"],
+            "done": f"{record['done']}/{record['total']}",
+            "cached": record["cached"],
+            "resumed": record["resumed"],
+            "events_dropped": record["events_dropped"],
+            "updated": record["updated"],
+            "error": record["error"],
+        }
+        for record in records
+    ]
+    return render_table(rows, title="sweep journals") if rows else "(no sweep journals)"
+
+
+def _command_sweeps(args: argparse.Namespace) -> int:
+    from repro.runner.hub import ResultsDB
+
+    print(_sweep_table(ResultsDB(args.artifact_dir).sweep_records()))
+    return 0
+
+
+def _command_hub_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from repro.runner import ArtifactStore
+    from repro.runner.distributed import parse_address
+    from repro.runner.hub import DashboardServer, SweepHub
+
+    host, port = parse_address(args.listen)
+    store = ArtifactStore(args.artifact_dir) if args.artifact_dir else None
+    hub = SweepHub(
+        store=store,
+        host=host,
+        port=port,
+        lease_ttl_s=args.lease_ttl,
+        max_retries=args.max_retries,
+        chunk_size=args.chunk_size,
+    )
+    address = hub.start()
+    # Parseable announcement: demo harnesses read the chosen port from it.
+    print(f"[hub] listening on {address[0]}:{address[1]}", flush=True)
+    if store is not None:
+        print(f"[hub] artifact root: {store.root}", flush=True)
+    dashboard = None
+    if args.http is not None:
+        dashboard = DashboardServer(
+            artifact_dir=args.artifact_dir,
+            hub=hub,
+            bench_dir=args.bench_dir,
+            host=host if host not in ("0.0.0.0", "::", "") else "127.0.0.1",
+            port=args.http,
+        )
+        dash_address = dashboard.start()
+        print(f"[hub] dashboard on http://{dash_address[0]}:{dash_address[1]}/", flush=True)
+    stop = threading.Event()
+    if threading.current_thread() is threading.main_thread():
+        signal.signal(signal.SIGTERM, lambda *_: stop.set())
+    try:
+        while not stop.is_set():
+            stop.wait(0.5)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        print("[hub] shutting down", flush=True)
+        if dashboard is not None:
+            dashboard.stop()
+        hub.stop()
+    return 0
+
+
+def _command_hub_status(args: argparse.Namespace) -> int:
+    from repro.runner import BrokerError
+    from repro.runner.distributed import parse_address
+    from repro.runner.hub import ResultsDB, query_hub_status
+
+    try:
+        status = query_hub_status(parse_address(args.connect))
+    except BrokerError as exc:
+        print(f"hub status failed: {exc}")
+        return 1
+    address = status.get("address") or ["?", "?"]
+    print(
+        f"hub {address[0]}:{address[1]} -- up {status.get('uptime_s', '?')}s, "
+        f"{status.get('active_leases', 0)} active lease(s), "
+        f"{status.get('events_dropped', 0)} event(s) dropped"
+    )
+    print()
+    sweeps = status.get("sweeps", [])
+    if sweeps:
+        print(render_table(sweeps, title="sweeps"))
+    else:
+        print("(no sweeps submitted)")
+    print()
+    workers = status.get("workers", [])
+    if workers:
+        print(render_table(workers, title="workers"))
+    else:
+        print("(no workers connected)")
+    print()
+    stats = status.get("stats", {})
+    print(render_table([stats], title="stats") if stats else "(no stats)")
+    if args.artifact_dir:
+        print()
+        print(_sweep_table(ResultsDB(args.artifact_dir).sweep_records()))
+    return 0
+
+
+def _command_hub_dash(args: argparse.Namespace) -> int:
+    from repro.runner.distributed import parse_address
+    from repro.runner.hub import DashboardServer
+
+    dashboard = DashboardServer(
+        artifact_dir=args.artifact_dir,
+        hub_address=parse_address(args.connect) if args.connect else None,
+        bench_dir=args.bench_dir,
+        port=args.port,
+    )
+    address = dashboard.start()
+    print(f"[dash] serving on http://{address[0]}:{address[1]}/", flush=True)
+    try:
+        import threading
+
+        threading.Event().wait()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        dashboard.stop()
+    return 0
+
+
+def _command_runs(args: argparse.Namespace) -> int:
+    from repro.runner.hub import ResultsDB
+
+    db = ResultsDB(args.artifact_dir)
+    if args.runs_command == "list":
+        records = db.run_records(task=args.task, sweep=args.sweep, with_result=False)
+        rows = [
+            {
+                "task": record["task"],
+                "key": record["key"][:16],
+                "sweeps": ", ".join(record["sweeps"]) or "-",
+                "updated": record["updated"],
+            }
+            for record in records
+        ]
+        print(render_table(rows, title=f"runs ({len(rows)})") if rows else "(no stored runs)")
+        return 0
+    try:
+        if args.runs_command == "show":
+            record = db.find(args.ref)
+            print(json.dumps(record, indent=2, sort_keys=True))
+            return 0
+        if args.runs_command == "diff":
+            diff = db.diff(args.ref_a, args.ref_b)
+            print(json.dumps(diff, indent=2, sort_keys=True))
+            if not diff["params"] and not diff["result"]:
+                print("[runs] identical params and result")
+            return 0
+    except KeyError as exc:
+        print(f"runs {args.runs_command} failed: {exc.args[0]}")
+        return 2
+    return 2
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     parser = build_parser()
@@ -623,6 +963,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_scenario_list(args)
     if args.command == "bench":
         return _command_bench(args)
+    if args.command == "hub":
+        if args.hub_command == "serve":
+            return _command_hub_serve(args)
+        if args.hub_command == "status":
+            return _command_hub_status(args)
+        return _command_hub_dash(args)
+    if args.command == "sweeps":
+        return _command_sweeps(args)
+    if args.command == "runs":
+        return _command_runs(args)
     parser.print_help()
     return 2
 

@@ -19,9 +19,16 @@ from repro.runner.backends import (
     resolve_backend,
 )
 from repro.runner.config import SweepConfig, canonical_json
-from repro.runner.distributed import Broker, BrokerError, DistributedBackend, WorkerDaemon
+from repro.runner.distributed import (
+    Broker,
+    BrokerError,
+    DistributedBackend,
+    SweepQueue,
+    WorkerDaemon,
+)
 from repro.runner.distributed.broker import InjectedBrokerCrash
 from repro.runner.faults import Backoff, FaultInjector, FaultPlan, InjectedFault
+from repro.runner.hub import DashboardServer, ResultsDB, SweepHub
 from repro.runner.journal import SweepJournal
 from repro.runner.registry import registered_tasks, resolve_task, run_task, sweep_task
 from repro.runner.sweep import SweepRunner
@@ -31,6 +38,7 @@ __all__ = [
     "Backoff",
     "Broker",
     "BrokerError",
+    "DashboardServer",
     "DistributedBackend",
     "ExecutionBackend",
     "FaultInjector",
@@ -39,9 +47,12 @@ __all__ = [
     "InjectedFault",
     "MISSING",
     "PoolBackend",
+    "ResultsDB",
     "SerialBackend",
     "SweepConfig",
+    "SweepHub",
     "SweepJournal",
+    "SweepQueue",
     "SweepRunner",
     "WorkerDaemon",
     "canonical_json",

@@ -225,6 +225,67 @@ def _bench_chaos_loopback(
     }
 
 
+@sweep_task("bench.hub_loopback")
+def _bench_hub_loopback(
+    *, n: int, degree: int, seeds: Sequence[int], workers: int
+) -> Dict[str, Any]:
+    """The ``bench.dist_loopback`` workload submitted through a Sweep Hub.
+
+    Same E3-style scenario suite, but executed via the full hub path: an
+    in-process :class:`~repro.runner.hub.service.SweepHub`, ``workers``
+    persistent worker daemons connected to it, and a
+    ``DistributedBackend(connect=...)`` client submitting over TCP.  The
+    wall-clock delta against ``scenario-e3-dist-loopback`` is therefore
+    the hub's submission/multiplexing overhead (client protocol, fair-share
+    ranking, per-sweep queues), pinned on the trajectory.
+    """
+    import subprocess
+
+    from repro.runner.distributed import DistributedBackend, spawn_loopback_worker
+    from repro.runner.hub import SweepHub
+    from repro.runner.sweep import SweepRunner
+    from repro.scenarios.spec import Scenario
+
+    scenario = Scenario.from_dict(
+        {
+            "name": f"hub-loopback-e3-n{n}",
+            "graph": {"name": "hnd", "params": {"n": n, "degree": degree}, "seed_offset": 0},
+            "adversary": {"name": "silent", "params": {}, "seed_offset": 0},
+            "placement": {"name": "random", "params": {"count": 0}, "seed_offset": 0},
+            "protocol": {"name": "congest", "params": {"d": degree}, "seed_offset": 0},
+            "params": {},
+            "seeds": list(seeds),
+        }
+    )
+    hub = SweepHub(host="127.0.0.1", port=0)
+    address = hub.start()
+    procs: List["subprocess.Popen[bytes]"] = []
+    try:
+        procs.extend(
+            spawn_loopback_worker(address, exit_when_drained=False)
+            for _ in range(workers)
+        )
+        runner = SweepRunner(backend=DistributedBackend(connect=address, quiet=True))
+        rows = runner.run(scenario.compile())
+    finally:
+        for process in procs:
+            if process.poll() is None:
+                process.terminate()
+        for process in procs:
+            try:
+                process.wait(timeout=5.0)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait(timeout=5.0)
+        hub.stop()
+    return {
+        "rounds": sum(row["rounds"] for row in rows),
+        "messages": sum(row["messages"] for row in rows),
+        "bits": sum(row["bits"] for row in rows),
+        "cells": len(rows),
+    }
+
+
 # --------------------------------------------------------------------------- #
 # Pinned scenarios
 # --------------------------------------------------------------------------- #
@@ -407,6 +468,18 @@ SCENARIOS: Tuple[BenchScenario, ...] = (
     BenchScenario(
         "scenario-e3-chaos-loopback",
         "bench.chaos_loopback",
+        {"n": 48, "degree": 8, "seeds": [0, 1, 2, 3], "workers": 2},
+    ),
+    # Appended with the Sweep Hub (PR 8): the PR-5 loopback workload
+    # submitted to a standing hub over the client protocol instead of a
+    # private broker.  The delta against ``scenario-e3-dist-loopback`` is
+    # the hub's submission/multiplexing overhead (submit handshake,
+    # fair-share ranking, per-sweep queue routing), pinned so the
+    # multi-tenant path stays on the trajectory.  Pinned like every
+    # parameterization above -- append, never edit.
+    BenchScenario(
+        "scenario-e3-hub-loopback",
+        "bench.hub_loopback",
         {"n": 48, "degree": 8, "seeds": [0, 1, 2, 3], "workers": 2},
     ),
 )

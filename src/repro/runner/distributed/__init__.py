@@ -13,11 +13,14 @@ The subsystem behind ``SweepRunner(backend="distributed")`` (see RUNNER.md,
   ``repro-byzantine-counting worker --connect HOST:PORT --workers N``.
 - :mod:`~repro.runner.distributed.backend` -- the ``ExecutionBackend``
   gluing a per-sweep broker (plus optional spawned loopback workers) into
-  the unchanged runner API.
+  the unchanged runner API, or -- in ``connect`` mode -- submitting to a
+  standing multi-tenant :mod:`~repro.runner.hub` service built on the
+  same broker core (:class:`SweepQueue` is the per-sweep unit it
+  multiplexes).
 """
 
 from repro.runner.distributed.backend import DistributedBackend, spawn_loopback_worker
-from repro.runner.distributed.broker import Broker, BrokerError
+from repro.runner.distributed.broker import Broker, BrokerError, SweepQueue
 from repro.runner.distributed.protocol import (
     PROTOCOL_VERSION,
     format_address,
@@ -30,6 +33,7 @@ __all__ = [
     "BrokerError",
     "DistributedBackend",
     "PROTOCOL_VERSION",
+    "SweepQueue",
     "WorkerDaemon",
     "format_address",
     "parse_address",

@@ -18,6 +18,14 @@ Listen (``spawn_workers == 0``)
     (any host that can reach the address).  The broker address and the
     exact ``worker`` command to paste on remote machines are announced on
     stderr.
+
+Connect (``connect=(host, port)``)
+    No private broker at all: the backend submits the sweep to a standing
+    :class:`~repro.runner.hub.service.SweepHub` at that address and
+    streams its results back.  The hub owns the worker fleet and the
+    artifact persistence; many clients can submit concurrently and the
+    hub fair-shares the fleet across them.  ``--connect HOST:PORT`` on
+    the runner CLIs selects this mode.
 """
 
 from __future__ import annotations
@@ -114,6 +122,16 @@ class DistributedBackend(ExecutionBackend):
         Chaos tests raise it so injected crash storms stay survivable.
     quiet:
         Suppress the stderr announcement of the broker address.
+    connect:
+        ``(host, port)`` of a standing Sweep Hub to submit to instead of
+        running a private broker.  Mutually exclusive with the
+        broker-owning knobs (``spawn_workers``, ``lease_ttl_s``,
+        ``max_retries``, ``chunk_size``, ``fault_plan``): those belong to
+        the hub's own configuration, and silently ignoring them here would
+        mislead.
+    priority / submit_name:
+        Hub-submission metadata (connect mode only): fair-share priority
+        and the display name shown by ``hub status`` and the dashboard.
     """
 
     name = "distributed"
@@ -139,6 +157,9 @@ class DistributedBackend(ExecutionBackend):
         fault_plan: Optional[FaultPlan] = None,
         respawn_factor: Optional[int] = None,
         quiet: bool = False,
+        connect: Optional[Tuple[str, int]] = None,
+        priority: int = 0,
+        submit_name: str = "",
     ) -> None:
         if spawn_workers < 0:
             raise ValueError(f"spawn_workers must be >= 0, got {spawn_workers}")
@@ -146,6 +167,28 @@ class DistributedBackend(ExecutionBackend):
             raise ValueError(f"worker_procs must be >= 1, got {worker_procs}")
         if respawn_factor is not None and respawn_factor < 0:
             raise ValueError(f"respawn_factor must be >= 0, got {respawn_factor}")
+        if connect is not None:
+            conflicts = []
+            if spawn_workers:
+                conflicts.append("spawn_workers")
+            if lease_ttl_s != 30.0:
+                conflicts.append("lease_ttl_s")
+            if max_retries != 2:
+                conflicts.append("max_retries")
+            if chunk_size is not None:
+                conflicts.append("chunk_size")
+            if fault_plan is not None:
+                conflicts.append("fault_plan")
+            if conflicts:
+                raise ValueError(
+                    "connect mode submits to a standing hub, which owns "
+                    f"{', '.join(conflicts)}; configure them on `hub serve`"
+                )
+        elif priority:
+            raise ValueError("priority only applies with connect (hub submission)")
+        self.connect = connect
+        self.priority = priority
+        self.submit_name = submit_name
         self.listen = listen
         self.spawn_workers = spawn_workers
         self.worker_procs = worker_procs
@@ -165,6 +208,8 @@ class DistributedBackend(ExecutionBackend):
         self.last_faults: Dict[str, int] = {}
 
     def describe(self) -> str:
+        if self.connect is not None:
+            return f"distributed(hub {format_address(self.connect)})"
         if self.spawn_workers:
             return f"distributed(loopback x{self.spawn_workers})"
         return f"distributed(listen {format_address(self.listen)})"
@@ -178,6 +223,9 @@ class DistributedBackend(ExecutionBackend):
         force: bool = False,
     ) -> Iterator[CompletedItem]:
         if not pending:
+            return
+        if self.connect is not None:
+            yield from self._execute_remote(pending, force=force)
             return
         host, port = self.listen
         broker_injector = (
@@ -250,6 +298,7 @@ class DistributedBackend(ExecutionBackend):
             yield from broker.results(poll=watch_workers if workers else None)
         finally:
             self.last_stats = dict(broker.stats)
+            self.last_stats["events_dropped"] = broker.events_dropped
             self.last_events = list(broker.events)
             self.last_faults = dict(broker.fault_counts)
             broker.stop()
@@ -262,3 +311,40 @@ class DistributedBackend(ExecutionBackend):
                 except subprocess.TimeoutExpired:
                     process.kill()
                     process.wait(timeout=5.0)
+
+    def _execute_remote(
+        self, pending: Sequence[WorkItem], *, force: bool
+    ) -> Iterator[CompletedItem]:
+        """Submit ``pending`` to the standing hub and stream its results.
+
+        The hub persists fresh results into *its* artifact store, so
+        ``persists=True`` still holds; point the runner's ``--artifact-dir``
+        at the same root the hub serves and the client-side journal, cache
+        prefill, and ``--resume`` all compose exactly as with a private
+        broker.  The runner's ``store`` argument is intentionally unused
+        here -- persistence is the hub's job, and a second writer would
+        only race it.
+        """
+        # Imported lazily: repro.runner.hub imports this module for the
+        # backend seam, so a top-level import would be circular.
+        from repro.runner.hub.client import HubSubmission
+
+        if not self.quiet:
+            sys.stderr.write(
+                f"[sweep] submitting {len(pending)} task(s) to hub at "
+                f"{format_address(self.connect)}\n"
+            )
+            sys.stderr.flush()
+        submission = HubSubmission(
+            self.connect,
+            pending,
+            name=self.submit_name,
+            priority=self.priority,
+            force=force,
+        )
+        try:
+            yield from submission
+        finally:
+            self.last_stats = dict(submission.stats)
+            self.last_events = []
+            self.last_faults = {}

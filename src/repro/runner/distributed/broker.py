@@ -1,29 +1,52 @@
-"""The lease-based task broker of the distributed sweep backend.
+"""The lease-based task queue core of the distributed sweep backend.
 
-A :class:`Broker` owns one sweep's pending work items and serves them to
-worker daemons over the line-delimited-JSON TCP protocol
-(:mod:`repro.runner.distributed.protocol`).  Dispatch is **lease-based**:
+Two layers live here:
+
+- :class:`SweepQueue` -- ONE sweep's task states, pending deque, retry
+  budget, and completion stream.  It is the sweep-scoped queue core: pure
+  bookkeeping, no sockets.
+- :class:`Broker` -- the TCP service that multiplexes any number of
+  SweepQueues over one shared worker fleet.  Constructed with ``items`` it
+  behaves exactly like the historical per-sweep broker (one primary queue,
+  ``results()`` delegates to it); constructed without items it is the
+  long-lived core the Sweep Hub (:mod:`repro.runner.hub`) builds on, with
+  :meth:`Broker.submit` accepting new sweeps while serving.
+
+Dispatch is **lease-based**:
 
 - a worker's ``lease`` request is granted a chunk of tasks with a deadline
   (``lease_ttl_s`` from now);
 - every streamed result and every explicit heartbeat renews the deadline;
 - a lease whose deadline passes -- or whose connection drops, the fast
   path for a killed worker -- returns its unfinished tasks to the front of
-  the queue for re-dispatch;
+  its sweep's queue for re-dispatch;
 - a task is re-dispatched at most ``max_retries`` times beyond its first
-  attempt; exhausting that budget fails the sweep with the worker's error.
+  attempt; exhausting that budget fails *its sweep* (other sweeps on the
+  same broker keep running);
+- a worker draining for shutdown may ``abandon`` unstarted lease members:
+  they are requeued at the front without charging the retry budget.
+
+**Fair-share dispatch** across sweeps: each lease is filled from a single
+sweep, chosen as the highest-priority queue with work, ties broken by the
+least-recently-granted queue.  Two same-priority sweeps therefore
+interleave lease-by-lease -- a giant sweep cannot starve a small one --
+while a higher priority always preempts at the next grant.
+
+Tasks cross the wire under broker-global ids (``gid``), so concurrent
+sweeps with overlapping config indices never collide; completions are
+published back under the submitting client's own indices.
 
 Duplicate results (a zombie worker finishing an expired lease) are ignored
 after the first; since tasks are pure functions of their configs, whichever
 copy arrives first is *the* result.
 
 Before dispatching a task the broker re-checks the shared artifact cache
-(``store``): a hit -- typically a duplicate config completed earlier in the
-same sweep, or a sibling sweep writing to the same artifact dir -- is
-completed with the cached result instead of shipped.  Fresh results are
-persisted through :class:`~repro.runner.artifacts.ArtifactStore` exactly
-as the pool path does, *before* entering the completion queue, so dedupe
-never races persistence.
+(``store``): a hit -- a duplicate config completed earlier in the same
+sweep, or *another sweep on the same broker* -- is completed with the
+cached result instead of shipped.  Fresh results are persisted through
+:class:`~repro.runner.artifacts.ArtifactStore` exactly as the pool path
+does, *before* entering the completion queue, so dedupe never races
+persistence.
 """
 
 from __future__ import annotations
@@ -33,6 +56,7 @@ import socket
 import threading
 import time
 from collections import deque
+from datetime import datetime, timezone
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.runner.artifacts import MISSING, ArtifactStore
@@ -46,9 +70,9 @@ from repro.runner.distributed.protocol import (
 )
 from repro.runner.faults import FaultInjector
 
-__all__ = ["Broker", "BrokerError", "InjectedBrokerCrash"]
+__all__ = ["Broker", "BrokerError", "InjectedBrokerCrash", "SweepQueue"]
 
-#: Sentinel pushed on the completion queue when the sweep fails.
+#: Sentinel pushed on a sweep's completion queue when that sweep fails.
 _FAILED = object()
 
 #: Structured event-log cap; beyond it events are counted, not stored.
@@ -59,6 +83,16 @@ EVENTS_CAP = 500
 #: network mount, an injected ``artifact-write`` fault -- should cost a
 #: short retry, not the sweep.
 PERSIST_ATTEMPTS = 5
+
+#: Finished (done or failed) sweeps kept registered for status/history on a
+#: long-lived broker; beyond it the oldest finished sweeps are evicted so a
+#: standing hub's memory stays bounded.  Zombie results for an evicted
+#: sweep are dropped like results for an unknown task.
+HISTORY_CAP = 50
+
+
+def _utc_now() -> str:
+    return datetime.now(timezone.utc).isoformat(timespec="seconds")
 
 
 class BrokerError(RuntimeError):
@@ -74,12 +108,16 @@ class InjectedBrokerCrash(BrokerError):
 class _TaskState:
     """One work item's broker-side lifecycle."""
 
-    __slots__ = ("index", "task", "params", "module", "dispatches", "done")
+    __slots__ = ("index", "task", "params", "module", "dispatches", "done", "gid", "sweep")
 
-    def __init__(self, item: WorkItem) -> None:
+    def __init__(self, item: WorkItem, gid: int, sweep: "SweepQueue") -> None:
         self.index, self.task, self.params, self.module = item
         self.dispatches = 0
         self.done = False
+        #: Broker-global wire id -- what workers see.  The submitting
+        #: client's own ``index`` is only used when publishing completions.
+        self.gid = gid
+        self.sweep = sweep
 
     def config(self) -> SweepConfig:
         return SweepConfig(self.task, self.params)
@@ -95,24 +133,140 @@ class _Lease:
         self.deadline = deadline
 
 
+class SweepQueue:
+    """One sweep's task states, pending queue, and completion stream.
+
+    Created by :meth:`Broker.submit`; all mutation happens under the
+    broker's lock.  The submitting side consumes :meth:`results` -- the
+    same ``(index, result, meta)`` stream the historical per-sweep broker
+    produced, failures included -- while the broker fills ``_completed``
+    as leases settle.
+    """
+
+    def __init__(
+        self,
+        key: str,
+        *,
+        name: str = "",
+        priority: int = 0,
+        force: bool = False,
+        max_retries: int = 2,
+        submit_seq: int = 0,
+    ) -> None:
+        self.key = key
+        self.name = name or key
+        self.priority = priority
+        self.force = force
+        self.max_retries = max_retries
+        self.submit_seq = submit_seq
+        self.tasks: Dict[int, _TaskState] = {}
+        self.pending: deque = deque()
+        self.total = 0
+        self.outstanding = 0
+        self.completed = 0
+        self.cached = 0
+        self.retries = 0
+        self.worker_errors = 0
+        self.failure: Optional[BaseException] = None
+        #: Global grant sequence number of this queue's most recent lease;
+        #: the fair-share tie-breaker (least recently granted wins).
+        self.last_grant = 0
+        self.started = False
+        self.submitted_at = _utc_now()
+        self.finished_at: Optional[str] = None
+        self._completed: "queue.Queue" = queue.Queue()
+
+    # ------------------------------------------------------------------ #
+    def publish(self, item: Any) -> None:
+        """Hand one completion (or the failure sentinel) to the consumer."""
+        self._completed.put(item)
+
+    def results(
+        self, *, poll: Optional[Any] = None, poll_interval: float = 0.25
+    ) -> Iterator[CompletedItem]:
+        """Yield ``(index, result, meta)`` as tasks complete, any order.
+
+        ``poll`` (optional zero-arg callable) runs every ``poll_interval``
+        while waiting.  Raises :class:`BrokerError` if the sweep fails.
+        """
+        delivered = 0
+        while delivered < self.total:
+            try:
+                item = self._completed.get(timeout=poll_interval)
+            except queue.Empty:
+                if self.failure is not None:
+                    raise self.failure
+                if poll is not None:
+                    poll()
+                continue
+            if item is _FAILED:
+                raise self.failure  # type: ignore[misc]
+            yield item
+            delivered += 1
+
+    # ------------------------------------------------------------------ #
+    def counters(self) -> Dict[str, int]:
+        """Per-sweep progress counters (the hub's ``sweep-done`` stats)."""
+        return {
+            "total": self.total,
+            "completed": self.completed,
+            "cached": self.cached,
+            "retries": self.retries,
+            "worker_errors": self.worker_errors,
+        }
+
+    def status(self) -> str:
+        if self.failure is not None:
+            return "failed"
+        if self.outstanding == 0:
+            return "done"
+        if self.started:
+            return "active"
+        return "queued"
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-safe progress summary (callers hold the broker lock)."""
+        return {
+            "sweep": self.key,
+            "name": self.name,
+            "priority": self.priority,
+            "status": self.status(),
+            "total": self.total,
+            "done": self.total - self.outstanding,
+            "cached": self.cached,
+            "retries": self.retries,
+            "submitted": self.submitted_at,
+            "finished": self.finished_at,
+            "error": str(self.failure) if self.failure is not None else None,
+        }
+
+
 class Broker:
-    """Serve one sweep's work items to TCP workers, lease by lease.
+    """Serve sweep work items to TCP workers, lease by lease.
 
     Parameters
     ----------
     items:
-        The runner's pending work items (config index, task, params, module).
+        The runner's pending work items (config index, task, params,
+        module) for the classic one-sweep-per-broker mode: they become the
+        *primary* :class:`SweepQueue`, and :meth:`results` / :attr:`drained`
+        keep their historical semantics.  ``None`` starts an empty
+        multi-sweep broker (hub mode); sweeps then arrive via
+        :meth:`submit`.
     store / force:
-        The runner's artifact cache settings.  With a store and
-        ``force=False`` the broker dedupes against the cache at dispatch
-        time and persists every fresh result through it.
+        The artifact cache settings.  With a store and ``force=False`` the
+        broker dedupes against the cache at dispatch time (across *all*
+        sweeps sharing it) and persists every fresh result through it.
+        ``force`` is the default for submissions; :meth:`submit` can
+        override it per sweep.
     host / port:
         Bind address (port ``0`` picks a free port; see :attr:`address`).
     lease_ttl_s:
         Lease lifetime without a result or heartbeat.  Workers heartbeat at
         a third of this, so only a hung or killed worker ever expires.
     max_retries:
-        Re-dispatch budget per task beyond its first attempt.
+        Default re-dispatch budget per task beyond its first attempt
+        (per-sweep overridable via :meth:`submit`).
     chunk_size:
         Hard cap on tasks per lease (``None``: honor the worker's requested
         capacity, which defaults to its local process count).
@@ -124,7 +278,7 @@ class Broker:
 
     def __init__(
         self,
-        items: Sequence[WorkItem],
+        items: Optional[Sequence[WorkItem]] = None,
         *,
         store: Optional[ArtifactStore] = None,
         force: bool = False,
@@ -150,27 +304,25 @@ class Broker:
         self._bind = (host, port)
         self.address: Optional[Tuple[str, int]] = None
         #: Structured event log (lease grants, expiries, retries, dedupe
-        #: hits, ...), capped at :data:`EVENTS_CAP`; surfaced in the sweep
-        #: journal and on ``DistributedBackend.last_events``.
+        #: hits, sweep lifecycle, ...), capped at :data:`EVENTS_CAP`;
+        #: surfaced in the sweep journal and on
+        #: ``DistributedBackend.last_events``.
         self.events: List[Dict[str, Any]] = []
         self._events_dropped = 0
         self._t0 = time.monotonic()
 
-        self._tasks: Dict[int, _TaskState] = {}
-        self._queue: deque = deque()
-        for item in items:
-            state = _TaskState(item)
-            if state.index in self._tasks:
-                raise ValueError(f"duplicate work item index {state.index}")
-            self._tasks[state.index] = state
-            self._queue.append(state.index)
-        self._outstanding = len(self._tasks)
-
         self._lock = threading.Lock()
-        self._completed: "queue.Queue" = queue.Queue()
+        #: Registered sweeps by key, insertion-ordered (= submission order).
+        self._queues: Dict[str, SweepQueue] = {}
+        #: Broker-global wire id -> task state, across every live sweep.
+        self._states: Dict[int, _TaskState] = {}
+        self._next_gid = 0
+        self._submit_seq = 0
+        self._grant_seq = 0
+        #: Connected worker fleet (by worker id), for hub status.
+        self._workers: Dict[str, Dict[str, Any]] = {}
         self._leases: Dict[int, _Lease] = {}
         self._next_lease_id = 0
-        self._failure: Optional[BaseException] = None
         self._stop = threading.Event()
         self._listener: Optional[socket.socket] = None
         self._threads: List[threading.Thread] = []
@@ -185,7 +337,11 @@ class Broker:
             "expired_leases": 0,
             "worker_errors": 0,
             "duplicate_results": 0,
+            "abandoned": 0,
         }
+        self._primary: Optional[SweepQueue] = (
+            self.submit(items) if items is not None else None
+        )
 
     # ------------------------------------------------------------------ #
     # Structured event log
@@ -214,6 +370,60 @@ class Broker:
         return dict(self.injector.injected) if self.injector is not None else {}
 
     # ------------------------------------------------------------------ #
+    # Sweep registration
+    # ------------------------------------------------------------------ #
+    def submit(
+        self,
+        items: Sequence[WorkItem],
+        *,
+        name: str = "",
+        priority: int = 0,
+        force: Optional[bool] = None,
+        max_retries: Optional[int] = None,
+    ) -> SweepQueue:
+        """Register a new sweep; safe to call while the broker is serving.
+
+        Returns the sweep's :class:`SweepQueue`; consume its ``results()``
+        for the completion stream.  ``force`` / ``max_retries`` default to
+        the broker-level settings.
+        """
+        item_list = list(items)
+        seen: Set[int] = set()
+        for item in item_list:
+            if item[0] in seen:
+                raise ValueError(f"duplicate work item index {item[0]}")
+            seen.add(item[0])
+        with self._lock:
+            if self._stop.is_set():
+                raise BrokerError("broker is stopping; submission rejected")
+            key = f"s{self._submit_seq}"
+            sweep = SweepQueue(
+                key,
+                name=name,
+                priority=priority,
+                force=self.force if force is None else force,
+                max_retries=self.max_retries if max_retries is None else max_retries,
+                submit_seq=self._submit_seq,
+            )
+            self._submit_seq += 1
+            for item in item_list:
+                state = _TaskState(item, self._next_gid, sweep)
+                self._next_gid += 1
+                sweep.tasks[state.gid] = state
+                sweep.pending.append(state.gid)
+                self._states[state.gid] = state
+            sweep.total = sweep.outstanding = len(sweep.tasks)
+            self._queues[key] = sweep
+            self._event_locked(
+                "sweep-submitted",
+                sweep=key,
+                name=sweep.name,
+                tasks=sweep.total,
+                priority=priority,
+            )
+            return sweep
+
+    # ------------------------------------------------------------------ #
     # Lifecycle
     # ------------------------------------------------------------------ #
     def start(self) -> Tuple[str, int]:
@@ -229,8 +439,20 @@ class Broker:
         return self.address
 
     def stop(self) -> None:
-        """Stop serving; close the listener and every worker connection."""
+        """Stop serving; close the listener and every connection.
+
+        Unfinished sweeps are failed (their consumers' ``results()``
+        streams raise instead of blocking forever) -- relevant only for a
+        hub stopped mid-submission; the classic backend consumes the
+        primary queue before stopping.
+        """
         self._stop.set()
+        with self._lock:
+            for sweep in self._queues.values():
+                if sweep.outstanding > 0 and sweep.failure is None:
+                    self._fail_queue_locked(
+                        sweep, BrokerError("broker stopped with sweep incomplete")
+                    )
         if self._listener is not None:
             try:
                 self._listener.close()
@@ -259,32 +481,34 @@ class Broker:
     def results(
         self, *, poll: Optional[Any] = None, poll_interval: float = 0.25
     ) -> Iterator[CompletedItem]:
-        """Yield ``(index, result, meta)`` as tasks complete, any order.
-
-        ``poll`` (optional zero-arg callable) runs every ``poll_interval``
-        while waiting -- the loopback backend uses it to watch its spawned
-        worker processes.  Raises :class:`BrokerError` if the sweep fails.
-        """
-        delivered = 0
-        total = len(self._tasks)
-        while delivered < total:
-            try:
-                item = self._completed.get(timeout=poll_interval)
-            except queue.Empty:
-                if self._failure is not None:
-                    raise self._failure
-                if poll is not None:
-                    poll()
-                continue
-            if item is _FAILED:
-                raise self._failure  # type: ignore[misc]
-            yield item
-            delivered += 1
+        """The primary sweep's completion stream (classic one-sweep mode)."""
+        if self._primary is None:
+            raise RuntimeError(
+                "results() needs a broker constructed with items; hub-mode "
+                "consumers iterate SweepQueue.results() per submission"
+            )
+        return self._primary.results(poll=poll, poll_interval=poll_interval)
 
     @property
     def drained(self) -> bool:
         with self._lock:
-            return self._outstanding == 0
+            return all(q.outstanding == 0 for q in self._queues.values())
+
+    # ------------------------------------------------------------------ #
+    # Status (the hub side)
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-safe live view: sweeps, fleet, leases, stats."""
+        with self._lock:
+            return {
+                "address": list(self.address) if self.address else None,
+                "uptime_s": round(time.monotonic() - self._t0, 1),
+                "sweeps": [q.snapshot() for q in self._queues.values()],
+                "workers": [dict(info) for info in self._workers.values()],
+                "active_leases": len(self._leases),
+                "stats": dict(self.stats),
+                "events_dropped": self._events_dropped,
+            }
 
     # ------------------------------------------------------------------ #
     # Accept / reap threads
@@ -330,14 +554,19 @@ class Broker:
     def _serve(self, conn: socket.socket) -> None:
         worker_id = "?"
         conn_leases: Set[int] = set()
+        is_worker = False
         try:
             reader = reader_for(conn)
-            hello = read_message(reader)
-            if (
-                hello is None
-                or hello.get("type") != "hello"
-                or hello.get("protocol") != PROTOCOL_VERSION
-            ):
+            first = read_message(reader)
+            if first is None:
+                return
+            if first.get("type") != "hello":
+                # Not a worker handshake: hand the connection to the client
+                # protocol (sweep submissions / status on a hub; a polite
+                # goodbye on a plain broker).
+                self._serve_client(conn, reader, first)
+                return
+            if first.get("protocol") != PROTOCOL_VERSION:
                 send_message(
                     conn,
                     {
@@ -347,8 +576,21 @@ class Broker:
                     injector=self.injector,
                 )
                 return
-            worker_id = str(hello.get("worker_id", "?"))
-            self._event("worker-connect", worker=worker_id)
+            is_worker = True
+            worker_id = str(first.get("worker_id", "?"))
+            with self._lock:
+                self._event_locked("worker-connect", worker=worker_id)
+                entry = self._workers.setdefault(
+                    worker_id,
+                    {
+                        "worker": worker_id,
+                        "host": str(first.get("host", "?")),
+                        "pid": first.get("pid"),
+                        "procs": first.get("procs", 1),
+                        "connected": _utc_now(),
+                    },
+                )
+                entry["connections"] = entry.get("connections", 0) + 1
             send_message(
                 conn,
                 {
@@ -371,28 +613,36 @@ class Broker:
                     self._on_error(message, worker_id)
                 elif kind == "heartbeat":
                     self._renew(message.get("lease"))
+                elif kind == "abandon":
+                    self._on_abandon(message, worker_id)
                 else:
                     return  # protocol violation: drop the connection
         except (OSError, ValueError):
             pass  # connection lost / garbage on the wire: clean up below
         finally:
             with self._lock:
-                # Fast path for a killed worker: its unfinished leases are
-                # requeued the moment the connection drops, without waiting
-                # for the TTL reaper.
-                for lease_id in conn_leases:
-                    lease = self._leases.get(lease_id)
-                    if lease is not None:
-                        self._event_locked(
-                            "requeue-on-disconnect",
-                            lease=lease_id,
-                            worker=worker_id,
-                            tasks=sorted(lease.pending),
-                        )
-                        self._requeue_lease_locked(
-                            lease, reason=f"worker {worker_id} disconnected"
-                        )
-                self._event_locked("worker-disconnect", worker=worker_id)
+                if is_worker:
+                    # Fast path for a killed worker: its unfinished leases
+                    # are requeued the moment the connection drops, without
+                    # waiting for the TTL reaper.
+                    for lease_id in conn_leases:
+                        lease = self._leases.get(lease_id)
+                        if lease is not None:
+                            self._event_locked(
+                                "requeue-on-disconnect",
+                                lease=lease_id,
+                                worker=worker_id,
+                                tasks=sorted(lease.pending),
+                            )
+                            self._requeue_lease_locked(
+                                lease, reason=f"worker {worker_id} disconnected"
+                            )
+                    self._event_locked("worker-disconnect", worker=worker_id)
+                    entry = self._workers.get(worker_id)
+                    if entry is not None:
+                        entry["connections"] = entry.get("connections", 1) - 1
+                        if entry["connections"] <= 0:
+                            del self._workers[worker_id]
                 if conn in self._connections:
                     self._connections.remove(conn)
             try:
@@ -400,9 +650,68 @@ class Broker:
             except OSError:
                 pass
 
+    def _serve_client(self, conn: socket.socket, reader: Any, message: Dict[str, Any]) -> None:
+        """A connection whose first message is not a worker hello.
+
+        The base broker speaks no client protocol; the Sweep Hub overrides
+        this with submission/status handling.
+        """
+        del reader
+        send_message(
+            conn,
+            {
+                "type": "goodbye",
+                "error": f"expected hello with protocol {PROTOCOL_VERSION}",
+            },
+            injector=self.injector,
+        )
+        del message
+
     # ------------------------------------------------------------------ #
     # Message handling
     # ------------------------------------------------------------------ #
+    def _pop_candidates_locked(
+        self, capacity: int
+    ) -> Tuple[Optional[SweepQueue], List[_TaskState]]:
+        """Pick the fair-share sweep and pop up to ``capacity`` candidates.
+
+        Eligible queues rank by ``(-priority, last_grant, submit_seq)``:
+        strictly higher priority first, then the queue granted least
+        recently -- so same-priority sweeps alternate lease-by-lease.  One
+        lease never mixes sweeps.
+        """
+        ranked = sorted(
+            (
+                q
+                for q in self._queues.values()
+                if q.failure is None and q.pending
+            ),
+            key=lambda q: (-q.priority, q.last_grant, q.submit_seq),
+        )
+        for sweep in ranked:
+            candidates: List[_TaskState] = []
+            while sweep.pending and len(candidates) < capacity:
+                state = sweep.tasks[sweep.pending.popleft()]
+                if not state.done:
+                    candidates.append(state)
+            if candidates:
+                self._grant_seq += 1
+                sweep.last_grant = self._grant_seq
+                sweep.started = True
+                return sweep, candidates
+        return None, []
+
+    def _empty_done_locked(self) -> bool:
+        """The ``done`` flag of an ``empty`` reply.
+
+        Classic one-sweep mode: the primary sweep drained or failed, so
+        one-shot workers may exit.  Hub mode: never -- the fleet is
+        persistent and more sweeps can arrive at any time.
+        """
+        if self._primary is not None:
+            return self._primary.outstanding == 0 or self._primary.failure is not None
+        return False
+
     def _grant(
         self,
         conn: socket.socket,
@@ -417,40 +726,42 @@ class Broker:
         # possibly a network mount) outside it: blocking I/O under the global
         # lock would stall heartbeat renewal and could expire healthy leases.
         with self._lock:
-            candidates: List[_TaskState] = []
-            while self._queue and len(candidates) < capacity:
-                state = self._tasks[self._queue.popleft()]
-                if not state.done:
-                    candidates.append(state)
+            sweep, candidates = self._pop_candidates_locked(capacity)
         hits: Dict[int, Any] = {}
-        if self.store is not None and not self.force:
+        if sweep is not None and self.store is not None and not sweep.force:
             for state in candidates:
                 cached = self.store.load(state.config())
                 if cached is not MISSING:
-                    hits[state.index] = cached
-        publish: List[CompletedItem] = []
+                    hits[state.gid] = cached
+        publish: List[Tuple[SweepQueue, CompletedItem]] = []
         granted: List[_TaskState] = []
         with self._lock:
             for state in candidates:
                 if state.done:  # a zombie result landed while we probed
                     continue
-                if state.index in hits:
+                if state.gid in hits:
                     self._mark_done_locked(state, cache_hit=True)
-                    self._event_locked("dedupe-hit", task=state.index)
-                    publish.append((state.index, hits[state.index], None))
+                    self._event_locked(
+                        "dedupe-hit", task=state.gid, sweep=state.sweep.key
+                    )
+                    publish.append(
+                        (state.sweep, (state.index, hits[state.gid], None))
+                    )
                     continue
                 state.dispatches += 1
                 granted.append(state)
             if not granted:
-                done = self._outstanding == 0 or self._failure is not None
-                reply: Dict[str, Any] = {"type": "empty", "done": done}
+                reply: Dict[str, Any] = {
+                    "type": "empty",
+                    "done": self._empty_done_locked(),
+                }
             else:
                 lease_id = self._next_lease_id
                 self._next_lease_id += 1
                 lease = _Lease(
                     lease_id,
                     worker_id,
-                    {state.index for state in granted},
+                    {state.gid for state in granted},
                     time.monotonic() + self.lease_ttl_s,
                 )
                 self._leases[lease_id] = lease
@@ -461,14 +772,15 @@ class Broker:
                     "lease-grant",
                     lease=lease_id,
                     worker=worker_id,
-                    tasks=[state.index for state in granted],
+                    tasks=[state.gid for state in granted],
+                    sweep=sweep.key if sweep is not None else None,
                 )
                 reply = {
                     "type": "tasks",
                     "lease": lease_id,
                     "tasks": [
                         {
-                            "id": state.index,
+                            "id": state.gid,
                             "task": state.task,
                             "params": state.params,
                             "module": state.module,
@@ -476,46 +788,49 @@ class Broker:
                         for state in granted
                     ],
                 }
-        for item in publish:
-            self._completed.put(item)
+        for sweep_queue, item in publish:
+            sweep_queue.publish(item)
         send_message(conn, reply, injector=self.injector)
 
     def _on_result(self, message: Dict[str, Any]) -> None:
-        index = message.get("id")
+        gid = message.get("id")
         result = message.get("result")
         meta = message.get("meta")
         with self._lock:
-            self._settle_lease_member_locked(message.get("lease"), index)
-            state = self._tasks.get(index)  # type: ignore[arg-type]
+            self._settle_lease_member_locked(message.get("lease"), gid)
+            state = self._states.get(gid)  # type: ignore[arg-type]
             if state is None:
                 return
             if state.done:
                 self.stats["duplicate_results"] += 1
-                self._event_locked("duplicate-result", task=index)
+                self._event_locked("duplicate-result", task=gid)
                 return
             self._mark_done_locked(state)
         # Persist (disk I/O, so outside the lock) *before* publication:
-        # dispatch-time dedupe of a duplicate config later in this sweep
-        # must find the artifact already on disk.  Transient write failures
-        # get a short bounded retry; an exhausted budget is sweep-fatal --
-        # the task is already marked done, so swallowing the error would
-        # leave its completion unpublished and the consumer waiting forever.
+        # dispatch-time dedupe of a duplicate config later in this sweep --
+        # or in any concurrent sweep -- must find the artifact already on
+        # disk.  Transient write failures get a short bounded retry; an
+        # exhausted budget is sweep-fatal -- the task is already marked
+        # done, so swallowing the error would leave its completion
+        # unpublished and the consumer waiting forever.
         if self.store is not None and not self._persist_with_retry(state, result, meta):
             return
         if self.injector is not None and self.injector.crash_broker():
             # The nastiest crash point: the artifact is on disk but the
             # completion never reaches the consumer.  Resume must recover
             # purely from the artifact cache.
-            self._event("fault-broker-crash", task=state.index)
+            self._event("fault-broker-crash", task=state.gid)
             with self._lock:
-                self._fail_locked(
+                self._fail_all_locked(
                     InjectedBrokerCrash(
                         "injected fault: broker crashed after persisting task "
                         f"{state.index}; re-run with --resume to recover"
                     )
                 )
             return
-        self._completed.put((state.index, result, meta if isinstance(meta, dict) else {}))
+        state.sweep.publish(
+            (state.index, result, meta if isinstance(meta, dict) else {})
+        )
 
     def _persist_with_retry(self, state: _TaskState, result: Any, meta: Any) -> bool:
         """Store one artifact, retrying transient failures; False = fatal."""
@@ -531,24 +846,25 @@ class Broker:
                 return True
             except Exception as exc:  # noqa: BLE001 - surfaced via results()
                 error = exc
-                self._event("persist-retry", task=state.index, attempt=attempt,
+                self._event("persist-retry", task=state.gid, attempt=attempt,
                             error=str(exc))
                 if attempt < PERSIST_ATTEMPTS:
                     time.sleep(0.05 * attempt)
         with self._lock:
-            self._fail_locked(
+            self._fail_queue_locked(
+                state.sweep,
                 BrokerError(
                     f"failed to persist artifact for task {state.task!r} "
                     f"(config index {state.index}) after {PERSIST_ATTEMPTS} "
                     f"attempt(s): {error}"
-                )
+                ),
             )
         return False
 
     def _on_error(self, message: Dict[str, Any], worker_id: str) -> None:
-        index = message.get("id")
+        gid = message.get("id")
         with self._lock:
-            live = self._settle_lease_member_locked(message.get("lease"), index)
+            live = self._settle_lease_member_locked(message.get("lease"), gid)
             if not live:
                 # A zombie error from an already-expired/requeued lease: the
                 # task is owned elsewhere by now.  Acting on it would put a
@@ -557,15 +873,53 @@ class Broker:
                 # -- tasks are pure, so any copy is the result -- but zombie
                 # errors are dropped.)
                 return
-            state = self._tasks.get(index)  # type: ignore[arg-type]
+            state = self._states.get(gid)  # type: ignore[arg-type]
             if state is None or state.done:
                 return
             self.stats["worker_errors"] += 1
+            state.sweep.worker_errors += 1
             detail = message.get("error", "worker error")
             self._event_locked(
-                "worker-error", task=index, worker=worker_id, error=str(detail)[:200]
+                "worker-error", task=gid, worker=worker_id, error=str(detail)[:200]
             )
             self._retry_or_fail_locked(state, f"worker {worker_id}: {detail}")
+
+    def _on_abandon(self, message: Dict[str, Any], worker_id: str) -> None:
+        """A draining worker explicitly returns unstarted lease members.
+
+        Unlike expiry or disconnect requeues, abandoned tasks go back to
+        the front of their sweep's queue *without* charging the retry
+        budget -- a graceful fleet scale-down must not eat into the budget
+        that guards against genuinely failing tasks.
+        """
+        lease_id = message.get("lease")
+        gids = message.get("ids") or ()
+        with self._lock:
+            lease = self._leases.get(lease_id)
+            if lease is None:
+                return
+            returned: List[int] = []
+            for gid in gids:
+                if gid not in lease.pending:
+                    continue
+                lease.pending.discard(gid)
+                state = self._states.get(gid)
+                if state is None or state.done:
+                    continue
+                state.dispatches = max(0, state.dispatches - 1)
+                state.sweep.pending.appendleft(gid)
+                returned.append(gid)
+            if not lease.pending:
+                self._leases.pop(lease_id, None)
+            if returned:
+                self.stats["abandoned"] += len(returned)
+                self._event_locked(
+                    "abandon",
+                    lease=lease_id,
+                    worker=worker_id,
+                    tasks=returned,
+                    sweep=self._states[returned[0]].sweep.key,
+                )
 
     def _renew(self, lease_id: Any) -> None:
         with self._lock:
@@ -576,8 +930,8 @@ class Broker:
     # ------------------------------------------------------------------ #
     # Locked helpers
     # ------------------------------------------------------------------ #
-    def _settle_lease_member_locked(self, lease_id: Any, index: Any) -> bool:
-        """Record ``index`` as reported under ``lease_id``; renew the lease.
+    def _settle_lease_member_locked(self, lease_id: Any, gid: Any) -> bool:
+        """Record ``gid`` as reported under ``lease_id``; renew the lease.
 
         Returns whether the lease was live and actually held the task --
         i.e. whether the report came from the task's current owner rather
@@ -587,47 +941,93 @@ class Broker:
         if lease is None:
             return False
         lease.deadline = time.monotonic() + self.lease_ttl_s
-        held = index in lease.pending
-        lease.pending.discard(index)
+        held = gid in lease.pending
+        lease.pending.discard(gid)
         if not lease.pending:
             del self._leases[lease.lease_id]
         return held
 
     def _requeue_lease_locked(self, lease: _Lease, *, reason: str) -> None:
         self._leases.pop(lease.lease_id, None)
-        for index in lease.pending:
-            state = self._tasks.get(index)
+        for gid in lease.pending:
+            state = self._states.get(gid)
             if state is None or state.done:
                 continue
             self._retry_or_fail_locked(state, reason)
 
     def _retry_or_fail_locked(self, state: _TaskState, reason: str) -> None:
-        if state.dispatches > self.max_retries:
+        sweep = state.sweep
+        if sweep.failure is not None:
+            return
+        if state.dispatches > sweep.max_retries:
             self._event_locked(
-                "retries-exhausted", task=state.index, attempts=state.dispatches
+                "retries-exhausted", task=state.gid, attempts=state.dispatches
             )
-            self._fail_locked(
+            self._fail_queue_locked(
+                sweep,
                 BrokerError(
                     f"task {state.task!r} (config index {state.index}) failed "
                     f"after {state.dispatches} attempt(s) "
-                    f"(max_retries={self.max_retries}): {reason}"
-                )
+                    f"(max_retries={sweep.max_retries}): {reason}"
+                ),
             )
             return
         self.stats["retries"] += 1
+        sweep.retries += 1
         self._event_locked(
-            "retry", task=state.index, attempt=state.dispatches, reason=reason[:200]
+            "retry",
+            task=state.gid,
+            attempt=state.dispatches,
+            reason=reason[:200],
+            sweep=sweep.key,
         )
         # Front of the queue: a recovered task should not wait behind the
         # whole remaining sweep.
-        self._queue.appendleft(state.index)
+        sweep.pending.appendleft(state.gid)
 
     def _mark_done_locked(self, state: _TaskState, *, cache_hit: bool = False) -> None:
         state.done = True
-        self._outstanding -= 1
-        self.stats["cache_hits" if cache_hit else "completed"] += 1
+        sweep = state.sweep
+        sweep.outstanding -= 1
+        if cache_hit:
+            sweep.cached += 1
+            self.stats["cache_hits"] += 1
+        else:
+            sweep.completed += 1
+            self.stats["completed"] += 1
+        if sweep.outstanding == 0 and sweep.failure is None:
+            sweep.finished_at = _utc_now()
+            self._event_locked(
+                "sweep-done",
+                sweep=sweep.key,
+                completed=sweep.completed,
+                cached=sweep.cached,
+            )
+            self._evict_history_locked()
 
-    def _fail_locked(self, error: BaseException) -> None:
-        if self._failure is None:
-            self._failure = error
-            self._completed.put(_FAILED)
+    def _fail_queue_locked(self, sweep: SweepQueue, error: BaseException) -> None:
+        """Fail ONE sweep; its siblings on the same broker keep running."""
+        if sweep.failure is not None:
+            return
+        sweep.failure = error
+        sweep.finished_at = _utc_now()
+        self._event_locked("sweep-failed", sweep=sweep.key, error=str(error)[:200])
+        sweep.publish(_FAILED)
+
+    def _fail_all_locked(self, error: BaseException) -> None:
+        """A broker-global failure (injected crash): every live sweep dies."""
+        for sweep in list(self._queues.values()):
+            if sweep.failure is None and sweep.outstanding > 0:
+                self._fail_queue_locked(sweep, error)
+
+    def _evict_history_locked(self) -> None:
+        finished = [
+            q
+            for q in self._queues.values()
+            if q.outstanding == 0 or q.failure is not None
+        ]
+        while len(finished) > HISTORY_CAP:
+            oldest = finished.pop(0)
+            for gid in oldest.tasks:
+                self._states.pop(gid, None)
+            self._queues.pop(oldest.key, None)

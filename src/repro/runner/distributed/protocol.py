@@ -23,12 +23,34 @@ Message flow (worker-initiated, request/response plus streamed results)::
                      | {"type": "error", "lease": id, "id": task_id,
                         "error": "...", "traceback": "..."}
                      | {"type": "heartbeat", "lease": id}
+                     | {"type": "abandon", "lease": id, "ids": [task_id, ...]}
 
 Results and heartbeats are fire-and-forget (TCP ordering is enough); only
 ``hello`` and ``lease`` have replies.  ``empty`` with ``done=true`` means
 the sweep has fully drained -- loopback workers started with
 ``--exit-when-drained`` terminate, persistent daemons disconnect and poll
-for the next sweep.
+for the next sweep.  ``abandon`` is a draining worker's graceful return
+of the unstarted remainder of its lease (requeued at the front, uncharged
+against the retry budget).
+
+Client flow (Sweep Hub submissions share the same port; the first message
+type tells a worker hello apart from a client request)::
+
+    client -> hub      {"type": "submit", "protocol", "name", "priority",
+                        "force", "tasks": [{"id", "task", "params",
+                        "module"}, ...]}
+    hub -> client      {"type": "accepted", "sweep": key, "total": n}
+    hub -> client      {"type": "result", "id": client_id, "result": ...,
+                        "meta": {...}|null}                    (streamed)
+    hub -> client      {"type": "sweep-done", "sweep": key, "stats": {...}}
+                     | {"type": "sweep-failed", "sweep": key, "error": "..."}
+
+    client -> hub      {"type": "status", "protocol"}
+    hub -> client      {"type": "status", ...Broker.snapshot()...}
+
+A ``meta`` of ``null`` on a streamed result marks a hub-side cache hit
+(dedupe against the shared artifact store), mirroring the local backends'
+``(index, result, None)`` convention for cached completions.
 """
 
 from __future__ import annotations

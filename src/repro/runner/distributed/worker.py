@@ -26,6 +26,15 @@ A :class:`~repro.runner.faults.FaultInjector` (optional, off by default)
 threads the chaos sites through the daemon: refused connects, wire faults
 on every sent line, worker crashes (``os._exit``) and heartbeat-suppressed
 hangs mid-lease, and slowed tasks.
+
+**Graceful shutdown** (fleet scale-down): :meth:`WorkerDaemon.request_shutdown`
+(wired to SIGTERM by the ``worker`` CLI) finishes the task currently
+executing, sends an ``abandon`` message explicitly returning the rest of
+the lease to the broker -- an uncharged front-of-queue requeue, so the
+tasks are regranted immediately instead of waiting out lease expiry and
+burning a retry -- and exits the daemon loop.  The multiprocessing-pool
+path finishes its in-flight lease instead (results already fan out
+unordered, so there is no single "current" task to stop after).
 """
 
 from __future__ import annotations
@@ -73,6 +82,10 @@ class WorkerDaemon:
     procs:
         Local worker processes; the daemon requests ``procs`` tasks per
         lease so its pool stays fed.
+    lease_capacity:
+        Tasks to request per lease (default ``procs``).  Tests and drain
+        scenarios raise it so one lease carries several serially-executed
+        tasks.
     exit_when_drained:
         One-shot mode: return after the first drained sweep instead of
         polling for the next one.
@@ -101,6 +114,7 @@ class WorkerDaemon:
         port: int,
         *,
         procs: int = 1,
+        lease_capacity: Optional[int] = None,
         worker_id: Optional[str] = None,
         exit_when_drained: bool = False,
         reconnect_delay_s: float = 0.5,
@@ -114,11 +128,14 @@ class WorkerDaemon:
     ) -> None:
         if procs < 1:
             raise ValueError(f"procs must be >= 1, got {procs}")
+        if lease_capacity is not None and lease_capacity < 1:
+            raise ValueError(f"lease_capacity must be >= 1, got {lease_capacity}")
         if giveup_attempts < 1:
             raise ValueError(f"giveup_attempts must be >= 1, got {giveup_attempts}")
         self.host = host
         self.port = port
         self.procs = procs
+        self.lease_capacity = lease_capacity if lease_capacity is not None else procs
         self.worker_id = worker_id or f"{socket.gethostname()}:{os.getpid()}"
         self.exit_when_drained = exit_when_drained
         self.reconnect_delay_s = reconnect_delay_s
@@ -130,6 +147,8 @@ class WorkerDaemon:
         self.verbose = verbose
         self.log_stream = log_stream
         self._stop = threading.Event()
+        self._drain = threading.Event()
+        self._abandoned: List[int] = []
         self._send_lock = threading.Lock()
         self._suppress_heartbeats = threading.Event()
         self._pool = None
@@ -143,6 +162,18 @@ class WorkerDaemon:
     # ------------------------------------------------------------------ #
     def stop(self) -> None:
         """Ask the daemon loop to exit after the current lease."""
+        self._stop.set()
+
+    def request_shutdown(self) -> None:
+        """Graceful shutdown: finish the current *task*, abandon the rest.
+
+        The serial execution path stops between tasks; the unstarted
+        remainder of the lease is explicitly returned to the broker with an
+        ``abandon`` message (uncharged, front-of-queue requeue) so another
+        worker picks it up immediately.  The CLI wires SIGTERM here.
+        """
+        self._log("shutdown requested, draining current lease")
+        self._drain.set()
         self._stop.set()
 
     def run(self) -> int:
@@ -248,7 +279,7 @@ class WorkerDaemon:
         self._log(f"connected to {self.host}:{self.port}")
         poll = Backoff(base_s=self.poll_interval_s, cap_s=self.poll_max_s)
         while not self._stop.is_set():
-            self._send(sock, {"type": "lease", "capacity": self.procs})
+            self._send(sock, {"type": "lease", "capacity": self.lease_capacity})
             message = read_message(reader)
             if message is None:
                 return False
@@ -313,6 +344,23 @@ class WorkerDaemon:
         finally:
             done.set()
             heartbeater.join(timeout=1.0)
+            if self._abandoned:
+                try:
+                    self._send(
+                        sock,
+                        {
+                            "type": "abandon",
+                            "lease": lease_id,
+                            "ids": list(self._abandoned),
+                        },
+                    )
+                    self._log(
+                        f"lease {lease_id}: abandoned {len(self._abandoned)} task(s)"
+                    )
+                except OSError:
+                    # Broker gone; lease expiry will requeue them anyway.
+                    pass
+                self._abandoned = []
 
     def _inject_task_faults(self, index: int) -> None:
         """Per-task chaos sites, applied between execution and reporting."""
@@ -341,10 +389,15 @@ class WorkerDaemon:
 
     def _execute_items(self, items: List[WorkItem]):
         if self.procs > 1 and len(items) > 1:
+            # The pool has the whole lease in flight; finish it.  Graceful
+            # drain only short-circuits the serial path below.
             pool = self._ensure_pool()
             yield from pool.imap_unordered(execute_leased_item, items)
         else:
-            for item in items:
+            for position, item in enumerate(items):
+                if self._drain.is_set():
+                    self._abandoned.extend(entry[0] for entry in items[position:])
+                    return
                 yield execute_leased_item(item)
 
     def _heartbeat_loop(

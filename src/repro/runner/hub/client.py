@@ -1,0 +1,177 @@
+"""Client side of the Sweep Hub protocol.
+
+A submission is one TCP connection for its whole lifetime: send a
+``submit`` message (the same ``{"id", "task", "params", "module"}`` task
+documents workers lease), receive an ``accepted`` acknowledgement, then
+consume streamed ``result`` messages until ``sweep-done`` (or
+``sweep-failed``).  The stream yields the familiar backend triple
+``(index, result, meta)`` -- ``meta is None`` marking a hub-side cache
+hit -- so :class:`~repro.runner.distributed.backend.DistributedBackend`
+in ``--connect`` mode plugs it straight into the runner's aggregation
+loop, byte-identical to every other backend.
+
+Keeping the connection open for the sweep's lifetime doubles as liveness:
+a killed client drops the socket, and the hub notices (it keeps executing
+-- artifacts persist, so a ``--resume`` rerun is instantly cheap -- but
+stops writing to the dead pipe).
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Dict, Iterator, Optional, Sequence, Tuple
+
+from repro.runner.backends import CompletedItem, WorkItem
+from repro.runner.distributed.broker import BrokerError
+from repro.runner.distributed.protocol import (
+    PROTOCOL_VERSION,
+    read_message,
+    reader_for,
+    send_message,
+)
+
+__all__ = ["HubSubmission", "submit_to_hub", "query_hub_status"]
+
+
+class HubSubmission:
+    """One sweep submitted to a standing hub; iterate for its results.
+
+    Parameters
+    ----------
+    address:
+        The hub's ``(host, port)``.
+    items:
+        Work items ``(index, task, params, module)``; indices are the
+        submitting client's own and come back unchanged on each result.
+    name / priority / force:
+        Submission metadata: ``name`` labels the sweep in ``hub status``
+        and the dashboard, ``priority`` ranks it for fair-share dispatch
+        (higher preempts at the next lease grant), ``force`` disables the
+        hub-side artifact-cache dedupe for this sweep.
+    connect_timeout_s:
+        Timeout for establishing the connection only; once accepted the
+        socket blocks indefinitely (sweeps legitimately take arbitrarily
+        long).
+    """
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        items: Sequence[WorkItem],
+        *,
+        name: str = "",
+        priority: int = 0,
+        force: bool = False,
+        connect_timeout_s: float = 10.0,
+    ) -> None:
+        self.address = address
+        self.items = list(items)
+        self.name = name
+        self.priority = priority
+        self.force = force
+        self.connect_timeout_s = connect_timeout_s
+        #: The hub's key for this sweep (set once ``accepted`` arrives).
+        self.sweep_id: Optional[str] = None
+        #: The hub's per-sweep counters from ``sweep-done``.
+        self.stats: Dict[str, Any] = {}
+
+    def __iter__(self) -> Iterator[CompletedItem]:
+        try:
+            sock = socket.create_connection(self.address, timeout=self.connect_timeout_s)
+        except OSError as exc:
+            raise BrokerError(
+                f"cannot reach hub at {self.address[0]}:{self.address[1]}: {exc}"
+            ) from exc
+        try:
+            sock.settimeout(None)
+            send_message(
+                sock,
+                {
+                    "type": "submit",
+                    "protocol": PROTOCOL_VERSION,
+                    "name": self.name,
+                    "priority": self.priority,
+                    "force": self.force,
+                    "tasks": [
+                        {
+                            "id": index,
+                            "task": task,
+                            "params": params,
+                            "module": module,
+                        }
+                        for index, task, params, module in self.items
+                    ],
+                },
+            )
+            reader = reader_for(sock)
+            ack = read_message(reader)
+            if ack is None or ack.get("type") != "accepted":
+                detail = (ack or {}).get("error", "connection closed")
+                raise BrokerError(f"hub rejected submission: {detail}")
+            self.sweep_id = ack.get("sweep")
+            delivered = 0
+            total = int(ack.get("total", len(self.items)))
+            while True:
+                message = read_message(reader)
+                if message is None:
+                    raise BrokerError(
+                        f"hub connection lost mid-sweep ({delivered}/{total} "
+                        "results delivered); artifacts for finished tasks are "
+                        "persisted -- re-run with --resume"
+                    )
+                kind = message.get("type")
+                if kind == "result":
+                    meta = message.get("meta")
+                    yield (
+                        message.get("id"),
+                        message.get("result"),
+                        meta if isinstance(meta, dict) else None,
+                    )
+                    delivered += 1
+                elif kind == "sweep-done":
+                    stats = message.get("stats")
+                    self.stats = stats if isinstance(stats, dict) else {}
+                    return
+                elif kind == "sweep-failed":
+                    raise BrokerError(str(message.get("error", "sweep failed")))
+                else:
+                    raise BrokerError(f"unexpected hub message type {kind!r}")
+        finally:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+
+def submit_to_hub(
+    address: Tuple[str, int],
+    items: Sequence[WorkItem],
+    **kwargs: Any,
+) -> HubSubmission:
+    """Convenience constructor mirroring the backend's call shape."""
+    return HubSubmission(address, items, **kwargs)
+
+
+def query_hub_status(
+    address: Tuple[str, int], *, timeout_s: float = 10.0
+) -> Dict[str, Any]:
+    """One-shot ``status`` request; returns the hub's live snapshot."""
+    try:
+        sock = socket.create_connection(address, timeout=timeout_s)
+    except OSError as exc:
+        raise BrokerError(
+            f"cannot reach hub at {address[0]}:{address[1]}: {exc}"
+        ) from exc
+    try:
+        send_message(sock, {"type": "status", "protocol": PROTOCOL_VERSION})
+        reply = read_message(reader_for(sock))
+        if reply is None or reply.get("type") != "status":
+            detail = (reply or {}).get("error", "connection closed")
+            raise BrokerError(f"hub status request failed: {detail}")
+        reply.pop("type", None)
+        return reply
+    finally:
+        try:
+            sock.close()
+        except OSError:
+            pass

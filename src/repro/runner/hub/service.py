@@ -1,0 +1,142 @@
+"""The Sweep Hub service: a standing multi-tenant broker.
+
+:class:`SweepHub` subclasses the refactored
+:class:`~repro.runner.distributed.broker.Broker` in hub mode (no primary
+sweep): the lease/retry/heartbeat/fault machinery, fair-share dispatch,
+and dedupe-at-dispatch all come from the broker core.  What the hub adds
+is the *client* side of the same port: connections whose first message is
+``submit`` or ``status`` instead of a worker ``hello`` are handled here
+(see :meth:`SweepHub._serve_client`), so one address serves the worker
+fleet, sweep submissions, and status queries alike.
+
+Design notes:
+
+- The hub does **not** journal sweeps.  Journaling stays client-side (the
+  submitting :class:`~repro.runner.sweep.SweepRunner` writes the journal
+  at the shared artifact root, exactly as with every other backend), so a
+  killed client resumes with ``--resume`` against the artifacts the hub
+  persisted on its behalf -- no second source of truth to reconcile.
+- A client that dies mid-sweep stops receiving results, but its sweep
+  keeps executing: the artifacts land in the store, and the resume run
+  dedupes against them at dispatch time.
+- One thread per client connection (the submission stream consumes its
+  ``SweepQueue.results()`` inline), matching the broker's one thread per
+  worker connection; the shared state stays behind the broker lock.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Dict
+
+from repro.runner.backends import WorkItem
+from repro.runner.distributed.broker import Broker, BrokerError
+from repro.runner.distributed.protocol import (
+    PROTOCOL_VERSION,
+    send_message,
+)
+
+__all__ = ["SweepHub"]
+
+
+class SweepHub(Broker):
+    """A persistent multi-sweep broker accepting TCP submissions.
+
+    Construct like a :class:`Broker` but without ``items`` (the hub has no
+    primary sweep); ``store`` is the shared artifact root every submission
+    dedupes against and persists into.  ``start()`` / ``stop()`` and the
+    worker protocol are inherited unchanged.
+    """
+
+    def __init__(self, **kwargs: Any) -> None:
+        if "items" in kwargs:
+            raise TypeError("SweepHub takes no items; sweeps arrive via submit")
+        super().__init__(None, **kwargs)
+
+    # ------------------------------------------------------------------ #
+    def _serve_client(
+        self, conn: socket.socket, reader: Any, message: Dict[str, Any]
+    ) -> None:
+        kind = message.get("type")
+        if kind == "status":
+            reply = dict(self.snapshot())
+            reply["type"] = "status"
+            self._safe_send(conn, reply)
+            return
+        if kind != "submit":
+            self._safe_send(
+                conn,
+                {"type": "goodbye", "error": f"unknown client request {kind!r}"},
+            )
+            return
+        if message.get("protocol") != PROTOCOL_VERSION:
+            self._safe_send(
+                conn,
+                {
+                    "type": "goodbye",
+                    "error": f"expected submit with protocol {PROTOCOL_VERSION}",
+                },
+            )
+            return
+        try:
+            items = [
+                (
+                    task["id"],
+                    task["task"],
+                    dict(task.get("params") or {}),
+                    task.get("module"),
+                )
+                for task in message.get("tasks") or ()
+            ]
+            sweep = self.submit(
+                items,
+                name=str(message.get("name") or ""),
+                priority=int(message.get("priority") or 0),
+                force=bool(message.get("force", False)),
+            )
+        except (BrokerError, KeyError, TypeError, ValueError) as exc:
+            self._safe_send(
+                conn, {"type": "goodbye", "error": f"bad submission: {exc}"}
+            )
+            return
+        self._safe_send(
+            conn, {"type": "accepted", "sweep": sweep.key, "total": sweep.total}
+        )
+        # Stream completions back for the sweep's lifetime.  If the client
+        # dies we keep draining the queue anyway: the work is already
+        # persisting artifacts, and an unconsumed SweepQueue would pin its
+        # completion buffer forever.
+        client_alive = True
+        try:
+            for index, result, meta in sweep.results():
+                if not client_alive:
+                    continue
+                client_alive = self._safe_send(
+                    conn,
+                    {"type": "result", "id": index, "result": result, "meta": meta},
+                )
+            stats: Dict[str, Any] = dict(sweep.counters())
+            stats["events_dropped"] = self.events_dropped
+            if client_alive:
+                self._safe_send(
+                    conn, {"type": "sweep-done", "sweep": sweep.key, "stats": stats}
+                )
+        except BrokerError as exc:
+            if client_alive:
+                self._safe_send(
+                    conn,
+                    {"type": "sweep-failed", "sweep": sweep.key, "error": str(exc)},
+                )
+
+    def _safe_send(self, conn: socket.socket, message: Dict[str, Any]) -> bool:
+        """Send to a client, tolerating its death; True while writable.
+
+        Client sends bypass the fault injector: chaos scenarios target the
+        worker wire, and injected faults on the submission stream would
+        just kill the (local, same-process-group) client connection.
+        """
+        try:
+            send_message(conn, message)
+            return True
+        except OSError:
+            return False

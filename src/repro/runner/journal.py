@@ -145,6 +145,7 @@ class SweepJournal:
             "error": None,
             "stats": None,
             "events": None,
+            "events_dropped": None,
             "faults": None,
         }
         self._flush()
@@ -172,13 +173,22 @@ class SweepJournal:
         *,
         stats: Optional[Dict[str, Any]] = None,
         events: Optional[Sequence[Dict[str, Any]]] = None,
+        events_dropped: Optional[int] = None,
         faults: Optional[Dict[str, int]] = None,
     ) -> None:
-        """Mark the sweep complete and attach the broker's telemetry."""
+        """Mark the sweep complete and attach the broker's telemetry.
+
+        ``events_dropped`` records how many events fell past the broker's
+        in-memory cap: a non-zero count tells post-hoc readers the stored
+        ``events`` list is truncated, not the full history.
+        """
         doc = self._require_doc()
         doc["complete"] = True
         doc["stats"] = dict(stats) if stats else None
         doc["events"] = [dict(event) for event in events] if events else None
+        if events_dropped is None and stats and "events_dropped" in stats:
+            events_dropped = stats["events_dropped"]
+        doc["events_dropped"] = events_dropped
         doc["faults"] = dict(faults) if faults else None
         self._flush()
 

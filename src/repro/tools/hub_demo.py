@@ -1,0 +1,331 @@
+"""``make hub-demo``: the Sweep Hub acceptance gate.
+
+The multi-tenant story, end to end:
+
+1. **Serial references.**  Two overlapping E3-style benign scenario suites
+   (seeds 0-7 and 4-11 -- four shared configs) run in-process on the
+   serial backend; their rendered tables are the ground truth.
+2. **Standing hub + fleet.**  One ``repro hub serve`` daemon (shared
+   artifact root) and two persistent ``worker`` daemons start as
+   subprocesses.
+3. **Two concurrent submissions.**  Both suites are submitted at the same
+   time with ``scenario run --connect`` against the same hub and artifact
+   root; sweep B is SIGKILLed once its journal shows progress, then
+   resumed with ``--resume --connect``.  Both final tables must be
+   **byte-identical** to the serial references, the overlap must dedupe
+   through the shared store, and ``hub status`` must answer.
+4. **Graceful scale-down.**  The workers get SIGTERM (the drain path) and
+   must exit promptly; the hub is terminated last.
+
+Anything else -- a wedged submission, a divergent table, an unresponsive
+status endpoint -- is a hard failure.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+#: src/repro/tools/hub_demo.py -> repository root.
+ROOT = Path(__file__).resolve().parents[3]
+
+
+def _scenario(name: str, seeds: List[int]) -> Dict:
+    return {
+        "name": name,
+        "graph": {"name": "hnd", "params": {"n": 48, "degree": 8}, "seed_offset": 0},
+        "adversary": {"name": "silent", "params": {}, "seed_offset": 0},
+        "placement": {"name": "random", "params": {"count": 0}, "seed_offset": 0},
+        "protocol": {"name": "congest", "params": {"d": 8}, "seed_offset": 0},
+        "params": {},
+        "seeds": seeds,
+    }
+
+
+#: Two overlapping sweeps: seeds 4-7 are shared, so the second submission
+#: (or the resume) must hit the shared artifact store for them.
+SCENARIO_A = _scenario("hub-demo-a", list(range(0, 8)))
+SCENARIO_B = _scenario("hub-demo-b", list(range(4, 12)))
+
+#: Journal completions of sweep B to wait for before killing its client.
+KILL_AFTER_DONE = 2
+
+
+def _fail(message: str) -> int:
+    print(f"hub-demo FAIL: {message}")
+    return 1
+
+
+def _serial_reference(scenario_doc: Dict) -> str:
+    from repro.analysis.tables import render_table
+    from repro.runner import SweepRunner
+    from repro.scenarios import Scenario
+
+    scenario = Scenario.from_dict(scenario_doc)
+    rows = SweepRunner().run(scenario.compile())
+    return render_table(
+        [{"seed": seed, **metrics} for seed, metrics in zip(scenario.seeds, rows)],
+        title=scenario.name,
+    )
+
+
+def _journal_path(artifact_dir: Path, scenario_doc: Dict) -> Path:
+    from repro.runner import SweepJournal
+    from repro.scenarios import Scenario
+
+    return SweepJournal.for_configs(
+        artifact_dir, Scenario.from_dict(scenario_doc).compile()
+    ).path
+
+
+def _read_journal(path: Path) -> Optional[dict]:
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+
+
+def _start_hub(artifact_dir: Path) -> Tuple[subprocess.Popen, str]:
+    """Start ``hub serve`` and parse the announced address from stdout."""
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "hub",
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--artifact-dir",
+            str(artifact_dir),
+            "--lease-ttl",
+            "5",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        cwd=str(ROOT),
+    )
+    assert process.stdout is not None
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        line = process.stdout.readline().decode("utf-8", "replace")
+        if not line:
+            break
+        match = re.search(r"\[hub\] listening on ([\d.]+:\d+)", line)
+        if match:
+            return process, match.group(1)
+    process.kill()
+    raise RuntimeError("hub never announced its address")
+
+
+def _start_worker(address: str) -> subprocess.Popen:
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "worker",
+            "--connect",
+            address,
+        ],
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+        cwd=str(ROOT),
+    )
+
+
+def _submit_command(
+    spec: Path, address: str, artifact_dir: Path, *, resume: bool
+) -> List[str]:
+    command = [
+        sys.executable,
+        "-m",
+        "repro.cli",
+        "scenario",
+        "run",
+        str(spec),
+        "--connect",
+        address,
+        "--artifact-dir",
+        str(artifact_dir),
+    ]
+    if resume:
+        command.append("--resume")
+    return command
+
+
+def _table_from_stdout(stdout: str) -> str:
+    table_lines = []
+    for line in stdout.splitlines():
+        if line.startswith("[scenario]"):
+            break
+        table_lines.append(line)
+    return "\n".join(table_lines).rstrip("\n")
+
+
+def main() -> int:
+    print("hub-demo: building serial reference tables...")
+    reference_a = _serial_reference(SCENARIO_A)
+    reference_b = _serial_reference(SCENARIO_B)
+
+    with tempfile.TemporaryDirectory(prefix="hub-demo-") as tmp:
+        tmpdir = Path(tmp)
+        spec_a = tmpdir / "scenario_a.json"
+        spec_a.write_text(json.dumps(SCENARIO_A, indent=2), encoding="utf-8")
+        spec_b = tmpdir / "scenario_b.json"
+        spec_b.write_text(json.dumps(SCENARIO_B, indent=2), encoding="utf-8")
+        artifact_dir = tmpdir / "artifacts"
+
+        print("hub-demo: starting hub + 2 persistent workers...")
+        hub = None
+        workers: List[subprocess.Popen] = []
+        client_a = client_b = None
+        try:
+            hub, address = _start_hub(artifact_dir)
+            workers = [_start_worker(address) for _ in range(2)]
+
+            print("hub-demo: submitting two overlapping sweeps concurrently...")
+            client_a = subprocess.Popen(
+                _submit_command(spec_a, address, artifact_dir, resume=False),
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                cwd=str(ROOT),
+            )
+            client_b = subprocess.Popen(
+                _submit_command(spec_b, address, artifact_dir, resume=False),
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                cwd=str(ROOT),
+            )
+
+            # Kill client B once its journal shows progress: the hub keeps
+            # executing its sweep, but the demo must recover via --resume.
+            journal_b = _journal_path(artifact_dir, SCENARIO_B)
+            deadline = time.monotonic() + 120.0
+            killed = False
+            while time.monotonic() < deadline:
+                document = _read_journal(journal_b)
+                if (
+                    document is not None
+                    and len(document.get("done", ())) >= KILL_AFTER_DONE
+                ):
+                    client_b.send_signal(signal.SIGKILL)
+                    client_b.wait(timeout=10.0)
+                    killed = True
+                    break
+                if client_b.poll() is not None:
+                    _, err = client_b.communicate()
+                    return _fail(
+                        "sweep B exited before the kill landed:\n"
+                        + err.decode("utf-8", "replace")[-2000:]
+                    )
+                time.sleep(0.05)
+            if not killed:
+                return _fail("timed out waiting for sweep B journal progress")
+            print(
+                f"hub-demo: killed sweep B's client after {KILL_AFTER_DONE} "
+                "journaled completion(s); sweep A still streaming..."
+            )
+
+            out_a, err_a = client_a.communicate(timeout=150.0)
+            if client_a.returncode != 0:
+                return _fail(
+                    f"sweep A failed (code {client_a.returncode}):\n"
+                    + err_a.decode("utf-8", "replace")[-2000:]
+                )
+            table_a = _table_from_stdout(out_a.decode("utf-8", "replace"))
+            if table_a != reference_a:
+                return _fail(
+                    "sweep A table differs from the serial reference\n"
+                    f"--- serial ---\n{reference_a}\n--- hub ---\n{table_a}"
+                )
+            print("hub-demo: sweep A table is byte-identical to serial; resuming B...")
+
+            resumed = subprocess.run(
+                _submit_command(spec_b, address, artifact_dir, resume=True),
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                cwd=str(ROOT),
+                timeout=150.0,
+            )
+            stderr_b = resumed.stderr.decode("utf-8", "replace")
+            if resumed.returncode != 0:
+                return _fail(
+                    f"sweep B resume failed (code {resumed.returncode}):\n"
+                    + stderr_b[-2000:]
+                )
+            if "resuming sweep" not in stderr_b:
+                return _fail(f"resume never announced itself:\n{stderr_b[-2000:]}")
+            table_b = _table_from_stdout(resumed.stdout.decode("utf-8", "replace"))
+            if table_b != reference_b:
+                return _fail(
+                    "resumed sweep B table differs from the serial reference\n"
+                    f"--- serial ---\n{reference_b}\n--- hub ---\n{table_b}"
+                )
+            document = _read_journal(journal_b)
+            if document is None or not document.get("complete"):
+                return _fail("sweep B journal is not complete after the resume")
+            if len(document.get("cached", ())) < 1:
+                return _fail("sweep B resume reused no cached artifacts")
+
+            status = subprocess.run(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro.cli",
+                    "hub",
+                    "status",
+                    "--connect",
+                    address,
+                    "--artifact-dir",
+                    str(artifact_dir),
+                ],
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                cwd=str(ROOT),
+                timeout=30.0,
+            )
+            status_out = status.stdout.decode("utf-8", "replace")
+            if status.returncode != 0 or "sweeps" not in status_out:
+                return _fail(f"hub status failed:\n{status_out[-2000:]}")
+
+            print("hub-demo: draining the fleet with SIGTERM...")
+            for worker in workers:
+                worker.send_signal(signal.SIGTERM)
+            for worker in workers:
+                try:
+                    worker.wait(timeout=15.0)
+                except subprocess.TimeoutExpired:
+                    return _fail("a worker ignored SIGTERM (graceful drain broken)")
+            workers = []
+
+            print(
+                "hub-demo ok: two concurrent sweeps on one hub, both tables "
+                "byte-identical to serial; kill-and-resume recovered sweep B "
+                f"reusing {len(document['cached'])} cached task(s); hub status "
+                "answered; workers drained gracefully"
+            )
+        finally:
+            for proc in [client_a, client_b, *workers]:
+                if proc is not None and proc.poll() is None:
+                    proc.kill()
+                    proc.wait(timeout=10.0)
+            if hub is not None and hub.poll() is None:
+                hub.send_signal(signal.SIGTERM)
+                try:
+                    hub.wait(timeout=15.0)
+                except subprocess.TimeoutExpired:
+                    hub.kill()
+                    hub.wait(timeout=10.0)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
