@@ -40,6 +40,14 @@
 #                        both tables are byte-identical to the serial run
 #                        (sub-minute typical; wrapped in a hard `timeout`;
 #                        a prerequisite of `make test`)
+#   make hub-chaos-demo - hub high-availability gate: hub serve --state + 2
+#                        workers + 2 concurrent clients, SIGKILL the *hub*
+#                        mid-sweep, restart it on the same port, and assert
+#                        the clients self-heal (reconnect + re-adoption, no
+#                        --resume) with tables byte-identical to serial and
+#                        no artifact-backed task executed twice (sub-minute
+#                        typical; wrapped in a hard `timeout`; a
+#                        prerequisite of `make test`)
 
 PYTHON ?= python
 WORKERS ?= 4
@@ -62,10 +70,13 @@ CHAOS_TIMEOUT ?= 240
 # Same idea for the hub gate: a hub that never drains a submission or a
 # worker that ignores SIGTERM must fail fast, not hang CI.
 HUB_TIMEOUT ?= 240
+# And for the hub HA gate: a client that never self-heals after the hub
+# SIGKILL must become a loud timeout.
+HUB_CHAOS_TIMEOUT ?= 240
 
-.PHONY: test bench bench-compare bench-smoke bench-smoke-compare profile sweep-demo scenario-demo dist-demo churn-demo chaos-demo hub-demo clean-artifacts
+.PHONY: test bench bench-compare bench-smoke bench-smoke-compare profile sweep-demo scenario-demo dist-demo churn-demo chaos-demo hub-demo hub-chaos-demo clean-artifacts
 
-test: scenario-demo dist-demo churn-demo chaos-demo hub-demo bench-smoke-compare
+test: scenario-demo dist-demo churn-demo chaos-demo hub-demo hub-chaos-demo bench-smoke-compare
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 
 scenario-demo:
@@ -87,6 +98,9 @@ chaos-demo:
 
 hub-demo:
 	PYTHONPATH=src timeout -k 10 $(HUB_TIMEOUT) $(PYTHON) -m repro.tools.hub_demo
+
+hub-chaos-demo:
+	PYTHONPATH=src timeout -k 10 $(HUB_CHAOS_TIMEOUT) $(PYTHON) -m repro.tools.hub_chaos_demo
 
 bench:
 	PYTHONPATH=src $(PYTHON) -m repro.cli bench --repeats $(BENCH_REPEATS) --output-dir $(BENCH_DIR)

@@ -198,6 +198,14 @@ def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
         help="hub submission priority (with --connect): higher preempts "
         "other sweeps at the next lease grant",
     )
+    parser.add_argument(
+        "--reconnect-attempts",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with --connect: consecutive failed hub reconnects tolerated "
+        "before giving up (default 8; 0 fails fast)",
+    )
 
 
 def _parse_fault_plan(spec: str):
@@ -239,14 +247,21 @@ def _runner_from_args(args: argparse.Namespace):
         raise SystemExit(f"{used} require(s) --backend distributed")
     if args.priority and args.connect is None:
         raise SystemExit("--priority requires --connect (hub submission)")
+    if args.reconnect_attempts is not None and args.connect is None:
+        raise SystemExit("--reconnect-attempts requires --connect (hub submission)")
     if args.resume and args.artifact_dir is None:
         raise SystemExit("--resume requires --artifact-dir (nothing to resume from)")
     if args.resume and args.force:
         raise SystemExit("--resume and --force are contradictory")
     backend = args.backend
     if args.connect is not None:
+        connect_extra = {}
+        if args.reconnect_attempts is not None:
+            connect_extra["reconnect_attempts"] = args.reconnect_attempts
         backend = DistributedBackend(
-            connect=parse_address(args.connect), priority=args.priority
+            connect=parse_address(args.connect),
+            priority=args.priority,
+            **connect_extra,
         )
     elif backend == "distributed":
         if args.listen is not None:
@@ -482,6 +497,44 @@ def build_parser() -> argparse.ArgumentParser:
     hub_serve.add_argument(
         "--chunk-size", type=_positive_int, default=None, metavar="N",
         help="cap tasks per lease (default: the worker's requested capacity)",
+    )
+    hub_serve.add_argument(
+        "--state",
+        default=None,
+        metavar="DIR",
+        help="hub journal directory: accepted submissions are recorded "
+        "crash-safely and interrupted sweeps are re-adopted on restart",
+    )
+    hub_serve.add_argument(
+        "--max-pending",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="admission control: reject new submissions (with a structured "
+        "retry-after) once this many tasks are pending hub-wide",
+    )
+    hub_serve.add_argument(
+        "--autoscale",
+        default=None,
+        metavar="MIN:MAX",
+        help="supervise a loopback worker pool sized between MIN and MAX "
+        "from the hub's queue depth (without it the supervisor only "
+        "emits scale events)",
+    )
+    hub_serve.add_argument(
+        "--autoscale-procs",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="processes per autoscaled loopback worker (default 1)",
+    )
+    hub_serve.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="JSON|PATH",
+        help="chaos-test the hub itself: a FaultPlan document (inline JSON "
+        "or a file path) consulted under the 'hub' salt -- see "
+        "SCENARIOS.md for the crash-hub / hang-hub sites",
     )
     hub_serve.add_argument(
         "--http",
@@ -797,20 +850,42 @@ def _sweep_table(records) -> str:
 def _command_sweeps(args: argparse.Namespace) -> int:
     from repro.runner.hub import ResultsDB
 
-    print(_sweep_table(ResultsDB(args.artifact_dir).sweep_records()))
+    db = ResultsDB(args.artifact_dir)
+    print(_sweep_table(db.sweep_records()))
+    if db.skipped_count:
+        print(f"[sweeps] {db.skipped_count} unreadable file(s) skipped")
     return 0
+
+
+def _parse_autoscale(spec: str) -> tuple:
+    """``--autoscale MIN:MAX`` -> (min, max) with 0 <= min <= max."""
+    lo_text, sep, hi_text = spec.partition(":")
+    try:
+        if not sep:
+            raise ValueError
+        lo, hi = int(lo_text), int(hi_text)
+    except ValueError:
+        raise SystemExit(f"--autoscale expects MIN:MAX, got {spec!r}")
+    if lo < 0 or hi < lo:
+        raise SystemExit(f"--autoscale needs 0 <= MIN <= MAX, got {spec!r}")
+    return (lo, hi)
 
 
 def _command_hub_serve(args: argparse.Namespace) -> int:
     import signal
     import threading
 
-    from repro.runner import ArtifactStore
+    from repro.runner import ArtifactStore, FaultInjector
     from repro.runner.distributed import parse_address
-    from repro.runner.hub import DashboardServer, SweepHub
+    from repro.runner.faults import CRASH_EXIT_CODE
+    from repro.runner.hub import DashboardServer, HubSupervisor, SweepHub
 
     host, port = parse_address(args.listen)
     store = ArtifactStore(args.artifact_dir) if args.artifact_dir else None
+    autoscale = _parse_autoscale(args.autoscale) if args.autoscale else None
+    injector = None
+    if args.fault_plan is not None:
+        injector = FaultInjector(_parse_fault_plan(args.fault_plan), salt="hub")
     hub = SweepHub(
         store=store,
         host=host,
@@ -818,12 +893,39 @@ def _command_hub_serve(args: argparse.Namespace) -> int:
         lease_ttl_s=args.lease_ttl,
         max_retries=args.max_retries,
         chunk_size=args.chunk_size,
+        state_dir=args.state,
+        max_pending=args.max_pending,
+        injector=injector,
     )
-    address = hub.start()
+    # A restarted hub re-binds its fixed port: give the previous
+    # incarnation's socket a grace window to clear instead of failing.
+    address = hub.start(bind_retry_s=10.0 if port else 0.0)
     # Parseable announcement: demo harnesses read the chosen port from it.
     print(f"[hub] listening on {address[0]}:{address[1]}", flush=True)
     if store is not None:
         print(f"[hub] artifact root: {store.root}", flush=True)
+    if args.state:
+        print(f"[hub] state dir: {args.state}", flush=True)
+        for adopted in hub.adopt_journaled():
+            print(
+                f"[hub] re-adopted sweep {adopted['sweep']} "
+                f"(identity {adopted['identity']}, "
+                f"{adopted['cached']}/{adopted['total']} already done)",
+                flush=True,
+            )
+    supervisor = HubSupervisor(
+        hub,
+        autoscale=autoscale,
+        procs=args.autoscale_procs,
+        verbose=bool(autoscale),
+    )
+    supervisor.start()
+    if autoscale:
+        print(
+            f"[hub] autoscaling loopback workers in [{autoscale[0]}, "
+            f"{autoscale[1]}]",
+            flush=True,
+        )
     dashboard = None
     if args.http is not None:
         dashboard = DashboardServer(
@@ -839,16 +941,22 @@ def _command_hub_serve(args: argparse.Namespace) -> int:
     if threading.current_thread() is threading.main_thread():
         signal.signal(signal.SIGTERM, lambda *_: stop.set())
     try:
-        while not stop.is_set():
+        while not stop.is_set() and not hub.crashed.is_set():
             stop.wait(0.5)
     except KeyboardInterrupt:
         pass
     finally:
-        print("[hub] shutting down", flush=True)
+        crashed = hub.crashed.is_set()
+        print(
+            "[hub] crashed (injected fault)" if crashed else "[hub] shutting down",
+            flush=True,
+        )
+        supervisor.stop()
         if dashboard is not None:
             dashboard.stop()
-        hub.stop()
-    return 0
+        if not crashed:
+            hub.stop()
+    return CRASH_EXIT_CODE if crashed else 0
 
 
 def _command_hub_status(args: argparse.Namespace) -> int:
@@ -927,6 +1035,8 @@ def _command_runs(args: argparse.Namespace) -> int:
             for record in records
         ]
         print(render_table(rows, title=f"runs ({len(rows)})") if rows else "(no stored runs)")
+        if db.skipped_count:
+            print(f"[runs] {db.skipped_count} unreadable file(s) skipped")
         return 0
     try:
         if args.runs_command == "show":

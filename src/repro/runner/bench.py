@@ -286,6 +286,77 @@ def _bench_hub_loopback(
     }
 
 
+@sweep_task("bench.hub_ha_loopback")
+def _bench_hub_ha_loopback(
+    *, n: int, degree: int, seeds: Sequence[int], workers: int
+) -> Dict[str, Any]:
+    """``bench.hub_loopback`` with the high-availability layer active.
+
+    Identical workload and topology, but the hub runs with a crash-safe
+    state journal (``state_dir``), admission control, and heartbeat-bearing
+    client streams -- every completion lands an atomic hub-journal write
+    and every submit passes the capacity check.  The wall-clock delta
+    against ``scenario-e3-hub-loopback`` is therefore the HA machinery's
+    steady-state overhead (no fault ever fires), pinned on the trajectory
+    so durability stays cheap.
+    """
+    import subprocess
+    import tempfile
+
+    from repro.runner.distributed import DistributedBackend, spawn_loopback_worker
+    from repro.runner.hub import SweepHub
+    from repro.runner.sweep import SweepRunner
+    from repro.scenarios.spec import Scenario
+
+    scenario = Scenario.from_dict(
+        {
+            "name": f"hub-ha-loopback-e3-n{n}",
+            "graph": {"name": "hnd", "params": {"n": n, "degree": degree}, "seed_offset": 0},
+            "adversary": {"name": "silent", "params": {}, "seed_offset": 0},
+            "placement": {"name": "random", "params": {"count": 0}, "seed_offset": 0},
+            "protocol": {"name": "congest", "params": {"d": degree}, "seed_offset": 0},
+            "params": {},
+            "seeds": list(seeds),
+        }
+    )
+    rows = None
+    with tempfile.TemporaryDirectory(prefix="bench-hub-ha-") as state_dir:
+        hub = SweepHub(
+            host="127.0.0.1",
+            port=0,
+            state_dir=state_dir,
+            max_pending=10_000,
+        )
+        address = hub.start()
+        procs: List["subprocess.Popen[bytes]"] = []
+        try:
+            procs.extend(
+                spawn_loopback_worker(address, exit_when_drained=False)
+                for _ in range(workers)
+            )
+            runner = SweepRunner(
+                backend=DistributedBackend(connect=address, quiet=True)
+            )
+            rows = runner.run(scenario.compile())
+        finally:
+            for process in procs:
+                if process.poll() is None:
+                    process.terminate()
+            for process in procs:
+                try:
+                    process.wait(timeout=5.0)
+                except subprocess.TimeoutExpired:
+                    process.kill()
+                    process.wait(timeout=5.0)
+            hub.stop()
+    return {
+        "rounds": sum(row["rounds"] for row in rows),
+        "messages": sum(row["messages"] for row in rows),
+        "bits": sum(row["bits"] for row in rows),
+        "cells": len(rows),
+    }
+
+
 # --------------------------------------------------------------------------- #
 # Pinned scenarios
 # --------------------------------------------------------------------------- #
@@ -480,6 +551,18 @@ SCENARIOS: Tuple[BenchScenario, ...] = (
     BenchScenario(
         "scenario-e3-hub-loopback",
         "bench.hub_loopback",
+        {"n": 48, "degree": 8, "seeds": [0, 1, 2, 3], "workers": 2},
+    ),
+    # Appended with hub high availability (PR 9): the PR-8 hub workload
+    # with the HA layer on -- crash-safe hub journal, admission control,
+    # heartbeat-bearing client streams -- and no fault ever firing.  The
+    # delta against ``scenario-e3-hub-loopback`` is the steady-state cost
+    # of durability (per-completion atomic journal writes, per-submit
+    # capacity checks), pinned so it stays near zero.  Pinned like every
+    # parameterization above -- append, never edit.
+    BenchScenario(
+        "scenario-e3-hub-ha-loopback",
+        "bench.hub_ha_loopback",
         {"n": 48, "degree": 8, "seeds": [0, 1, 2, 3], "workers": 2},
     ),
 )

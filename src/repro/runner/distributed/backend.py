@@ -132,6 +132,11 @@ class DistributedBackend(ExecutionBackend):
     priority / submit_name:
         Hub-submission metadata (connect mode only): fair-share priority
         and the display name shown by ``hub status`` and the dashboard.
+    reconnect_attempts:
+        Connect mode only: consecutive failed hub-reconnect attempts the
+        submission tolerates before giving up (see
+        :class:`~repro.runner.hub.client.HubSubmission`).  ``0`` restores
+        fail-fast; the default rides out hub restarts.
     """
 
     name = "distributed"
@@ -160,6 +165,7 @@ class DistributedBackend(ExecutionBackend):
         connect: Optional[Tuple[str, int]] = None,
         priority: int = 0,
         submit_name: str = "",
+        reconnect_attempts: int = 8,
     ) -> None:
         if spawn_workers < 0:
             raise ValueError(f"spawn_workers must be >= 0, got {spawn_workers}")
@@ -186,9 +192,14 @@ class DistributedBackend(ExecutionBackend):
                 )
         elif priority:
             raise ValueError("priority only applies with connect (hub submission)")
+        if reconnect_attempts < 0:
+            raise ValueError(
+                f"reconnect_attempts must be >= 0, got {reconnect_attempts}"
+            )
         self.connect = connect
         self.priority = priority
         self.submit_name = submit_name
+        self.reconnect_attempts = reconnect_attempts
         self.listen = listen
         self.spawn_workers = spawn_workers
         self.worker_procs = worker_procs
@@ -341,10 +352,13 @@ class DistributedBackend(ExecutionBackend):
             name=self.submit_name,
             priority=self.priority,
             force=force,
+            reconnect_attempts=self.reconnect_attempts,
+            quiet=self.quiet,
         )
         try:
             yield from submission
         finally:
             self.last_stats = dict(submission.stats)
+            self.last_stats["reconnects"] = submission.reconnects
             self.last_events = []
             self.last_faults = {}

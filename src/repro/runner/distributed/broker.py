@@ -51,6 +51,7 @@ persistence.
 
 from __future__ import annotations
 
+import errno
 import queue
 import socket
 import threading
@@ -152,6 +153,7 @@ class SweepQueue:
         force: bool = False,
         max_retries: int = 2,
         submit_seq: int = 0,
+        identity: Optional[str] = None,
     ) -> None:
         self.key = key
         self.name = name or key
@@ -159,6 +161,9 @@ class SweepQueue:
         self.force = force
         self.max_retries = max_retries
         self.submit_seq = submit_seq
+        #: Content-hash identity of the submitted task list (hub mode).
+        #: The hub dedupes resubmissions by it; ``None`` on plain brokers.
+        self.identity = identity
         self.tasks: Dict[int, _TaskState] = {}
         self.pending: deque = deque()
         self.total = 0
@@ -175,11 +180,50 @@ class SweepQueue:
         self.submitted_at = _utc_now()
         self.finished_at: Optional[str] = None
         self._completed: "queue.Queue" = queue.Queue()
+        #: Completed items retained for replay to listeners that attach (or
+        #: re-attach) after publication started; bounded by ``total`` and
+        #: dropped with the queue at history eviction.
+        self.history: List[CompletedItem] = []
+        self._listeners: List["queue.Queue"] = []
+        self._pub_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     def publish(self, item: Any) -> None:
-        """Hand one completion (or the failure sentinel) to the consumer."""
-        self._completed.put(item)
+        """Hand one completion (or the failure sentinel) to every consumer.
+
+        The classic ``results()`` consumer reads ``_completed``; attached
+        listeners (hub client streams, including clients re-attaching
+        after a reconnect) get the same item, and completions are also
+        retained in :attr:`history` so a listener attached later can
+        replay what it missed.
+        """
+        with self._pub_lock:
+            if item is not _FAILED:
+                self.history.append(item)
+            self._completed.put(item)
+            for listener in self._listeners:
+                listener.put(item)
+
+    def attach_listener(self) -> Tuple["queue.Queue", List[CompletedItem]]:
+        """Register a live completion listener; returns ``(queue, replay)``.
+
+        Atomic with :meth:`publish`: the replay snapshot plus the live
+        queue together carry every completion exactly once.  If the sweep
+        already failed, the failure sentinel is re-delivered on the fresh
+        queue so a late listener still observes it.
+        """
+        listener: "queue.Queue" = queue.Queue()
+        with self._pub_lock:
+            replay = list(self.history)
+            self._listeners.append(listener)
+            if self.failure is not None:
+                listener.put(_FAILED)
+        return listener, replay
+
+    def detach_listener(self, listener: "queue.Queue") -> None:
+        with self._pub_lock:
+            if listener in self._listeners:
+                self._listeners.remove(listener)
 
     def results(
         self, *, poll: Optional[Any] = None, poll_interval: float = 0.25
@@ -229,6 +273,7 @@ class SweepQueue:
         return {
             "sweep": self.key,
             "name": self.name,
+            "identity": self.identity,
             "priority": self.priority,
             "status": self.status(),
             "total": self.total,
@@ -324,6 +369,9 @@ class Broker:
         self._leases: Dict[int, _Lease] = {}
         self._next_lease_id = 0
         self._stop = threading.Event()
+        #: Set by :meth:`crash` (injected hub crash / tests): the broker
+        #: died abruptly without failing its sweeps.
+        self.crashed = threading.Event()
         self._listener: Optional[socket.socket] = None
         self._threads: List[threading.Thread] = []
         self._connections: List[socket.socket] = []
@@ -394,42 +442,119 @@ class Broker:
                 raise ValueError(f"duplicate work item index {item[0]}")
             seen.add(item[0])
         with self._lock:
-            if self._stop.is_set():
-                raise BrokerError("broker is stopping; submission rejected")
-            key = f"s{self._submit_seq}"
-            sweep = SweepQueue(
-                key,
+            return self._submit_locked(
+                item_list,
                 name=name,
                 priority=priority,
-                force=self.force if force is None else force,
-                max_retries=self.max_retries if max_retries is None else max_retries,
-                submit_seq=self._submit_seq,
+                force=force,
+                max_retries=max_retries,
             )
-            self._submit_seq += 1
-            for item in item_list:
-                state = _TaskState(item, self._next_gid, sweep)
-                self._next_gid += 1
-                sweep.tasks[state.gid] = state
-                sweep.pending.append(state.gid)
-                self._states[state.gid] = state
-            sweep.total = sweep.outstanding = len(sweep.tasks)
-            self._queues[key] = sweep
-            self._event_locked(
-                "sweep-submitted",
-                sweep=key,
-                name=sweep.name,
-                tasks=sweep.total,
-                priority=priority,
-            )
-            return sweep
+
+    def _submit_locked(
+        self,
+        item_list: Sequence[WorkItem],
+        *,
+        name: str = "",
+        priority: int = 0,
+        force: Optional[bool] = None,
+        max_retries: Optional[int] = None,
+        identity: Optional[str] = None,
+    ) -> SweepQueue:
+        """Register a sweep under ``self._lock`` (held by the caller).
+
+        Split out of :meth:`submit` so the hub can make its
+        identity-dedupe check and the registration one atomic step.
+        """
+        if self._stop.is_set():
+            raise BrokerError("broker is stopping; submission rejected")
+        key = f"s{self._submit_seq}"
+        sweep = SweepQueue(
+            key,
+            name=name,
+            priority=priority,
+            force=self.force if force is None else force,
+            max_retries=self.max_retries if max_retries is None else max_retries,
+            submit_seq=self._submit_seq,
+            identity=identity,
+        )
+        self._submit_seq += 1
+        for item in item_list:
+            state = _TaskState(item, self._next_gid, sweep)
+            self._next_gid += 1
+            sweep.tasks[state.gid] = state
+            sweep.pending.append(state.gid)
+            self._states[state.gid] = state
+        sweep.total = sweep.outstanding = len(sweep.tasks)
+        self._queues[key] = sweep
+        self._event_locked(
+            "sweep-submitted",
+            sweep=key,
+            name=sweep.name,
+            tasks=sweep.total,
+            priority=priority,
+        )
+        return sweep
+
+    def prefill_from_store(self, sweep: SweepQueue) -> int:
+        """Complete ``sweep``'s pending tasks already backed by artifacts.
+
+        The re-adoption half of hub restart: probes the shared artifact
+        store for every pending task (outside the lock, same discipline as
+        :meth:`_grant`), completes hits as cache hits, publishes their
+        results, and leaves only artifact-less tasks queued for the fleet.
+        Returns the number of tasks completed from cache.
+        """
+        if self.store is None or sweep.force:
+            return 0
+        with self._lock:
+            candidates = [sweep.tasks[gid] for gid in sweep.pending]
+        hits: Dict[int, Any] = {}
+        for state in candidates:
+            if state.done:
+                continue
+            cached = self.store.load(state.config())
+            if cached is not MISSING:
+                hits[state.gid] = cached
+        if not hits:
+            return 0
+        publish: List[Tuple[_TaskState, CompletedItem]] = []
+        with self._lock:
+            for state in candidates:
+                if state.done or state.gid not in hits:
+                    continue
+                self._mark_done_locked(state, cache_hit=True)
+                self._event_locked("dedupe-hit", task=state.gid, sweep=sweep.key)
+                publish.append((state, (state.index, hits[state.gid], None)))
+            done_gids = {state.gid for state, _ in publish}
+            remaining = deque(gid for gid in sweep.pending if gid not in done_gids)
+            sweep.pending.clear()
+            sweep.pending.extend(remaining)
+        for state, item in publish:
+            state.sweep.publish(item)
+            self._task_completed(state, cached=True)
+        return len(publish)
 
     # ------------------------------------------------------------------ #
     # Lifecycle
     # ------------------------------------------------------------------ #
-    def start(self) -> Tuple[str, int]:
-        """Bind, start the accept/reaper threads, return the bound address."""
+    def start(self, *, bind_retry_s: float = 0.0) -> Tuple[str, int]:
+        """Bind, start the accept/reaper threads, return the bound address.
+
+        ``bind_retry_s`` keeps retrying an ``EADDRINUSE`` bind for that
+        long: a restarted hub re-binding its fixed port can transiently
+        lose the address to lingering connection state or a reconnecting
+        peer's loopback self-connect.
+        """
         self._t0 = time.monotonic()
-        self._listener = socket.create_server(self._bind)
+        deadline = time.monotonic() + bind_retry_s
+        while True:
+            try:
+                self._listener = socket.create_server(self._bind)
+                break
+            except OSError as exc:
+                if exc.errno != errno.EADDRINUSE or time.monotonic() >= deadline:
+                    raise
+                time.sleep(0.2)
         self._listener.settimeout(0.2)
         self.address = self._listener.getsockname()[:2]
         for target in (self._accept_loop, self._reaper_loop):
@@ -467,6 +592,34 @@ class Broker:
                 pass
         for thread in self._threads:
             thread.join(timeout=2.0)
+
+    def crash(self) -> None:
+        """Die abruptly, the way a SIGKILLed process would.
+
+        Unlike :meth:`stop`, live sweeps are **not** failed: in-process
+        consumers of a crashed broker lose their stream exactly like
+        remote clients of a killed hub, and recover the same way --
+        reconnect and resubmit against the restarted (re-adopting) hub.
+        Used by the injected ``crash-hub`` fault site and by tests.
+        """
+        self.crashed.set()
+        self._stop.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        with self._lock:
+            connections = list(self._connections)
+        for conn in connections:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        current = threading.current_thread()
+        for thread in self._threads:
+            if thread is not current:
+                thread.join(timeout=2.0)
 
     def __enter__(self) -> "Broker":
         self.start()
@@ -733,7 +886,7 @@ class Broker:
                 cached = self.store.load(state.config())
                 if cached is not MISSING:
                     hits[state.gid] = cached
-        publish: List[Tuple[SweepQueue, CompletedItem]] = []
+        publish: List[Tuple[_TaskState, CompletedItem]] = []
         granted: List[_TaskState] = []
         with self._lock:
             for state in candidates:
@@ -745,7 +898,7 @@ class Broker:
                         "dedupe-hit", task=state.gid, sweep=state.sweep.key
                     )
                     publish.append(
-                        (state.sweep, (state.index, hits[state.gid], None))
+                        (state, (state.index, hits[state.gid], None))
                     )
                     continue
                 state.dispatches += 1
@@ -788,8 +941,9 @@ class Broker:
                         for state in granted
                     ],
                 }
-        for sweep_queue, item in publish:
-            sweep_queue.publish(item)
+        for state, item in publish:
+            state.sweep.publish(item)
+            self._task_completed(state, cached=True)
         send_message(conn, reply, injector=self.injector)
 
     def _on_result(self, message: Dict[str, Any]) -> None:
@@ -831,6 +985,7 @@ class Broker:
         state.sweep.publish(
             (state.index, result, meta if isinstance(meta, dict) else {})
         )
+        self._task_completed(state, cached=False)
 
     def _persist_with_retry(self, state: _TaskState, result: Any, meta: Any) -> bool:
         """Store one artifact, retrying transient failures; False = fatal."""
@@ -1013,6 +1168,26 @@ class Broker:
         sweep.finished_at = _utc_now()
         self._event_locked("sweep-failed", sweep=sweep.key, error=str(error)[:200])
         sweep.publish(_FAILED)
+        self._sweep_failed_locked(sweep)
+
+    # ------------------------------------------------------------------ #
+    # Subclass hooks (the hub's journaling seam)
+    # ------------------------------------------------------------------ #
+    def _task_completed(self, state: _TaskState, *, cached: bool) -> None:
+        """Hook: ``state`` completed and its result was published.
+
+        Called OUTSIDE the lock (file I/O is allowed here) for every
+        completion -- fresh result, dispatch-time dedupe hit, or
+        re-adoption prefill.  The base broker does nothing; the hub
+        journals the completion.
+        """
+
+    def _sweep_failed_locked(self, sweep: SweepQueue) -> None:
+        """Hook: ``sweep`` just failed (called under the lock)."""
+
+    def _sweep_evicted_locked(self, sweep: SweepQueue) -> None:
+        """Hook: ``sweep`` left the finished-history (called under the
+        lock); the hub drops its identity mapping here."""
 
     def _fail_all_locked(self, error: BaseException) -> None:
         """A broker-global failure (injected crash): every live sweep dies."""
@@ -1031,3 +1206,4 @@ class Broker:
             for gid in oldest.tasks:
                 self._states.pop(gid, None)
             self._queues.pop(oldest.key, None)
+            self._sweep_evicted_locked(oldest)

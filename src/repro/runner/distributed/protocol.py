@@ -39,9 +39,13 @@ type tells a worker hello apart from a client request)::
     client -> hub      {"type": "submit", "protocol", "name", "priority",
                         "force", "tasks": [{"id", "task", "params",
                         "module"}, ...]}
-    hub -> client      {"type": "accepted", "sweep": key, "total": n}
+    hub -> client      {"type": "accepted", "sweep": key, "total": n,
+                        "identity": hash, "reattached": bool,
+                        "heartbeat_s": s}
+                     | {"type": "busy", "error": "...", "retry_after_s": s}
     hub -> client      {"type": "result", "id": client_id, "result": ...,
                         "meta": {...}|null}                    (streamed)
+                     | {"type": "hub-heartbeat"}               (idle stream)
     hub -> client      {"type": "sweep-done", "sweep": key, "stats": {...}}
                      | {"type": "sweep-failed", "sweep": key, "error": "..."}
 
@@ -51,6 +55,17 @@ type tells a worker hello apart from a client request)::
 A ``meta`` of ``null`` on a streamed result marks a hub-side cache hit
 (dedupe against the shared artifact store), mirroring the local backends'
 ``(index, result, None)`` convention for cached completions.
+
+High-availability additions (all hub-side; plain brokers never send
+them): submissions are identified by ``identity`` -- the content hash of
+the ordered task list -- and resubmitting an identity the hub already
+holds re-attaches the stream to the live queue (``reattached: true``),
+replaying completed results instead of duplicating work, which is what
+makes client reconnect idempotent.  ``hub-heartbeat`` flows whenever a
+``heartbeat_s`` interval passes with no result, so clients keep a read
+timeout of a few intervals and detect a hung hub.  ``busy`` is the
+admission-control rejection: the hub is at its pending-task capacity and
+the client should back off ``retry_after_s`` seconds and resubmit.
 """
 
 from __future__ import annotations

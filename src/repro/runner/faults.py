@@ -20,6 +20,8 @@ site                 effect when it fires
 ``slow-task``        sleep ``slow_s`` before reporting a task result
 ``artifact-write``   make one broker-side artifact store write raise
 ``crash-broker``     fail the sweep broker after accepting a result
+``crash-hub``        kill the hub abruptly mid-stream (no sweep teardown)
+``hang-hub``         stall a hub client stream ``hang_s`` (no heartbeats)
 ===================  =======================================================
 
 Decisions are **deterministic**: the n-th consultation of a site draws a
@@ -65,6 +67,8 @@ _RATE_SITES = {
     "slow_task": "slow-task",
     "fail_artifact_write": "artifact-write",
     "crash_broker": "crash-broker",
+    "crash_hub": "crash-hub",
+    "hang_hub": "hang-hub",
 }
 
 _DURATION_FIELDS = ("delay_s", "hang_s", "slow_s")
@@ -104,6 +108,11 @@ class FaultPlan:
     # Broker faults: per artifact write / per accepted result.
     fail_artifact_write: float = 0.0
     crash_broker: float = 0.0
+    # Hub faults, consulted per client-stream message: an abrupt hub death
+    # (exercises journaled re-adoption + client reconnect) and a hub that
+    # stalls without closing connections (exercises stream liveness).
+    crash_hub: float = 0.0
+    hang_hub: float = 0.0
 
     def __post_init__(self) -> None:
         if not isinstance(self.seed, int) or isinstance(self.seed, bool):
@@ -253,6 +262,14 @@ class FaultInjector:
 
     def crash_broker(self) -> bool:
         return self.enabled and self.fires("crash-broker", self.plan.crash_broker)
+
+    def crash_hub(self) -> bool:
+        return self.enabled and self.fires("crash-hub", self.plan.crash_hub)
+
+    def hang_hub(self) -> Optional[float]:
+        if self.enabled and self.fires("hang-hub", self.plan.hang_hub):
+            return self.plan.hang_s
+        return None
 
 
 class Backoff:

@@ -18,9 +18,10 @@ dashboard.
 from __future__ import annotations
 
 import json
+import sys
 from datetime import datetime, timezone
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Dict, List, Optional, Set, Union
 
 from repro.runner.artifacts import ArtifactStore
 from repro.runner.journal import JOURNAL_VERSION
@@ -63,6 +64,28 @@ class ResultsDB:
     def __init__(self, root: Union[str, Path]) -> None:
         self.root = Path(root)
         self.store = ArtifactStore(self.root)
+        #: Paths of unreadable/corrupt files encountered so far.  Each is
+        #: warned about once on stderr (a half-written or damaged file
+        #: must not wedge queries, but swallowing it silently would make
+        #: a truncated listing look complete); consumers surface
+        #: ``skipped_count`` in their output.
+        self.skipped: Set[str] = set()
+
+    @property
+    def skipped_count(self) -> int:
+        """Unreadable files skipped (or listed payload-less) so far."""
+        return len(self.skipped)
+
+    def _read_json_tracked(self, path: Path) -> Optional[Dict[str, Any]]:
+        document = _read_json(path)
+        if document is None:
+            key = str(path)
+            if key not in self.skipped:
+                self.skipped.add(key)
+                sys.stderr.write(
+                    f"[resultsdb] warning: skipping unreadable file {path}\n"
+                )
+        return document
 
     # ------------------------------------------------------------------ #
     # Sweeps (journal-derived)
@@ -73,7 +96,7 @@ class ResultsDB:
         if not self.root.is_dir():
             return records
         for path in sorted(self.root.glob(_JOURNAL_GLOB)):
-            document = _read_json(path)
+            document = self._read_json_tracked(path)
             if document is None or document.get("version") != JOURNAL_VERSION:
                 continue
             done = document.get("done") or []
@@ -149,7 +172,10 @@ class ResultsDB:
                 "sweeps": sweeps,
             }
             if with_result:
-                document = _read_json(path) or {}
+                # A corrupt artifact stays in the listing (the file exists
+                # and its key/sweep linkage is real) but its payload fields
+                # come back None; the path is warned about and counted.
+                document = self._read_json_tracked(path) or {}
                 config = document.get("config") or {}
                 record["params"] = config.get("params")
                 record["result"] = document.get("result")

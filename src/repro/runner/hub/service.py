@@ -9,34 +9,77 @@ is the *client* side of the same port: connections whose first message is
 (see :meth:`SweepHub._serve_client`), so one address serves the worker
 fleet, sweep submissions, and status queries alike.
 
-Design notes:
+High-availability design (the hub surviving its own death, clients
+surviving the hub's):
 
-- The hub does **not** journal sweeps.  Journaling stays client-side (the
-  submitting :class:`~repro.runner.sweep.SweepRunner` writes the journal
-  at the shared artifact root, exactly as with every other backend), so a
-  killed client resumes with ``--resume`` against the artifacts the hub
-  persisted on its behalf -- no second source of truth to reconcile.
-- A client that dies mid-sweep stops receiving results, but its sweep
-  keeps executing: the artifacts land in the store, and the resume run
-  dedupes against them at dispatch time.
-- One thread per client connection (the submission stream consumes its
-  ``SweepQueue.results()`` inline), matching the broker's one thread per
-  worker connection; the shared state stays behind the broker lock.
+- **Identity dedupe.**  Every submission is keyed by its content-hash
+  identity (:func:`~repro.runner.journal.sweep_identity` over the ordered
+  task list).  Resubmitting an identity whose sweep is still registered
+  re-attaches the stream to the live queue -- completed results replay,
+  the rest arrive live -- instead of duplicating work.  That makes client
+  reconnect idempotent by construction.
+- **Hub journal.**  With ``state_dir`` set, a crash-safe
+  :class:`~repro.runner.hub.state.HubJournal` records every accepted
+  submission and its done indices (temp-file + ``os.replace``, same
+  discipline as the client-side ``SweepJournal``).  On restart,
+  :meth:`adopt_journaled` re-registers every interrupted sweep and
+  prefills it from the artifact store, so only tasks with no artifact
+  behind them are re-queued for the fleet.  The journal is advisory: the
+  artifact store stays the source of truth.
+- **Stream liveness.**  The submission stream carries ``hub-heartbeat``
+  messages whenever no result is ready, and ``accepted`` advertises the
+  cadence, so clients keep a read timeout and detect a hung hub instead
+  of blocking forever.
+- **Admission control.**  With ``max_pending`` set, a submission that
+  would push the hub-wide outstanding-task load past the bound is
+  rejected with a structured ``busy`` + ``retry_after_s`` reply; clients
+  back off and retry.  Re-attaching an existing identity adds no tasks
+  and always passes.
+- **Chaos sites.**  The ``crash-hub`` / ``hang-hub`` injector sites fire
+  on the client result stream: a hang stalls the stream without closing
+  it (exactly what the heartbeat timeout exists for), a crash calls
+  :meth:`~repro.runner.distributed.broker.Broker.crash` -- abrupt death,
+  no sweep teardown, recovery via journal re-adoption.
+
+A client that dies mid-sweep stops receiving results, but its sweep keeps
+executing: completions are retained on the queue's replay history (bounded
+by the sweep size and history eviction), so the client's reconnect --
+or a later resubmission of the same identity -- picks them up without
+re-execution.
 """
 
 from __future__ import annotations
 
 import socket
-from typing import Any, Dict
+import time
+from typing import Any, Dict, List, Optional, Union
 
 from repro.runner.backends import WorkItem
-from repro.runner.distributed.broker import Broker, BrokerError
+from repro.runner.config import SweepConfig
+from repro.runner.distributed.broker import (
+    _FAILED,
+    Broker,
+    BrokerError,
+    SweepQueue,
+)
 from repro.runner.distributed.protocol import (
     PROTOCOL_VERSION,
     send_message,
 )
+from repro.runner.hub.state import HubJournal
+from repro.runner.journal import sweep_identity
 
 __all__ = ["SweepHub"]
+
+import queue as _queue_mod
+
+
+def _identity_of(items: List[WorkItem]) -> str:
+    """The submission's content-hash identity (order-sensitive, like the
+    client-side sweep journal's)."""
+    return sweep_identity(
+        [SweepConfig(task, params) for _index, task, params, _module in items]
+    )
 
 
 class SweepHub(Broker):
@@ -46,13 +89,159 @@ class SweepHub(Broker):
     primary sweep); ``store`` is the shared artifact root every submission
     dedupes against and persists into.  ``start()`` / ``stop()`` and the
     worker protocol are inherited unchanged.
+
+    Hub-specific parameters
+    -----------------------
+    state_dir:
+        Directory for the crash-safe :class:`HubJournal`.  ``None``
+        disables hub-side journaling (and restart re-adoption).
+    max_pending:
+        Hub-wide outstanding-task capacity; a submission that would
+        exceed it gets a ``busy`` reply with ``retry_after_s``.  ``None``
+        disables admission control.
+    client_heartbeat_s:
+        Cadence of ``hub-heartbeat`` messages on idle submission streams
+        (also advertised to clients in ``accepted`` so their read timeout
+        tracks it).
+    admission_retry_s:
+        The ``retry_after_s`` value sent with ``busy`` rejections.
     """
 
-    def __init__(self, **kwargs: Any) -> None:
+    def __init__(
+        self,
+        *,
+        state_dir: Optional[Union[str, Any]] = None,
+        max_pending: Optional[int] = None,
+        client_heartbeat_s: float = 2.0,
+        admission_retry_s: float = 1.0,
+        **kwargs: Any,
+    ) -> None:
         if "items" in kwargs:
             raise TypeError("SweepHub takes no items; sweeps arrive via submit")
+        if max_pending is not None and max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        if client_heartbeat_s <= 0:
+            raise ValueError(
+                f"client_heartbeat_s must be > 0, got {client_heartbeat_s}"
+            )
         super().__init__(None, **kwargs)
+        self.journal: Optional[HubJournal] = (
+            HubJournal(state_dir) if state_dir is not None else None
+        )
+        self.max_pending = max_pending
+        self.client_heartbeat_s = client_heartbeat_s
+        self.admission_retry_s = admission_retry_s
+        #: Live sweeps by content-hash identity (mutated under the broker
+        #: lock; identity reattach and admission share one atomic check).
+        self._identities: Dict[str, SweepQueue] = {}
+        self._stopping = False
+        self.stats.setdefault("rejected_busy", 0)
+        self.stats.setdefault("reattached", 0)
+        self.stats.setdefault("adopted", 0)
 
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def stop(self) -> None:
+        """Graceful stop.  Interrupted sweeps are failed broker-side (so
+        in-process consumers unblock) but NOT marked failed in the hub
+        journal: a gracefully stopped hub's sweeps stay ``incomplete`` on
+        disk and re-adopt on the next ``hub serve --state``."""
+        self._stopping = True
+        super().stop()
+
+    def adopt_journaled(self) -> List[Dict[str, Any]]:
+        """Re-register every interrupted sweep from the state directory.
+
+        For each journaled-but-incomplete submission: re-record it (the
+        done list restarts empty; ``adopted`` increments), re-queue its
+        tasks, then prefill from the artifact store so tasks that already
+        have an artifact behind them complete as cache hits and only the
+        rest go to the fleet.  Clients that resubmit the same identity
+        re-attach to the adopted queue.  Returns one summary dict per
+        adopted sweep.
+        """
+        if self.journal is None:
+            return []
+        adopted: List[Dict[str, Any]] = []
+        for doc in self.journal.incomplete():
+            identity = str(doc["identity"])
+            try:
+                items: List[WorkItem] = [
+                    (
+                        task["index"],
+                        task["task"],
+                        dict(task.get("params") or {}),
+                        task.get("module"),
+                    )
+                    for task in doc["tasks"]
+                ]
+            except (KeyError, TypeError):
+                continue  # malformed task record: leave the file, skip
+            name = str(doc.get("name") or "")
+            priority = int(doc.get("priority") or 0)
+            force = bool(doc.get("force", False))
+            self.journal.record(
+                identity, items, name=name, priority=priority, force=force,
+                adopted=True,
+            )
+            with self._lock:
+                if identity in self._identities:
+                    continue
+                sweep = self._submit_locked(
+                    items,
+                    name=name,
+                    priority=priority,
+                    force=force,
+                    identity=identity,
+                )
+                self._identities[identity] = sweep
+                self.stats["adopted"] += 1
+                self._event_locked(
+                    "sweep-adopted",
+                    sweep=sweep.key,
+                    identity=identity,
+                    tasks=sweep.total,
+                )
+            cached = self.prefill_from_store(sweep)
+            adopted.append(
+                {
+                    "identity": identity,
+                    "sweep": sweep.key,
+                    "name": sweep.name,
+                    "total": sweep.total,
+                    "cached": cached,
+                }
+            )
+        return adopted
+
+    # ------------------------------------------------------------------ #
+    # Journal hooks (called by the broker core)
+    # ------------------------------------------------------------------ #
+    def _task_completed(self, state: Any, *, cached: bool) -> None:
+        if self.journal is None:
+            return
+        sweep = state.sweep
+        if sweep.identity is None:
+            return
+        self.journal.mark_done(sweep.identity, state.index, cached=cached)
+        if sweep.outstanding == 0 and sweep.failure is None:
+            self.journal.mark_complete(sweep.identity)
+
+    def _sweep_failed_locked(self, sweep: SweepQueue) -> None:
+        # A gracefully stopping hub fails live sweeps broker-side only;
+        # on disk they stay incomplete for re-adoption.
+        if self.journal is None or sweep.identity is None or self._stopping:
+            return
+        self.journal.mark_failed(sweep.identity, str(sweep.failure))
+
+    def _sweep_evicted_locked(self, sweep: SweepQueue) -> None:
+        if sweep.identity is not None:
+            if self._identities.get(sweep.identity) is sweep:
+                del self._identities[sweep.identity]
+
+    # ------------------------------------------------------------------ #
+    # Client protocol
     # ------------------------------------------------------------------ #
     def _serve_client(
         self, conn: socket.socket, reader: Any, message: Dict[str, Any]
@@ -79,7 +268,7 @@ class SweepHub(Broker):
             )
             return
         try:
-            items = [
+            items: List[WorkItem] = [
                 (
                     task["id"],
                     task["task"],
@@ -88,52 +277,160 @@ class SweepHub(Broker):
                 )
                 for task in message.get("tasks") or ()
             ]
-            sweep = self.submit(
-                items,
-                name=str(message.get("name") or ""),
-                priority=int(message.get("priority") or 0),
-                force=bool(message.get("force", False)),
-            )
+            seen = set()
+            for item in items:
+                if item[0] in seen:
+                    raise ValueError(f"duplicate work item index {item[0]}")
+                seen.add(item[0])
+            identity = _identity_of(items)
+            name = str(message.get("name") or "")
+            priority = int(message.get("priority") or 0)
+            force = bool(message.get("force", False))
+            busy_reply: Optional[Dict[str, Any]] = None
+            reattached = False
+            with self._lock:
+                existing = self._identities.get(identity)
+                if existing is not None and existing.failure is None:
+                    # Idempotent resubmission: re-attach to the live (or
+                    # adopted) queue instead of duplicating the work.
+                    sweep = existing
+                    reattached = True
+                    self.stats["reattached"] += 1
+                    self._event_locked(
+                        "client-reattach", sweep=sweep.key, identity=identity
+                    )
+                else:
+                    if self.max_pending is not None:
+                        load = sum(
+                            q.outstanding
+                            for q in self._queues.values()
+                            if q.failure is None
+                        )
+                        if load + len(items) > self.max_pending:
+                            self.stats["rejected_busy"] += 1
+                            self._event_locked(
+                                "submit-rejected-busy",
+                                identity=identity,
+                                tasks=len(items),
+                                load=load,
+                                capacity=self.max_pending,
+                            )
+                            busy_reply = {
+                                "type": "busy",
+                                "error": (
+                                    f"hub at capacity ({load} pending tasks, "
+                                    f"limit {self.max_pending})"
+                                ),
+                                "retry_after_s": self.admission_retry_s,
+                            }
+                    if busy_reply is None:
+                        sweep = self._submit_locked(
+                            items,
+                            name=name,
+                            priority=priority,
+                            force=force,
+                            identity=identity,
+                        )
+                        self._identities[identity] = sweep
         except (BrokerError, KeyError, TypeError, ValueError) as exc:
             self._safe_send(
                 conn, {"type": "goodbye", "error": f"bad submission: {exc}"}
             )
             return
+        if busy_reply is not None:
+            self._safe_send(conn, busy_reply)
+            return
+        if not reattached and self.journal is not None:
+            self.journal.record(
+                identity, items, name=name, priority=priority, force=force
+            )
         self._safe_send(
-            conn, {"type": "accepted", "sweep": sweep.key, "total": sweep.total}
+            conn,
+            {
+                "type": "accepted",
+                "sweep": sweep.key,
+                "total": sweep.total,
+                "identity": identity,
+                "reattached": reattached,
+                "heartbeat_s": self.client_heartbeat_s,
+            },
         )
-        # Stream completions back for the sweep's lifetime.  If the client
-        # dies we keep draining the queue anyway: the work is already
-        # persisting artifacts, and an unconsumed SweepQueue would pin its
-        # completion buffer forever.
-        client_alive = True
+        self._stream_results(conn, sweep)
+
+    def _stream_results(self, conn: socket.socket, sweep: SweepQueue) -> None:
+        """Stream completions (replay + live) with idle heartbeats.
+
+        A re-attaching client replays every completion so far -- it
+        dedupes by index -- then rides the live stream.  ``hub-heartbeat``
+        goes out whenever a heartbeat interval passes without a result, so
+        a client with a read timeout can tell "slow sweep" from "hung or
+        dead hub".  A dead client just ends this handler; the sweep keeps
+        executing and its completions stay on the replay history.
+        """
+        listener, replay = sweep.attach_listener()
         try:
-            for index, result, meta in sweep.results():
-                if not client_alive:
+            delivered = 0
+            for item in replay:
+                if not self._send_result(conn, sweep, item):
+                    return
+                delivered += 1
+            while delivered < sweep.total:
+                try:
+                    item = listener.get(timeout=self.client_heartbeat_s)
+                except _queue_mod.Empty:
+                    if self._stop.is_set():
+                        return
+                    if not self._safe_send(conn, {"type": "hub-heartbeat"}):
+                        return
                     continue
-                client_alive = self._safe_send(
-                    conn,
-                    {"type": "result", "id": index, "result": result, "meta": meta},
-                )
+                if item is _FAILED:
+                    self._safe_send(
+                        conn,
+                        {
+                            "type": "sweep-failed",
+                            "sweep": sweep.key,
+                            "error": str(sweep.failure),
+                        },
+                    )
+                    return
+                if not self._send_result(conn, sweep, item):
+                    return
+                delivered += 1
             stats: Dict[str, Any] = dict(sweep.counters())
             stats["events_dropped"] = self.events_dropped
-            if client_alive:
-                self._safe_send(
-                    conn, {"type": "sweep-done", "sweep": sweep.key, "stats": stats}
-                )
-        except BrokerError as exc:
-            if client_alive:
-                self._safe_send(
-                    conn,
-                    {"type": "sweep-failed", "sweep": sweep.key, "error": str(exc)},
-                )
+            self._safe_send(
+                conn, {"type": "sweep-done", "sweep": sweep.key, "stats": stats}
+            )
+        finally:
+            sweep.detach_listener(listener)
+
+    def _send_result(self, conn: socket.socket, sweep: SweepQueue, item: Any) -> bool:
+        """Send one result, consulting the hub chaos sites first."""
+        if self.injector is not None:
+            hang = self.injector.hang_hub()
+            if hang is not None:
+                # A hub that stalls without closing anything: heartbeats
+                # stop flowing on this stream, which is exactly what the
+                # client read timeout exists to catch.
+                self._event("fault-hang-hub", sweep=sweep.key)
+                time.sleep(hang)
+            if self.injector.crash_hub():
+                self._event("fault-crash-hub", sweep=sweep.key)
+                self.crash()
+                return False
+        index, result, meta = item
+        return self._safe_send(
+            conn, {"type": "result", "id": index, "result": result, "meta": meta}
+        )
 
     def _safe_send(self, conn: socket.socket, message: Dict[str, Any]) -> bool:
         """Send to a client, tolerating its death; True while writable.
 
-        Client sends bypass the fault injector: chaos scenarios target the
-        worker wire, and injected faults on the submission stream would
-        just kill the (local, same-process-group) client connection.
+        Client sends bypass the fault injector's *wire* sites: those
+        target the worker wire, and injected faults on the submission
+        stream would just kill the (local, same-process-group) client
+        connection.  The hub-level chaos sites (``crash-hub`` /
+        ``hang-hub``) are consulted in :meth:`_send_result` instead.
         """
         try:
             send_message(conn, message)

@@ -1,0 +1,202 @@
+"""Crash-safe hub state: the journal behind ``hub serve --state DIR``.
+
+A :class:`HubJournal` is a directory of one JSON document per accepted
+submission (``hub-<identity>.state.json``), where ``identity`` is the
+sweep's content hash over its ordered task list
+(:func:`~repro.runner.journal.sweep_identity` -- the same identity the
+hub uses to dedupe resubmissions).  Each document records the submission
+metadata, the full task list, and the done/cached indices as completions
+land, then flips ``complete`` (or records an ``error``) at the end.
+
+Every update uses the same temp-file + ``os.replace`` discipline as
+:class:`~repro.runner.journal.SweepJournal`, so a SIGKILLed hub leaves
+either the previous state or the new one, never a truncated document.
+Like the client-side journal, the hub journal is *advisory*: the shared
+artifact store remains the source of truth for results.  On restart
+(:meth:`incomplete`) the hub re-adopts every interrupted sweep, and the
+adoption pass re-probes the store -- tasks with an artifact behind them
+complete from cache, only artifact-less tasks are re-queued -- so a
+journal that lags a few completions costs re-checks, never duplicate
+execution.
+
+State files of *completed* sweeps stay on disk (marked ``complete``) as
+an operator-readable record; restarts skip them.  Files of *failed*
+sweeps stay too (marked with their ``error``) and are likewise skipped:
+a sweep that exhausted its retry budget would only fail again, so
+re-adoption is reserved for interruptions.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.runner.backends import WorkItem
+from repro.runner.journal import atomic_write_json
+
+__all__ = ["HubJournal", "HUB_STATE_VERSION"]
+
+HUB_STATE_VERSION = 1
+_PREFIX = "hub-"
+_SUFFIX = ".state.json"
+
+
+def _utc_now() -> str:
+    from datetime import datetime, timezone
+
+    return datetime.now(timezone.utc).isoformat(timespec="seconds")
+
+
+class HubJournal:
+    """Per-submission crash-safe state documents under one directory.
+
+    Thread-safe: the hub records submissions from client threads and marks
+    completions from worker threads; one internal lock serializes both the
+    in-memory documents and the file writes.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        #: Live documents by sweep identity (only sweeps recorded or
+        #: adopted in this process; historical files stay on disk).
+        self._docs: Dict[str, Dict[str, Any]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Paths and reading
+    # ------------------------------------------------------------------ #
+    def path_for(self, identity: str) -> Path:
+        return self.root / f"{_PREFIX}{identity}{_SUFFIX}"
+
+    @staticmethod
+    def _read(path: Path) -> Optional[Dict[str, Any]]:
+        import json
+
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if (
+            not isinstance(document, dict)
+            or document.get("version") != HUB_STATE_VERSION
+            or not isinstance(document.get("tasks"), list)
+            or not isinstance(document.get("done"), list)
+        ):
+            return None
+        return document
+
+    def incomplete(self) -> List[Dict[str, Any]]:
+        """State documents of interrupted sweeps (for restart re-adoption).
+
+        Complete and failed sweeps are skipped; unreadable or foreign
+        files are warned about (once each, on stderr) and skipped -- a
+        corrupt state file must not wedge the restart.
+        """
+        found: List[Dict[str, Any]] = []
+        for path in sorted(self.root.glob(f"{_PREFIX}*{_SUFFIX}")):
+            document = self._read(path)
+            if document is None:
+                sys.stderr.write(
+                    f"[hub] warning: skipping unreadable state file {path}\n"
+                )
+                continue
+            if document.get("complete") or document.get("error"):
+                continue
+            found.append(document)
+        return found
+
+    # ------------------------------------------------------------------ #
+    # Writing
+    # ------------------------------------------------------------------ #
+    def record(
+        self,
+        identity: str,
+        items: Sequence[WorkItem],
+        *,
+        name: str = "",
+        priority: int = 0,
+        force: bool = False,
+        adopted: bool = False,
+    ) -> None:
+        """Journal one accepted (or re-adopted) submission.
+
+        The completion state always (re)starts empty -- completions are
+        re-marked as the store probe and the workers report them -- so the
+        journal never claims a completion the artifact store cannot back.
+        ``adopted`` counts restarts, mirroring the sweep journal's
+        ``resumed`` counter.
+        """
+        with self._lock:
+            prior = self._read(self.path_for(identity))
+            doc: Dict[str, Any] = {
+                "version": HUB_STATE_VERSION,
+                "identity": identity,
+                "name": name,
+                "priority": priority,
+                "force": bool(force),
+                "created": prior["created"] if prior else _utc_now(),
+                "updated": _utc_now(),
+                "total": len(items),
+                "tasks": [
+                    {
+                        "index": index,
+                        "task": task,
+                        "params": params,
+                        "module": module,
+                    }
+                    for index, task, params, module in items
+                ],
+                "done": [],
+                "cached": [],
+                "complete": False,
+                "adopted": (
+                    (prior.get("adopted", 0) + 1 if prior else 1) if adopted else 0
+                ),
+                "error": None,
+            }
+            self._docs[identity] = doc
+            self._flush_locked(identity)
+
+    def mark_done(self, identity: str, index: int, *, cached: bool = False) -> None:
+        """Record one completed task index; unknown identities are ignored
+        (the journal is advisory -- a completion racing the submission
+        record costs a re-check on restart, never correctness)."""
+        with self._lock:
+            doc = self._docs.get(identity)
+            if doc is None:
+                return
+            if index not in doc["done"]:
+                doc["done"].append(index)
+            if cached and index not in doc["cached"]:
+                doc["cached"].append(index)
+            self._flush_locked(identity)
+
+    def mark_complete(self, identity: str) -> None:
+        with self._lock:
+            doc = self._docs.get(identity)
+            if doc is None:
+                return
+            doc["complete"] = True
+            self._flush_locked(identity)
+
+    def mark_failed(self, identity: str, error: str) -> None:
+        """Record a sweep-fatal failure; the file is then skipped by
+        restart re-adoption (a failed sweep would only fail again)."""
+        with self._lock:
+            doc = self._docs.get(identity)
+            if doc is None:
+                return
+            doc["error"] = str(error)
+            self._flush_locked(identity)
+
+    # ------------------------------------------------------------------ #
+    def _flush_locked(self, identity: str) -> None:
+        doc = self._docs[identity]
+        doc["done"] = sorted(set(doc["done"]))
+        doc["cached"] = sorted(set(doc["cached"]))
+        doc["updated"] = _utc_now()
+        atomic_write_json(self.path_for(identity), doc)

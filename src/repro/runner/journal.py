@@ -28,7 +28,7 @@ from typing import Any, Dict, List, Optional, Sequence, Union
 
 from repro.runner.config import SweepConfig
 
-__all__ = ["SweepJournal"]
+__all__ = ["SweepJournal", "atomic_write_json", "sweep_identity"]
 
 JOURNAL_VERSION = 1
 _PREFIX = "sweep-"
@@ -37,6 +37,30 @@ _SUFFIX = ".journal.json"
 
 def _utc_now() -> str:
     return datetime.now(timezone.utc).isoformat(timespec="seconds")
+
+
+def atomic_write_json(path: Union[str, Path], document: Dict[str, Any]) -> None:
+    """Crash-safe JSON rewrite: uniquely named temp file + ``os.replace``.
+
+    The discipline every durable manifest in this codebase follows (sweep
+    journals, hub state files, artifacts): a reader observes either the
+    previous document or the new one, never a truncated hybrid.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(target.parent), prefix=target.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, sort_keys=True)
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
 
 
 def sweep_identity(configs: Sequence[SweepConfig]) -> str:
@@ -215,17 +239,4 @@ class SweepJournal:
         doc["done"] = sorted(set(doc["done"]))
         doc["cached"] = sorted(set(doc["cached"]))
         doc["updated"] = _utc_now()
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp_name = tempfile.mkstemp(
-            dir=str(self.path.parent), prefix=self.path.name + ".", suffix=".tmp"
-        )
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(doc, handle, sort_keys=True)
-            os.replace(tmp_name, self.path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+        atomic_write_json(self.path, doc)
