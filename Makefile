@@ -40,6 +40,12 @@
 #                        both tables are byte-identical to the serial run
 #                        (sub-minute typical; wrapped in a hard `timeout`;
 #                        a prerequisite of `make test`)
+#   make zoo-demo      - protocol-zoo gate: run the committed cross-protocol
+#                        suite (examples/scenario_zoo_compare.json) and assert
+#                        it regenerates tests/golden/zoo_compare_table.txt
+#                        byte-for-byte, then regenerate the E2 paper golden to
+#                        prove the protocol-registry refactor is inert
+#                        (sub-minute; a prerequisite of `make test`)
 #   make hub-chaos-demo - hub high-availability gate: hub serve --state + 2
 #                        workers + 2 concurrent clients, SIGKILL the *hub*
 #                        mid-sweep, restart it on the same port, and assert
@@ -74,9 +80,9 @@ HUB_TIMEOUT ?= 240
 # SIGKILL must become a loud timeout.
 HUB_CHAOS_TIMEOUT ?= 240
 
-.PHONY: test bench bench-compare bench-smoke bench-smoke-compare profile sweep-demo scenario-demo dist-demo churn-demo chaos-demo hub-demo hub-chaos-demo clean-artifacts
+.PHONY: test bench bench-compare bench-smoke bench-smoke-compare profile sweep-demo scenario-demo dist-demo churn-demo chaos-demo hub-demo hub-chaos-demo zoo-demo clean-artifacts
 
-test: scenario-demo dist-demo churn-demo chaos-demo hub-demo hub-chaos-demo bench-smoke-compare
+test: scenario-demo dist-demo churn-demo chaos-demo hub-demo hub-chaos-demo zoo-demo bench-smoke-compare
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 
 scenario-demo:
@@ -92,6 +98,9 @@ dist-demo:
 
 churn-demo:
 	PYTHONPATH=src $(PYTHON) -m repro.tools.churn_demo
+
+zoo-demo:
+	PYTHONPATH=src $(PYTHON) -m repro.tools.zoo_demo
 
 chaos-demo:
 	PYTHONPATH=src timeout -k 10 $(CHAOS_TIMEOUT) $(PYTHON) -m repro.tools.chaos_demo

@@ -12,8 +12,11 @@ from repro.analysis.complexity import (
     FitResult,
 )
 from repro.analysis.tables import render_table, render_series
+from repro.analysis.comparison import protocol_comparison, render_protocol_comparison
 
 __all__ = [
+    "protocol_comparison",
+    "render_protocol_comparison",
     "theorem1_check",
     "theorem2_check",
     "corollary1_check",

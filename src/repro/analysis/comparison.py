@@ -1,0 +1,80 @@
+"""Cross-protocol comparison tables.
+
+The protocol zoo runs several consensus families over one shared
+graph x adversary x placement grid (``examples/scenario_zoo_compare.json``).
+The suite's own table keeps one row per (protocol, workload) cell;
+:func:`protocol_comparison` folds those rows into one summary row per
+protocol -- averaging the numeric metric columns -- so the fault-tolerance
+envelopes of the families can be eyeballed side by side.
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Any, Dict, List, Mapping, Sequence
+
+from repro.analysis.tables import render_table
+
+__all__ = ["protocol_comparison", "render_protocol_comparison"]
+
+
+def protocol_comparison(
+    rows: Sequence[Mapping[str, Any]],
+    *,
+    key: str = "protocol",
+    metrics: Sequence[str] = (
+        "decided_fraction",
+        "median_estimate",
+        "rounds",
+        "messages",
+    ),
+) -> List[Dict[str, Any]]:
+    """One summary row per distinct ``key`` value, averaging ``metrics``.
+
+    ``rows`` are table rows (e.g. ``ExperimentResult.rows`` of a zoo suite
+    run) whose ``key`` column names the protocol.  Non-numeric or missing
+    metric values are skipped; a metric with no usable values renders as
+    ``None``.  Rows lacking the ``key`` column entirely are ignored, so the
+    helper can be pointed at heterogeneous result sets.
+    """
+    groups: Dict[Any, List[Mapping[str, Any]]] = {}
+    order: List[Any] = []
+    for row in rows:
+        if key not in row:
+            continue
+        value = row[key]
+        if value not in groups:
+            groups[value] = []
+            order.append(value)
+        groups[value].append(row)
+    summary: List[Dict[str, Any]] = []
+    for value in order:
+        cells: Dict[str, Any] = {key: value, "cells": len(groups[value])}
+        for metric in metrics:
+            numbers = [
+                row[metric]
+                for row in groups[value]
+                if isinstance(row.get(metric), (int, float))
+                and not isinstance(row.get(metric), bool)
+            ]
+            cells[metric] = statistics.fmean(numbers) if numbers else None
+        summary.append(cells)
+    return summary
+
+
+def render_protocol_comparison(
+    rows: Sequence[Mapping[str, Any]],
+    *,
+    key: str = "protocol",
+    metrics: Sequence[str] = (
+        "decided_fraction",
+        "median_estimate",
+        "rounds",
+        "messages",
+    ),
+    title: str = "cross-protocol comparison",
+) -> str:
+    """Render :func:`protocol_comparison` as a fixed-width table."""
+    return render_table(
+        protocol_comparison(rows, key=key, metrics=metrics), title=title
+    )

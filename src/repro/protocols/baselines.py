@@ -1,0 +1,192 @@
+"""Registry-shaped run wrappers for the four Section 1.2 baseline estimators.
+
+The baseline protocol classes in :mod:`repro.baselines` already implement the
+:class:`~repro.simulator.node.Protocol` interface; their historical run
+functions summarize into a :class:`~repro.baselines.common.BaselineOutcome`,
+which lacks the :class:`~repro.core.estimate.CountingOutcome` API the generic
+scenario metrics extraction consumes.  These wrappers run the *same* protocol
+classes with the *same* default budgets but summarize into a
+:class:`~repro.protocols.common.ZooRun`, making the baselines first-class
+citizens of the ``PROTOCOLS`` registry (and of every scenario grid) without
+touching the E7 driver or the original entry points.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Iterable, Optional, Set
+
+from repro.baselines.flooding import FloodingDiameterProtocol
+from repro.baselines.geometric import GeometricMaxProtocol
+from repro.baselines.spanning_tree import SpanningTreeProtocol
+from repro.baselines.support_estimation import SupportEstimationProtocol
+from repro.graphs.graph import Graph
+from repro.protocols.common import ZooRun, build_outcome
+from repro.simulator.byzantine import Adversary
+from repro.simulator.churn import ChurnSchedule
+from repro.simulator.engine import SynchronousEngine
+from repro.simulator.network import Network
+from repro.simulator.node import NodeContext, Protocol
+
+__all__ = [
+    "run_flooding_protocol",
+    "run_geometric_protocol",
+    "run_spanning_tree_protocol",
+    "run_support_estimation_protocol",
+]
+
+
+def _default_budget(graph: Graph) -> int:
+    """The historical per-phase round budget: ``2·ceil(log2 n) + 6``."""
+    return 2 * int(math.ceil(math.log2(max(graph.n, 2)))) + 6
+
+
+def _run(
+    graph: Graph,
+    factory,
+    *,
+    byzantine: Iterable[int],
+    adversary: Optional[Adversary],
+    seed: int,
+    max_rounds: int,
+    evaluation_set: Optional[Set[int]],
+    churn: Optional[ChurnSchedule],
+    params: Dict[str, Any],
+) -> ZooRun:
+    network = Network(graph=graph, byzantine=frozenset(byzantine))
+    engine = SynchronousEngine(
+        network,
+        factory,
+        adversary=adversary,
+        seed=seed,
+        max_rounds=max_rounds,
+        churn=churn,
+    )
+    result = engine.run()
+    outcome = build_outcome(graph, result, evaluation_set=evaluation_set)
+    return ZooRun(result=result, params=params, outcome=outcome)
+
+
+def run_flooding_protocol(
+    graph: Graph,
+    *,
+    byzantine: Iterable[int] = (),
+    adversary: Optional[Adversary] = None,
+    seed: int = 0,
+    phase_rounds: Optional[int] = None,
+    evaluation_set: Optional[Set[int]] = None,
+    churn: Optional[ChurnSchedule] = None,
+) -> ZooRun:
+    """Flooding-based diameter estimation as a registry protocol."""
+    if phase_rounds is None:
+        phase_rounds = _default_budget(graph)
+    rounds = phase_rounds
+
+    def factory(ctx: NodeContext) -> Protocol:
+        return FloodingDiameterProtocol(ctx, rounds, rounds)
+
+    return _run(
+        graph,
+        factory,
+        byzantine=byzantine,
+        adversary=adversary,
+        seed=seed,
+        max_rounds=2 * phase_rounds + 4,
+        evaluation_set=evaluation_set,
+        churn=churn,
+        params={"phase_rounds": phase_rounds},
+    )
+
+
+def run_geometric_protocol(
+    graph: Graph,
+    *,
+    byzantine: Iterable[int] = (),
+    adversary: Optional[Adversary] = None,
+    seed: int = 0,
+    rounds_budget: Optional[int] = None,
+    evaluation_set: Optional[Set[int]] = None,
+    churn: Optional[ChurnSchedule] = None,
+) -> ZooRun:
+    """Geometric-distribution maximum propagation as a registry protocol."""
+    if rounds_budget is None:
+        rounds_budget = _default_budget(graph)
+    budget = rounds_budget
+
+    def factory(ctx: NodeContext) -> Protocol:
+        return GeometricMaxProtocol(ctx, budget)
+
+    return _run(
+        graph,
+        factory,
+        byzantine=byzantine,
+        adversary=adversary,
+        seed=seed,
+        max_rounds=rounds_budget + 2,
+        evaluation_set=evaluation_set,
+        churn=churn,
+        params={"rounds_budget": rounds_budget},
+    )
+
+
+def run_spanning_tree_protocol(
+    graph: Graph,
+    *,
+    byzantine: Iterable[int] = (),
+    adversary: Optional[Adversary] = None,
+    seed: int = 0,
+    phase_rounds: Optional[int] = None,
+    evaluation_set: Optional[Set[int]] = None,
+    churn: Optional[ChurnSchedule] = None,
+) -> ZooRun:
+    """BFS spanning-tree count-and-spread as a registry protocol."""
+    if phase_rounds is None:
+        phase_rounds = _default_budget(graph)
+    rounds = phase_rounds
+
+    def factory(ctx: NodeContext) -> Protocol:
+        return SpanningTreeProtocol(ctx, rounds, rounds, rounds)
+
+    return _run(
+        graph,
+        factory,
+        byzantine=byzantine,
+        adversary=adversary,
+        seed=seed,
+        max_rounds=3 * phase_rounds + 4,
+        evaluation_set=evaluation_set,
+        churn=churn,
+        params={"phase_rounds": phase_rounds},
+    )
+
+
+def run_support_estimation_protocol(
+    graph: Graph,
+    *,
+    byzantine: Iterable[int] = (),
+    adversary: Optional[Adversary] = None,
+    seed: int = 0,
+    rounds_budget: Optional[int] = None,
+    k: int = 16,
+    evaluation_set: Optional[Set[int]] = None,
+    churn: Optional[ChurnSchedule] = None,
+) -> ZooRun:
+    """Exponential-minimum support estimation as a registry protocol."""
+    if rounds_budget is None:
+        rounds_budget = _default_budget(graph)
+    budget = rounds_budget
+
+    def factory(ctx: NodeContext) -> Protocol:
+        return SupportEstimationProtocol(ctx, budget, k)
+
+    return _run(
+        graph,
+        factory,
+        byzantine=byzantine,
+        adversary=adversary,
+        seed=seed,
+        max_rounds=rounds_budget + 2,
+        evaluation_set=evaluation_set,
+        churn=churn,
+        params={"rounds_budget": rounds_budget, "k": k},
+    )

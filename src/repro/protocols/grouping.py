@@ -1,0 +1,88 @@
+"""Consistent-hash node grouping (the NBFT-style committee construction).
+
+Nodes and group anchors are hashed onto the same 64-bit ring; each node
+belongs to the first anchor clockwise from its position.  The assignment is a
+pure function of the node *identifiers* and the group count -- every node
+that knows an identifier can compute its group (and each group's leader, the
+member with the smallest ring position) without communication, which is what
+lets the grouped-BFT protocol below bootstrap per-group agreement from
+membership knowledge alone.  SHA-256 keeps the ring placement stable across
+processes and Python versions, exactly like
+:func:`repro.simulator.rng.split_seed`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["ring_hash", "GroupAssignment", "assign_groups"]
+
+
+def ring_hash(label: object) -> int:
+    """Position of ``label`` on the 64-bit consistent-hash ring."""
+    digest = hashlib.sha256(str(label).encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+@dataclass(frozen=True)
+class GroupAssignment:
+    """One deterministic grouping of a node-id universe.
+
+    Attributes
+    ----------
+    members:
+        Per group, the sorted tuple of member node ids (possibly empty: with
+        few nodes and many anchors a group can receive nobody).
+    leaders:
+        Per group, the leader's node id (``None`` for empty groups).  The
+        leader is the member with the smallest ring position, ties broken by
+        id.
+    group_of:
+        Node id -> group index.
+    """
+
+    members: Tuple[Tuple[int, ...], ...]
+    leaders: Tuple[Optional[int], ...]
+    group_of: Dict[int, int]
+
+    @property
+    def num_groups(self) -> int:
+        return len(self.members)
+
+    def nonempty_groups(self) -> List[int]:
+        """Indices of groups with at least one member."""
+        return [g for g, ids in enumerate(self.members) if ids]
+
+
+def assign_groups(node_ids: Iterable[int], num_groups: int) -> GroupAssignment:
+    """Assign every node id to one of ``num_groups`` consistent-hash groups."""
+    if num_groups < 1:
+        raise ValueError(f"num_groups must be >= 1, got {num_groups}")
+    anchors = sorted(
+        (ring_hash(("group", g)), g) for g in range(num_groups)
+    )
+    anchor_positions = [position for position, _ in anchors]
+    group_of: Dict[int, int] = {}
+    buckets: List[List[Tuple[int, int]]] = [[] for _ in range(num_groups)]
+    for node_id in node_ids:
+        position = ring_hash(("node", node_id))
+        # First anchor clockwise (wrapping to the smallest anchor).
+        index = 0
+        for i, anchor_position in enumerate(anchor_positions):
+            if anchor_position >= position:
+                index = i
+                break
+        group = anchors[index][1]
+        group_of[node_id] = group
+        buckets[group].append((position, node_id))
+    members: List[Tuple[int, ...]] = []
+    leaders: List[Optional[int]] = []
+    for bucket in buckets:
+        bucket.sort()
+        members.append(tuple(sorted(node_id for _, node_id in bucket)))
+        leaders.append(bucket[0][1] if bucket else None)
+    return GroupAssignment(
+        members=tuple(members), leaders=tuple(leaders), group_of=group_of
+    )

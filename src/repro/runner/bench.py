@@ -565,6 +565,66 @@ SCENARIOS: Tuple[BenchScenario, ...] = (
         "bench.hub_ha_loopback",
         {"n": 48, "degree": 8, "seeds": [0, 1, 2, 3], "workers": 2},
     ),
+    # Appended with the protocol zoo (PR 10): one consensus run per new
+    # family through the declarative ``scenario.run`` path at n=64.  The
+    # Ben-Or cell exercises the coin-stream/phase machinery (quadratic
+    # message volume, few rounds); the grouped-BFT cell exercises the
+    # consistent-hash grouping + flood-relayed OM(m) cascade (many dedup
+    # checks per round).  Both put the zoo's per-round hot paths on the
+    # trajectory.  Pinned like every parameterization above -- append,
+    # never edit.
+    BenchScenario(
+        "scenario-zoo-benor-n64",
+        "scenario.run",
+        {
+            "spec": {
+                "graph": {
+                    "name": "hnd",
+                    "params": {"n": 64, "degree": 8},
+                    "seed_offset": 0,
+                },
+                "adversary": {"name": "silent", "params": {}, "seed_offset": 0},
+                "placement": {
+                    "name": "spread",
+                    "params": {"count": 3},
+                    "seed_offset": 0,
+                },
+                "protocol": {
+                    "name": "benor",
+                    "params": {"f": 3, "max_phases": 60},
+                    "seed_offset": 0,
+                },
+                "params": {},
+            },
+            "seed": 64,
+        },
+    ),
+    BenchScenario(
+        "scenario-zoo-groupedbft-n64",
+        "scenario.run",
+        {
+            "spec": {
+                "graph": {
+                    "name": "hnd",
+                    "params": {"n": 64, "degree": 8},
+                    "seed_offset": 0,
+                },
+                "adversary": {"name": "silent", "params": {}, "seed_offset": 0},
+                "placement": {
+                    "name": "spread",
+                    "params": {"count": 3},
+                    "seed_offset": 0,
+                },
+                "protocol": {
+                    "name": "grouped-bft",
+                    "params": {"f": 1, "groups": 3},
+                    "seed_offset": 0,
+                },
+                "params": {},
+            },
+            "seed": 64,
+        },
+    ),
 )
 
 #: Reduced suite for ``make bench-smoke`` (sub-minute end to end).

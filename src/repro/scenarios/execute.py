@@ -125,7 +125,7 @@ def _collect_metrics(cell: MaterializedCell) -> Dict[str, Any]:
     min_estimate, max_estimate = outcome.estimate_range()
     round_budget = scenario.protocol.params.get("max_rounds")
 
-    return {
+    metrics = {
         "n": outcome.n,
         "num_byzantine": len(cell.byzantine),
         "eval_nodes": len(outcome.evaluation_set),
@@ -159,6 +159,16 @@ def _collect_metrics(cell: MaterializedCell) -> Dict[str, Any]:
         ),
         **_churn_metrics(cell),
     }
+    # Protocol-specific metrics (protocol-zoo run wrappers expose an
+    # ``extra_metrics`` dict: agreement rates, decided-value distributions,
+    # phases-to-decide, group sizes).  Merged *after* the uniform keys so zoo
+    # columns flow through the suite reducers like any other metric; the
+    # paper protocols have no such attribute and their metrics dicts -- and
+    # hence every existing golden table -- are byte-identical.
+    extra = getattr(run, "extra_metrics", None)
+    if extra:
+        metrics.update(extra)
+    return metrics
 
 
 def _churn_metrics(cell: MaterializedCell) -> Dict[str, Any]:

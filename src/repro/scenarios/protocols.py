@@ -5,8 +5,23 @@ from the spec's protocol params (defaulting degree bounds from the graph the
 way the CLI historically did), construct the adversary behaviour *with those
 parameters* (scheduled Algorithm 2 attacks read their round schedule from
 them), and execute the run.  Entries return the protocol's run object
-(``LocalCountingRun`` / ``CongestCountingRun``), whose ``.outcome`` feeds the
+(``LocalCountingRun`` / ``CongestCountingRun`` /
+:class:`~repro.protocols.common.ZooRun`), whose ``.outcome`` feeds the
 generic metrics extraction in :mod:`repro.scenarios.execute`.
+
+Entry metadata (the protocol-zoo contract)
+------------------------------------------
+Every entry declares its parameter surface through registry tags:
+
+* ``params``: a ``{"required": (...), "optional": (...)}`` mapping.
+  :meth:`repro.scenarios.spec.Scenario.validate` rejects unknown or missing
+  protocol params at *compile* time (with the offending
+  ``scenario.protocol.params.<key>`` path), and ``scenario list`` prints the
+  surface, so the zoo is discoverable without reading source.
+* ``validate`` (optional): a callable ``(params, n) -> None`` raising
+  ``ValueError`` with a message starting with the offending parameter name
+  when params are out of envelope (e.g. ``grouped-bft`` with ``n <= 3f``).
+  ``n`` is the graph size when the spec carries one, else ``None``.
 """
 
 from __future__ import annotations
@@ -17,6 +32,17 @@ from repro.core.congest_counting import CongestCountingRun, run_congest_counting
 from repro.core.local_counting import LocalCountingRun, run_local_counting
 from repro.core.parameters import CongestParameters, LocalParameters
 from repro.graphs.graph import Graph
+from repro.protocols import (
+    ZooRun,
+    run_benor,
+    run_flooding_protocol,
+    run_geometric_protocol,
+    run_grouped_bft,
+    run_spanning_tree_protocol,
+    run_support_estimation_protocol,
+    spec_validate_benor,
+    spec_validate_grouped_bft,
+)
 from repro.scenarios.behaviours import make_adversary
 from repro.scenarios.registry import PROTOCOLS
 from repro.simulator.churn import ChurnSchedule
@@ -50,7 +76,19 @@ def run_protocol(
     )
 
 
-@PROTOCOLS.register("local")
+@PROTOCOLS.register(
+    "local",
+    params={
+        "required": (),
+        "optional": (
+            "gamma",
+            "max_degree",
+            "alpha_prime",
+            "exhaustive_subset_check",
+            "max_rounds",
+        ),
+    },
+)
 def _local(
     graph: Graph,
     *,
@@ -80,7 +118,24 @@ def _local(
     )
 
 
-@PROTOCOLS.register("congest")
+@PROTOCOLS.register(
+    "congest",
+    params={
+        "required": (),
+        "optional": (
+            "gamma",
+            "delta",
+            "eta",
+            "d",
+            "c1",
+            "first_phase",
+            "blacklist_enabled",
+            "min_suffix",
+            "max_rounds",
+            "stop_when_all_decided",
+        ),
+    },
+)
 def _congest(
     graph: Graph,
     *,
@@ -109,4 +164,185 @@ def _congest(
         stop_when_all_decided=stop_when_all_decided,
         evaluation_set=evaluation_set,
         churn=churn,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# The protocol zoo (PR 10): consensus families and baselines behind the same
+# entry point.  Zoo adversaries are built with ``protocol_params=None`` --
+# none of the scheduled Algorithm 2 attacks apply to them.
+# --------------------------------------------------------------------------- #
+@PROTOCOLS.register(
+    "benor",
+    params={
+        "required": (),
+        "optional": ("f", "initial", "max_phases", "max_rounds"),
+    },
+    validate=spec_validate_benor,
+)
+def _benor(
+    graph: Graph,
+    *,
+    byzantine: Set[int],
+    behaviour: str,
+    behaviour_params: Mapping[str, Any],
+    seed: int,
+    evaluation_set: Optional[Set[int]] = None,
+    churn: Optional[ChurnSchedule] = None,
+    **params: Any,
+) -> ZooRun:
+    """BenOr-style randomized binary consensus (R1/R2 phases, per-node coins)."""
+    adversary = make_adversary(behaviour, None, **behaviour_params)
+    return run_benor(
+        graph,
+        byzantine=byzantine,
+        adversary=adversary,
+        seed=seed,
+        evaluation_set=evaluation_set,
+        churn=churn,
+        **params,
+    )
+
+
+@PROTOCOLS.register(
+    "grouped-bft",
+    params={
+        "required": (),
+        "optional": ("f", "groups", "hops", "initial", "max_rounds"),
+    },
+    validate=spec_validate_grouped_bft,
+)
+def _grouped_bft(
+    graph: Graph,
+    *,
+    byzantine: Set[int],
+    behaviour: str,
+    behaviour_params: Mapping[str, Any],
+    seed: int,
+    evaluation_set: Optional[Set[int]] = None,
+    churn: Optional[ChurnSchedule] = None,
+    **params: Any,
+) -> ZooRun:
+    """Consistent-hash grouped OM(m) agreement with cross-group aggregation."""
+    adversary = make_adversary(behaviour, None, **behaviour_params)
+    return run_grouped_bft(
+        graph,
+        byzantine=byzantine,
+        adversary=adversary,
+        seed=seed,
+        evaluation_set=evaluation_set,
+        churn=churn,
+        **params,
+    )
+
+
+@PROTOCOLS.register(
+    "flooding",
+    params={"required": (), "optional": ("phase_rounds",)},
+)
+def _flooding(
+    graph: Graph,
+    *,
+    byzantine: Set[int],
+    behaviour: str,
+    behaviour_params: Mapping[str, Any],
+    seed: int,
+    evaluation_set: Optional[Set[int]] = None,
+    churn: Optional[ChurnSchedule] = None,
+    **params: Any,
+) -> ZooRun:
+    """Flooding-based diameter estimation (Section 1.2 baseline)."""
+    adversary = make_adversary(behaviour, None, **behaviour_params)
+    return run_flooding_protocol(
+        graph,
+        byzantine=byzantine,
+        adversary=adversary,
+        seed=seed,
+        evaluation_set=evaluation_set,
+        churn=churn,
+        **params,
+    )
+
+
+@PROTOCOLS.register(
+    "geometric",
+    params={"required": (), "optional": ("rounds_budget",)},
+)
+def _geometric(
+    graph: Graph,
+    *,
+    byzantine: Set[int],
+    behaviour: str,
+    behaviour_params: Mapping[str, Any],
+    seed: int,
+    evaluation_set: Optional[Set[int]] = None,
+    churn: Optional[ChurnSchedule] = None,
+    **params: Any,
+) -> ZooRun:
+    """Geometric-distribution maximum propagation (Section 1.2 baseline)."""
+    adversary = make_adversary(behaviour, None, **behaviour_params)
+    return run_geometric_protocol(
+        graph,
+        byzantine=byzantine,
+        adversary=adversary,
+        seed=seed,
+        evaluation_set=evaluation_set,
+        churn=churn,
+        **params,
+    )
+
+
+@PROTOCOLS.register(
+    "spanning-tree",
+    params={"required": (), "optional": ("phase_rounds",)},
+)
+def _spanning_tree(
+    graph: Graph,
+    *,
+    byzantine: Set[int],
+    behaviour: str,
+    behaviour_params: Mapping[str, Any],
+    seed: int,
+    evaluation_set: Optional[Set[int]] = None,
+    churn: Optional[ChurnSchedule] = None,
+    **params: Any,
+) -> ZooRun:
+    """BFS spanning-tree count-and-spread (Section 1.2 baseline)."""
+    adversary = make_adversary(behaviour, None, **behaviour_params)
+    return run_spanning_tree_protocol(
+        graph,
+        byzantine=byzantine,
+        adversary=adversary,
+        seed=seed,
+        evaluation_set=evaluation_set,
+        churn=churn,
+        **params,
+    )
+
+
+@PROTOCOLS.register(
+    "support-estimation",
+    params={"required": (), "optional": ("rounds_budget", "k")},
+)
+def _support_estimation(
+    graph: Graph,
+    *,
+    byzantine: Set[int],
+    behaviour: str,
+    behaviour_params: Mapping[str, Any],
+    seed: int,
+    evaluation_set: Optional[Set[int]] = None,
+    churn: Optional[ChurnSchedule] = None,
+    **params: Any,
+) -> ZooRun:
+    """Exponential-minimum support estimation (Section 1.2 baseline)."""
+    adversary = make_adversary(behaviour, None, **behaviour_params)
+    return run_support_estimation_protocol(
+        graph,
+        byzantine=byzantine,
+        adversary=adversary,
+        seed=seed,
+        evaluation_set=evaluation_set,
+        churn=churn,
+        **params,
     )

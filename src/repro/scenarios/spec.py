@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.runner.config import SweepConfig
-from repro.scenarios.registry import CHURN, all_registries
+from repro.scenarios.registry import CHURN, PROTOCOLS, all_registries
 
 __all__ = ["ComponentSpec", "Scenario", "SCENARIO_TASK"]
 
@@ -189,11 +189,16 @@ class Scenario:
         schedules naming explicit node ids are additionally range-checked
         against the graph size (when the graph spec carries ``n``), with the
         offending spec path in the error -- mirroring the compile-time
-        non-finite rejection.
+        non-finite rejection.  Protocol params are checked against the
+        registry entry's declared parameter surface and envelope validator
+        (see :mod:`repro.scenarios.protocols`), so an unknown or
+        out-of-envelope protocol param fails at compile time with its
+        ``scenario.protocol.params.<key>`` path instead of mid-run.
         """
         for axis, registry in all_registries().items():
             registry.get(getattr(self, axis).name)
         self._validate_churn_node_ids()
+        self._validate_protocol_params()
         return self
 
     def _validate_churn_node_ids(self) -> None:
@@ -219,6 +224,44 @@ class Scenario:
                         f"scenario.churn.params.{param}[{index}]: node id "
                         f"{node!r} outside graph range [0, {n})"
                     )
+
+    def _validate_protocol_params(self) -> None:
+        """Reject unknown or out-of-envelope protocol params at compile time.
+
+        A protocol entry's parameter surface is declared by its registry
+        ``params`` tag (``{"required": (...), "optional": (...)}``); entries
+        may additionally carry a ``validate`` tag -- a callable
+        ``(params, n) -> None`` raising ``ValueError`` whose message starts
+        with the offending parameter name (e.g. the ``grouped-bft``
+        ``n > 3f`` honest envelope).  Entries without a ``params`` tag skip
+        the check entirely, so third-party registrations opt in rather than
+        break.
+        """
+        entry = PROTOCOLS.get(self.protocol.name)
+        surface = entry.tags.get("params")
+        if surface is not None:
+            required = tuple(surface.get("required", ()))
+            known = set(required) | set(surface.get("optional", ()))
+            for key in self.protocol.params:
+                if key not in known:
+                    raise ValueError(
+                        f"scenario.protocol.params.{key}: unknown parameter of "
+                        f"protocol {self.protocol.name!r}; known params: "
+                        f"{sorted(known)}"
+                    )
+            for key in required:
+                if key not in self.protocol.params:
+                    raise ValueError(
+                        f"scenario.protocol.params.{key}: required by "
+                        f"protocol {self.protocol.name!r} but missing"
+                    )
+        validator = entry.tags.get("validate")
+        if validator is not None:
+            n = self.graph.params.get("n")
+            try:
+                validator(self.protocol.params, n if isinstance(n, int) else None)
+            except ValueError as exc:
+                raise ValueError(f"scenario.protocol.params.{exc}") from None
 
     def compile(self) -> List[SweepConfig]:
         """One ``scenario.run`` sweep config per seed (validated).

@@ -13,7 +13,7 @@ import hashlib
 import random
 from typing import Dict, Iterable, List
 
-__all__ = ["split_seed", "spawn_rngs"]
+__all__ = ["split_seed", "spawn_rngs", "coin_stream"]
 
 
 def split_seed(master_seed: int, *labels: object) -> int:
@@ -33,3 +33,15 @@ def split_seed(master_seed: int, *labels: object) -> int:
 def spawn_rngs(master_seed: int, keys: Iterable[object]) -> Dict[object, random.Random]:
     """One independent ``random.Random`` per key, all derived from ``master_seed``."""
     return {key: random.Random(split_seed(master_seed, key)) for key in keys}
+
+
+def coin_stream(master_seed: int, *labels: object) -> random.Random:
+    """An independent named ``random.Random`` derived from ``master_seed``.
+
+    Used by protocols that need randomness tied to a stable label path (e.g.
+    the per-node coin streams of the BenOr consensus family, labelled by node
+    *identifier*) rather than to the engine's per-index node streams -- the
+    draws are then reproducible across execution backends and process
+    boundaries for a given master seed.
+    """
+    return random.Random(split_seed(master_seed, *labels))

@@ -1,0 +1,75 @@
+"""Protocol-zoo gate (``make zoo-demo``; a prerequisite of ``make test``).
+
+Two assertions, both byte-for-byte:
+
+1. the committed cross-protocol suite (``examples/scenario_zoo_compare.json``
+   -- five families on one shared graph x adversary x placement grid, pure
+   JSON, zero driver code) regenerates ``tests/golden/zoo_compare_table.txt``;
+2. the committed paper suite (``examples/scenario_e2_small.json``)
+   regenerates ``tests/golden/e2_small_table.txt`` -- proving the registry
+   refactor that folded the zoo into ``PROTOCOLS`` is inert for the paper's
+   protocols.
+
+On success it also prints the per-protocol summary of the zoo table
+(:func:`repro.analysis.comparison.render_protocol_comparison`) -- the
+side-by-side fault-tolerance comparison the zoo exists for.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.analysis.comparison import render_protocol_comparison
+from repro.scenarios.suite import ScenarioSuite
+
+REPO = Path(__file__).resolve().parents[3]
+EXAMPLES = REPO / "examples"
+GOLDEN = REPO / "tests" / "golden"
+
+#: (suite spec, golden table) pairs checked byte-for-byte.
+GATES = (
+    ("scenario_zoo_compare.json", "zoo_compare_table.txt"),
+    ("scenario_e2_small.json", "e2_small_table.txt"),
+)
+
+
+def _run_suite(spec_path: Path):
+    suite = ScenarioSuite.from_json(spec_path.read_text(encoding="utf-8"))
+    return suite.run()
+
+
+def main() -> int:
+    zoo_result = None
+    for spec_name, golden_name in GATES:
+        spec_path = EXAMPLES / spec_name
+        golden_path = GOLDEN / golden_name
+        result = _run_suite(spec_path)
+        if spec_name.startswith("scenario_zoo"):
+            zoo_result = result
+        # ``scenario run`` prints ``result.render()`` followed by a newline;
+        # the goldens are captured CLI stdout, so compare against exactly that.
+        rendered = result.render() + "\n"
+        expected = golden_path.read_text(encoding="utf-8")
+        if rendered != expected:
+            sys.stderr.write(
+                f"zoo-demo FAIL: {spec_name} no longer regenerates "
+                f"{golden_name} byte-for-byte\n"
+            )
+            sys.stderr.write("--- expected ---\n" + expected)
+            sys.stderr.write("--- got ---\n" + rendered)
+            return 1
+        print(f"zoo-demo: {spec_name} == {golden_name} (byte-identical)")
+
+    if zoo_result is not None:
+        print()
+        print(render_protocol_comparison(zoo_result.rows))
+    print(
+        "zoo-demo ok: cross-protocol suite and paper suite both regenerate "
+        "their goldens"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

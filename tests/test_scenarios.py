@@ -34,7 +34,18 @@ class TestRegistries:
         assert "hnd" in GRAPHS and "margulis" in GRAPHS
         assert "beacon-flood" in ADVERSARIES and "silent" in ADVERSARIES
         assert "spread" in PLACEMENTS and "high-degree" in PLACEMENTS
-        assert PROTOCOLS.names() == ["congest", "local"]
+        # PR 10 folded the protocol zoo into the registry alongside the
+        # paper's two algorithms.
+        assert PROTOCOLS.names() == [
+            "benor",
+            "congest",
+            "flooding",
+            "geometric",
+            "grouped-bft",
+            "local",
+            "spanning-tree",
+            "support-estimation",
+        ]
 
     def test_unknown_name_raises_with_valid_names(self):
         with pytest.raises(UnknownComponentError) as excinfo:
